@@ -1,0 +1,72 @@
+"""Shared settings and helpers for the benchmark suite.
+
+The benchmarks regenerate the paper's tables/figures on a *quick* scale so
+that ``pytest benchmarks/ --benchmark-only`` finishes in minutes; the
+experiment functions accept larger :class:`ExperimentSettings` for the
+full-size runs recorded in EXPERIMENTS.md.  Absolute throughput values are in
+simulated MiB/s — only the comparative shapes are meaningful, which is what
+the assertions check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.experiments import ExperimentSettings
+from repro.cluster import ClusterConfig
+
+
+def quick_settings(client_counts: Sequence[int] = (1, 2, 4, 8)) -> ExperimentSettings:
+    """Benchmark-suite settings: small but large enough to show the shapes."""
+    return ExperimentSettings(
+        client_counts=tuple(client_counts),
+        num_storage_nodes=8,
+        stripe_unit=64 * 1024,
+        num_metadata_providers=2,
+        regions_per_client=8,
+        region_size=64 * 1024,
+        overlap_fraction=0.5,
+        tile_elements_x=64,
+        tile_elements_y=64,
+        element_size=32,
+        tile_overlap=8,
+        config=ClusterConfig(),
+    )
+
+
+def curves_by_backend(rows: List[Dict[str, object]],
+                      value: str = "throughput_mib_s") -> Dict[str, Dict[int, float]]:
+    """Pivot experiment rows into per-backend curves keyed by client count."""
+    curves: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        curves.setdefault(str(row["backend"]), {})[int(row["clients"])] = float(row[value])
+    return curves
+
+
+def assert_versioning_wins(curves: Dict[str, Dict[int, float]],
+                           baseline: str = "posix-locking",
+                           min_factor: float = 1.5,
+                           min_clients: int = 2) -> None:
+    """The paper's qualitative claim: versioning wins under concurrency."""
+    versioning = curves["versioning"]
+    locking = curves[baseline]
+    for clients, value in versioning.items():
+        if clients >= min_clients:
+            assert value > locking[clients] * min_factor, (
+                f"versioning ({value:.1f}) not {min_factor}x above {baseline} "
+                f"({locking[clients]:.1f}) at {clients} clients")
+
+
+def assert_scales_up(curve: Dict[int, float], factor: float = 1.5) -> None:
+    """Aggregated throughput grows with client count (up to saturation)."""
+    clients = sorted(curve)
+    assert curve[clients[-1]] > curve[clients[0]] * factor, (
+        f"no scaling: {curve}")
+
+
+def assert_roughly_flat_or_declining(curve: Dict[int, float],
+                                     tolerance: float = 1.6) -> None:
+    """The serialized baseline does not scale with client count."""
+    clients = sorted(curve)
+    assert curve[clients[-1]] < curve[clients[0]] * tolerance, (
+        f"baseline unexpectedly scales: {curve}")

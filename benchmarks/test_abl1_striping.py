@@ -1,0 +1,35 @@
+"""ABL1: data striping — throughput vs number of data providers.
+
+Design principle 2 of the paper: striping the BLOB over many providers with a
+round-robin allocation spreads the write workload and raises the aggregated
+throughput.  The sweep fixes the client count and varies the provider count;
+throughput must grow until the clients (not the providers) become the
+bottleneck.  The load-imbalance column shows the round-robin allocation
+keeping providers evenly filled.
+"""
+
+from benchmarks.common import quick_settings
+from repro.bench.experiments import run_abl1_striping
+from repro.bench.reporting import format_table
+
+
+def test_abl1_striping(benchmark):
+    settings = quick_settings()
+    rows = benchmark.pedantic(
+        run_abl1_striping, args=(settings,),
+        kwargs={"provider_counts": (1, 2, 4, 8), "num_clients": 8},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="ABL1 — versioning throughput vs number of "
+                                   "data providers (8 clients)"))
+
+    by_providers = {row["providers"]: row["throughput_mib_s"] for row in rows}
+    # striping helps: 8 providers must clearly beat a single provider
+    assert by_providers[8] > by_providers[1] * 1.5
+    # throughput is monotone (within a small tolerance) in provider count
+    counts = sorted(by_providers)
+    for smaller, larger in zip(counts, counts[1:]):
+        assert by_providers[larger] >= by_providers[smaller] * 0.9
+    # round-robin keeps the providers balanced
+    assert all(row["load_imbalance"] < 1.5 for row in rows)

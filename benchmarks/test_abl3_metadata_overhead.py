@@ -1,0 +1,44 @@
+"""ABL3: the cost of versioning itself — metadata and publication overhead.
+
+The versioning approach trades locks for per-write metadata (copy-on-write
+tree nodes) and a serialized (but tiny) publication step at the version
+manager.  This ablation sweeps the number of regions per vectored write and
+an artificial per-snapshot publication cost, showing how much headroom the
+design has before its own serialization point would start to matter.
+"""
+
+from benchmarks.common import quick_settings
+from repro.bench.experiments import run_abl3_metadata_overhead
+from repro.bench.reporting import format_table
+
+
+def test_abl3_metadata_overhead(benchmark):
+    settings = quick_settings()
+    rows = benchmark.pedantic(
+        run_abl3_metadata_overhead, args=(settings,),
+        kwargs={"num_clients": 8,
+                "regions_per_client_values": (1, 8, 64),
+                "publish_costs": (0.0, 1e-3)},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="ABL3 — metadata / publication overhead "
+                                   "of the versioning backend (8 clients)"))
+
+    # more regions per write -> more metadata nodes written
+    nodes_by_regions = {}
+    for row in rows:
+        if row["publish_cost_ms"] == 0.0:
+            nodes_by_regions[row["regions_per_client"]] = row["metadata_nodes"]
+    assert nodes_by_regions[64] > nodes_by_regions[8] > nodes_by_regions[1]
+
+    # a millisecond-scale publication cost must not collapse throughput
+    # (the publication step is tiny compared to the data path)
+    for regions in (1, 8, 64):
+        free = next(row["throughput_mib_s"] for row in rows
+                    if row["regions_per_client"] == regions
+                    and row["publish_cost_ms"] == 0.0)
+        costed = next(row["throughput_mib_s"] for row in rows
+                      if row["regions_per_client"] == regions
+                      and row["publish_cost_ms"] == 1.0)
+        assert costed > free * 0.5

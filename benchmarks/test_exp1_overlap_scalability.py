@@ -1,0 +1,36 @@
+"""EXP1 (Figure A): scalability of concurrent overlapped non-contiguous writes.
+
+Paper: "Our first experiment aims at evaluating the scalability of our
+approach when increasing the number of clients that concurrently write
+non-contiguous regions into the same file", with regions "intentionally
+selected in such way as to generate a large number of overlapping[s]".
+Expected shape: the versioning backend's aggregated throughput grows with the
+number of clients while the locking baseline stays flat/declines, giving a
+multi-x advantage under concurrency.
+"""
+
+from benchmarks.common import (
+    assert_roughly_flat_or_declining,
+    assert_scales_up,
+    assert_versioning_wins,
+    curves_by_backend,
+    quick_settings,
+)
+from repro.bench.experiments import run_exp1_overlap_scalability
+from repro.bench.reporting import format_series, format_table
+
+
+def test_exp1_overlap_scalability(benchmark):
+    settings = quick_settings()
+    rows = benchmark.pedantic(run_exp1_overlap_scalability, args=(settings,),
+                              rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="EXP1 — concurrent overlapped "
+                                   "non-contiguous writes (atomic mode)"))
+    curves = curves_by_backend(rows)
+    print(format_series(curves, title="EXP1 series (aggregated MiB/s)"))
+
+    assert_versioning_wins(curves, min_factor=2.0)
+    assert_scales_up(curves["versioning"])
+    assert_roughly_flat_or_declining(curves["posix-locking"])

@@ -1,0 +1,35 @@
+"""EXP1b (Figure A'): the non-overlapping control and conflict detection.
+
+Related work [9] (Sehrish et al.) avoids locking when a conflict-detection
+pass proves the concurrent accesses disjoint, at the cost of the detection
+itself.  With ``overlap_fraction = 0`` the stress workload becomes disjoint:
+conflict detection then beats covering-extent locking, and the versioning
+backend needs no detection pass at all.
+"""
+
+from benchmarks.common import curves_by_backend, quick_settings
+from repro.bench.experiments import run_exp1b_nonoverlapping
+from repro.bench.reporting import format_series, format_table
+
+
+def test_exp1b_nonoverlapping(benchmark):
+    settings = quick_settings(client_counts=(2, 4, 8))
+    rows = benchmark.pedantic(run_exp1b_nonoverlapping, args=(settings,),
+                              rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="EXP1b — disjoint accesses "
+                                   "(conflict-detection's use case)"))
+    curves = curves_by_backend(rows)
+    print(format_series(curves, title="EXP1b series (aggregated MiB/s)"))
+
+    # without overlaps the conflict-detection optimization avoids the
+    # covering-extent serialization, so it must beat plain locking...
+    for clients in curves["conflict-detect"]:
+        if clients >= 4:
+            assert curves["conflict-detect"][clients] > \
+                curves["posix-locking"][clients]
+    # ...and the versioning backend still needs no locks nor detection
+    for clients, value in curves["versioning"].items():
+        if clients >= 4:
+            assert value >= curves["posix-locking"][clients]

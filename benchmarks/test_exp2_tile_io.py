@@ -1,0 +1,33 @@
+"""EXP2 (Figure B): the MPI-tile-IO benchmark.
+
+Paper: "we performed an evaluation of the performance of our approach using a
+standard benchmark, MPI-tile-IO, that closely simulates the access patterns
+of real scientific applications that split the input data into overlapped
+subdomains that need to be concurrently written in the same file under MPI
+atomicity guarantees."  Expected shape: same as EXP1 — versioning scales,
+locking does not.
+"""
+
+from benchmarks.common import (
+    assert_scales_up,
+    assert_versioning_wins,
+    curves_by_backend,
+    quick_settings,
+)
+from repro.bench.experiments import run_exp2_tile_io
+from repro.bench.reporting import format_series, format_table
+
+
+def test_exp2_tile_io(benchmark):
+    settings = quick_settings(client_counts=(1, 2, 4, 8, 16))
+    rows = benchmark.pedantic(run_exp2_tile_io, args=(settings,),
+                              rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, title="EXP2 — MPI-tile-IO write phase "
+                                   "(overlapping tile borders, atomic mode)"))
+    curves = curves_by_backend(rows)
+    print(format_series(curves, title="EXP2 series (aggregated MiB/s)"))
+
+    assert_versioning_wins(curves, min_factor=1.5, min_clients=4)
+    assert_scales_up(curves["versioning"], factor=1.3)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Producer/consumer pipelines with application-level versioning (future work).
+
+The paper's conclusion proposes exposing the storage back-end's versioning
+interface directly to applications: a simulation (producer) keeps publishing
+new snapshots of its output while a visualization pipeline (consumer) reads
+*stable, named versions* of the same dataset — with no synchronization
+between the two.
+
+This example demonstrates that interface with the synchronous facade:
+
+* the producer publishes one snapshot per iteration with atomic vectored
+  writes;
+* the consumer pins a version and reads it piece by piece — even though the
+  producer has published several newer snapshots in the meantime, the pinned
+  version never changes under the consumer's feet (snapshot isolation);
+* at the end, the full version history is still available.
+
+Run it with::
+
+    python examples/producer_consumer.py
+"""
+
+import numpy as np
+
+from repro import VersioningBackend
+
+ITERATIONS = 5
+CELLS = 256            # 1-D domain of float64 cells
+ELEMENT = 8
+
+
+def produce(backend: VersioningBackend, blob: str, iteration: int) -> int:
+    """Publish one simulation snapshot; returns its version."""
+    # a simple travelling wave so every iteration's content is distinct
+    x = np.arange(CELLS, dtype=np.float64)
+    field = np.sin(2 * np.pi * (x - 8 * iteration) / CELLS) * (iteration + 1)
+    payload = field.tobytes()
+    # dump as two non-contiguous halves (header + body would be typical)
+    half = len(payload) // 2
+    receipt = backend.vwrite(blob, [(0, payload[:half]), (half, payload[half:])])
+    return receipt.version
+
+
+def consume(backend: VersioningBackend, blob: str, version: int) -> np.ndarray:
+    """Read one pinned snapshot (in several small reads) and decode it."""
+    pieces = backend.vread(blob, [(offset, 512)
+                                  for offset in range(0, CELLS * ELEMENT, 512)],
+                           version=version)
+    return np.frombuffer(b"".join(pieces), dtype=np.float64)
+
+
+def main() -> None:
+    backend = VersioningBackend(num_providers=4, chunk_size=1024)
+    blob = backend.create_blob("wavefield", size=CELLS * ELEMENT)
+
+    print("producer publishes snapshots while the consumer pins version 2\n")
+    pinned_version = None
+    pinned_copy = None
+
+    for iteration in range(ITERATIONS):
+        version = produce(backend, blob, iteration)
+        print(f"iteration {iteration}: published snapshot v{version}")
+
+        if version == 2:
+            pinned_version = version
+            pinned_copy = consume(backend, blob, pinned_version)
+            print(f"  consumer pinned v{pinned_version} "
+                  f"(peak amplitude {np.abs(pinned_copy).max():.2f})")
+
+    # after all iterations, the pinned snapshot still reads back identically
+    again = consume(backend, blob, pinned_version)
+    assert np.array_equal(again, pinned_copy), "snapshot isolation violated!"
+    print(f"\nre-reading v{pinned_version} after {ITERATIONS} iterations: "
+          "bit-identical (snapshot isolation holds)")
+
+    latest = backend.latest_version(blob)
+    amplitudes = {version: float(np.abs(consume(backend, blob, version)).max())
+                  for version in range(1, latest + 1)}
+    print("\nfull version history (peak amplitude per snapshot):")
+    for version, amplitude in amplitudes.items():
+        print(f"  v{version}: {amplitude:6.2f}")
+    print("\nNo locks, no copies at the application level: the consumer reads "
+          "named snapshots\nwhile the producer keeps writing — the future-work "
+          "scenario of the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — run the experiment harness from the shell."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

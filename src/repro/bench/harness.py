@@ -1,0 +1,168 @@
+"""Run one MPI-I/O job against one backend and measure aggregated throughput.
+
+A job follows the structure of both of the paper's experiments:
+
+1. every rank opens the shared file collectively and enables atomic mode;
+2. a barrier aligns all ranks (the measurement starts here);
+3. every rank writes its own (non-contiguous, possibly overlapping) access in
+   a single MPI-I/O call;
+4. a final barrier ends the measurement.
+
+Aggregated throughput = (application bytes written by all ranks) / (time
+between the two barriers), the metric the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.environment import ExperimentEnvironment
+from repro.bench.metrics import ThroughputSample
+from repro.core.atomicity import VectoredWrite, check_mpi_atomicity
+from repro.core.listio import IOVector
+from repro.errors import BenchmarkError
+from repro.mpi.datatypes import BYTE, Indexed
+from repro.mpi.launcher import MPIContext, run_mpi_job
+from repro.mpiio.file import AccessMode, File
+
+#: a per-rank workload: rank index -> list of (file offset, payload) pairs
+PairsForRank = Callable[[int], Sequence[Tuple[int, bytes]]]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measured MPI-I/O write job."""
+
+    backend: str
+    num_clients: int
+    atomic: bool
+    total_bytes: int
+    write_elapsed: float
+    job_elapsed: float
+    per_rank_elapsed: List[float]
+    lock_wait_time: float
+    storage_stats: Dict[str, object]
+    cluster_stats: Dict[str, object]
+    path: str
+    file_size: int
+    environment: ExperimentEnvironment = field(repr=False, default=None)
+
+    @property
+    def sample(self) -> ThroughputSample:
+        """The throughput point this run contributes to its experiment."""
+        return ThroughputSample(backend=self.backend, num_clients=self.num_clients,
+                                total_bytes=self.total_bytes,
+                                elapsed=self.write_elapsed)
+
+    @property
+    def throughput_mib(self) -> float:
+        """Aggregated throughput in MiB/s."""
+        return self.sample.throughput_mib
+
+
+def _rank_view_and_payload(pairs: Sequence[Tuple[int, bytes]]):
+    """Turn (offset, payload) pairs into an Indexed filetype + flat buffer."""
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    blocklengths = [len(data) for _, data in ordered]
+    displacements = [offset for offset, _ in ordered]
+    payload = b"".join(data for _, data in ordered)
+    return Indexed(blocklengths, displacements, base=BYTE), payload
+
+
+def run_atomic_write_job(environment: ExperimentEnvironment,
+                         num_clients: int,
+                         pairs_for_rank: PairsForRank,
+                         file_size: int,
+                         atomic: bool = True,
+                         collective: bool = True,
+                         path: str = "/shared/output",
+                         ) -> RunResult:
+    """Execute the write phase of one experiment and measure it."""
+    if num_clients <= 0:
+        raise BenchmarkError("num_clients must be positive")
+    cluster = environment.cluster
+    write_spans: Dict[int, Tuple[float, float]] = {}
+    drivers: List = [None] * num_clients
+
+    def rank_main(ctx: MPIContext):
+        driver = environment.driver_factory(ctx)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(
+            driver, path, AccessMode.default_write(), rank=ctx.rank,
+            comm=ctx.comm, size_hint=file_size)
+        handle.set_atomicity(atomic)
+
+        pairs = list(pairs_for_rank(ctx.rank))
+        filetype, payload = _rank_view_and_payload(pairs)
+        handle.set_view(displacement=0, etype=BYTE, filetype=filetype)
+
+        yield from ctx.comm.barrier(ctx.rank)
+        started = ctx.sim.now
+        if collective:
+            written = yield from handle.write_at_all(0, payload)
+        else:
+            written = yield from handle.write_at(0, payload)
+        finished = ctx.sim.now
+        write_spans[ctx.rank] = (started, finished)
+        yield from ctx.comm.barrier(ctx.rank)
+        yield from handle.close()
+        return written
+
+    # a unique prefix lets the same environment host several successive jobs
+    job = run_mpi_job(cluster, num_clients, rank_main,
+                      node_prefix=f"bench{len(cluster.nodes)}-rank")
+
+    starts = [span[0] for span in write_spans.values()]
+    ends = [span[1] for span in write_spans.values()]
+    write_elapsed = max(ends) - min(starts) if starts else 0.0
+    total_bytes = sum(job.results)
+
+    lock_wait = sum(getattr(driver, "lock_wait_time", 0.0) for driver in drivers)
+
+    return RunResult(
+        backend=environment.backend,
+        num_clients=num_clients,
+        atomic=atomic,
+        total_bytes=total_bytes,
+        write_elapsed=write_elapsed,
+        job_elapsed=job.elapsed,
+        per_rank_elapsed=[write_spans[rank][1] - write_spans[rank][0]
+                          for rank in sorted(write_spans)],
+        lock_wait_time=lock_wait,
+        storage_stats=environment.storage_stats(),
+        cluster_stats=cluster.stats(),
+        path=path,
+        file_size=file_size,
+        environment=environment,
+    )
+
+
+def read_back_file(environment: ExperimentEnvironment, path: str,
+                   file_size: int) -> bytes:
+    """Read the whole shared file with a fresh single-rank job (for checks)."""
+    content: List[bytes] = []
+
+    def rank_main(ctx: MPIContext):
+        driver = environment.driver_factory(ctx)
+        handle = yield from File.open(
+            driver, path, AccessMode.RDWR | AccessMode.CREATE, rank=ctx.rank,
+            comm=ctx.comm, size_hint=file_size)
+        data = yield from handle.read_at(0, file_size)
+        content.append(data)
+        yield from handle.close()
+
+    run_mpi_job(environment.cluster, 1, rank_main,
+                node_prefix=f"verify{len(environment.cluster.nodes)}-rank")
+    return content[0]
+
+
+def verify_job_atomicity(environment: ExperimentEnvironment,
+                         num_clients: int,
+                         pairs_for_rank: PairsForRank,
+                         result: RunResult) -> bool:
+    """Check that the file left behind by a run satisfies MPI atomicity."""
+    observed = read_back_file(environment, result.path, result.file_size)
+    writes = [VectoredWrite(rank, IOVector.for_write(list(pairs_for_rank(rank))))
+              for rank in range(num_clients)]
+    return check_mpi_atomicity(b"\x00" * result.file_size, writes, observed)

@@ -1,0 +1,52 @@
+"""Plain-text tables and series, matching what the paper reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None,
+                 floatfmt: str = "{:.2f}") -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(str(column)), *(len(line[index]) for line in rendered))
+              for index, column in enumerate(columns)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width)
+                        for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Dict[int, float]], x_label: str = "clients",
+                  y_label: str = "MiB/s", title: Optional[str] = None) -> str:
+    """Render one curve per backend: the figure-style view of an experiment."""
+    x_values = sorted({x for curve in series.values() for x in curve})
+    rows = []
+    for x in x_values:
+        row: Dict[str, object] = {x_label: x}
+        for name, curve in series.items():
+            row[f"{name} ({y_label})"] = curve.get(x, float("nan"))
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,324 @@
+"""The BlobSeer client library: write and read protocols.
+
+A client runs inside a simulated process (an MPI rank, in the paper's
+setting) on a compute node.  Its methods are *generator methods*: they yield
+simulation events while data moves over the network and through disks, and
+finally return their result.
+
+Write protocol (one vectored write = one snapshot):
+
+1. split the payload into chunk-aligned pieces;
+2. ask the provider manager where to place each piece (one small RPC);
+3. upload all pieces to their data providers **in parallel and with no
+   coordination with other writers** — this is the heavy, fully parallel part;
+4. obtain a version ticket from the version manager (small RPC);
+5. build the copy-on-write metadata nodes for the new snapshot and store them
+   on the metadata providers (batched per shard);
+6. report completion; the version manager publishes snapshots in ticket
+   order.
+
+Read protocol: resolve the requested ranges against the snapshot's segment
+tree (shadowed subtrees are followed to older versions), then fetch the
+resolved chunk extents from the data providers in parallel.
+
+The stock BlobSeer API exposes only *contiguous* :meth:`BlobClient.write` /
+:meth:`BlobClient.read`; the non-contiguous extension of the paper is the
+:class:`repro.vstore.client.VectoredClient` subclass, which reuses the
+internal vectored machinery defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.blobseer.blob import BlobDescriptor
+from repro.blobseer.chunk import ChunkKeyFactory
+from repro.blobseer.metadata.segment_tree import (
+    ReadPlan,
+    build_leaf_segments,
+    build_write_metadata,
+    plan_read,
+    split_vector_into_pieces,
+)
+from repro.blobseer.metadata.store import PartitionedMetadataStore
+from repro.core.listio import IOVector
+from repro.core.regions import Region, RegionList
+from repro.errors import StorageError, VersionNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.deployment import BlobSeerDeployment
+    from repro.cluster.node import Node
+
+
+class WriteReceipt:
+    """What a completed vectored write returns to its caller."""
+
+    __slots__ = ("blob_id", "version", "bytes_written", "chunks", "metadata_nodes",
+                 "started_at", "finished_at")
+
+    def __init__(self, blob_id: str, version: int, bytes_written: int,
+                 chunks: int, metadata_nodes: int,
+                 started_at: float, finished_at: float):
+        self.blob_id = blob_id
+        self.version = version
+        self.bytes_written = bytes_written
+        self.chunks = chunks
+        self.metadata_nodes = metadata_nodes
+        self.started_at = started_at
+        self.finished_at = finished_at
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated duration of the write."""
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WriteReceipt {self.blob_id} v{self.version} "
+                f"{self.bytes_written}B in {self.elapsed:.6f}s>")
+
+
+class BlobClient:
+    """Client-side access to a :class:`~repro.blobseer.deployment.BlobSeerDeployment`."""
+
+    def __init__(self, deployment: "BlobSeerDeployment", node: "Node",
+                 name: Optional[str] = None):
+        self.deployment = deployment
+        self.cluster = deployment.cluster
+        self.node = node
+        self.name = name or f"client:{node.name}"
+        self._chunk_keys = ChunkKeyFactory(self.name)
+        self._descriptors: Dict[str, BlobDescriptor] = {}
+        #: client-side counters (aggregated by the benchmark harness)
+        self.bytes_written: int = 0
+        self.bytes_read: int = 0
+        self.writes: int = 0
+        self.reads: int = 0
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _rpc(self, service, method, request_bytes, response_bytes, *args):
+        result = yield from self.cluster.rpc.call(
+            self.node, service, method, request_bytes, response_bytes, *args)
+        return result
+
+    def _control(self, service, method, *args):
+        size = self.cluster.config.control_message_size
+        result = yield from self._rpc(service, method, size, size, *args)
+        return result
+
+    def _descriptor(self, blob_id: str):
+        if blob_id not in self._descriptors:
+            descriptor = yield from self._control(
+                self.deployment.version_manager, "get_blob", blob_id)
+            self._descriptors[blob_id] = descriptor
+        return self._descriptors[blob_id]
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def create_blob(self, blob_id: str, size: int,
+                    chunk_size: Optional[int] = None, exist_ok: bool = False):
+        """Create a BLOB of ``size`` addressable bytes (snapshot 0 = zeros)."""
+        descriptor = BlobDescriptor.create(
+            blob_id, size, chunk_size or self.deployment.chunk_size)
+        created = yield from self._control(
+            self.deployment.version_manager, "create_blob", descriptor, exist_ok)
+        self._descriptors[blob_id] = created
+        return created
+
+    def open_blob(self, blob_id: str):
+        """Fetch (and cache) the descriptor of an existing BLOB."""
+        descriptor = yield from self._descriptor(blob_id)
+        return descriptor
+
+    def latest_version(self, blob_id: str):
+        """Newest published snapshot version."""
+        version = yield from self._control(
+            self.deployment.version_manager, "latest", blob_id)
+        return version
+
+    def wait_published(self, blob_id: str, version: int):
+        """Block until ``version`` is readable; returns the latest version."""
+        latest = yield from self._control(
+            self.deployment.version_manager, "wait_published", blob_id, version)
+        return latest
+
+    # ------------------------------------------------------------------
+    # the classic (contiguous) BlobSeer interface
+    # ------------------------------------------------------------------
+    def write(self, blob_id: str, offset: int, data: bytes):
+        """Contiguous write; returns a :class:`WriteReceipt` with the new version."""
+        receipt = yield from self._vectored_write(
+            blob_id, IOVector.contiguous_write(offset, data))
+        return receipt
+
+    def read(self, blob_id: str, offset: int, size: int,
+             version: Optional[int] = None):
+        """Contiguous read of a published snapshot (default: latest)."""
+        pieces = yield from self._vectored_read(
+            blob_id, IOVector.contiguous_read(offset, size), version)
+        return pieces[0]
+
+    # ------------------------------------------------------------------
+    # vectored machinery (exposed publicly by repro.vstore.VectoredClient)
+    # ------------------------------------------------------------------
+    def _vectored_write(self, blob_id: str, vector: IOVector):
+        """Write a whole vector as one snapshot (the paper's atomic unit)."""
+        if not vector.is_write or len(vector) == 0:
+            raise StorageError("a vectored write needs at least one payload request")
+        started_at = self.cluster.sim.now
+        blob = yield from self._descriptor(blob_id)
+
+        # 1. chunk-aligned decomposition
+        pieces = split_vector_into_pieces(blob, vector)
+
+        # 2. placement (control-plane RPC to the provider manager)
+        sizes = [piece.length for piece in pieces]
+        providers = yield from self._control(
+            self.deployment.provider_manager, "allocate", sizes)
+
+        # 3. fully parallel, uncoordinated chunk uploads — one batched RPC per
+        #    destination provider (the BlobSeer client library groups the
+        #    chunks of a write the same way)
+        per_provider: Dict[str, list] = {}
+        for piece, provider_id in zip(pieces, providers):
+            piece.chunk = self._chunk_keys.next_key()
+            piece.provider_id = provider_id
+            per_provider.setdefault(provider_id, []).append(piece)
+        upload_processes = []
+        for provider_id, provider_pieces in sorted(per_provider.items()):
+            service = self.deployment.data_provider(provider_id)
+            payload = [(piece.chunk, piece.data) for piece in provider_pieces]
+            payload_bytes = sum(piece.length for piece in provider_pieces)
+            upload_processes.append(self.cluster.sim.process(
+                self._rpc(service, "put_chunks", payload_bytes,
+                          self.cluster.config.control_message_size, payload),
+                name=f"{self.name}:put:{provider_id}"))
+        if upload_processes:
+            yield self.cluster.sim.all_of(upload_processes)
+
+        # 4. version ticket
+        version, base_version = yield from self._control(
+            self.deployment.version_manager, "assign_ticket", blob_id)
+
+        # 5. copy-on-write metadata, batched per metadata shard
+        leaf_segments = build_leaf_segments(blob, pieces)
+        nodes = build_write_metadata(blob, version, base_version, leaf_segments)
+        by_shard: Dict[int, list] = {}
+        shard_count = len(self.deployment.metadata_providers)
+        for node in nodes:
+            index = PartitionedMetadataStore.partition_index(
+                node.key.blob_id, node.key.offset, node.key.size, shard_count)
+            by_shard.setdefault(index, []).append(node)
+        node_size = self.cluster.config.metadata_node_size
+        for index, shard_nodes in sorted(by_shard.items()):
+            service = self.deployment.metadata_providers[index]
+            yield from self._rpc(service, "put_nodes",
+                                 len(shard_nodes) * node_size,
+                                 self.cluster.config.control_message_size,
+                                 shard_nodes)
+
+        # 6. completion -> in-order publication at the version manager
+        yield from self._control(
+            self.deployment.version_manager, "complete", blob_id, version)
+
+        self.bytes_written += vector.total_bytes()
+        self.writes += 1
+        return WriteReceipt(
+            blob_id=blob_id,
+            version=version,
+            bytes_written=vector.total_bytes(),
+            chunks=len(pieces),
+            metadata_nodes=len(nodes),
+            started_at=started_at,
+            finished_at=self.cluster.sim.now,
+        )
+
+    def _vectored_read(self, blob_id: str, vector: IOVector,
+                       version: Optional[int] = None):
+        """Read the vector's ranges from one published snapshot."""
+        blob = yield from self._descriptor(blob_id)
+        if version is None:
+            version = yield from self.latest_version(blob_id)
+        elif not self.deployment.version_manager.manager.is_published(blob_id, version):
+            raise VersionNotFound(
+                f"snapshot {version} of {blob_id!r} is not published")
+
+        regions = vector.region_list()
+
+        def get_node(offset, size, hint):
+            return self.deployment.metadata_store.get_at_or_before(
+                blob.blob_id, offset, size, hint)
+
+        plan = plan_read(blob, version, regions, get_node)
+        yield from self._charge_metadata_reads(plan)
+
+        # parallel chunk-range fetches — one batched RPC per data provider
+        fetched: List[Tuple[int, int, bytes]] = []
+        per_provider: Dict[str, list] = {}
+        for extent in plan.extents:
+            if extent.is_zero:
+                fetched.append((extent.offset, extent.length, b"\x00" * extent.length))
+            else:
+                per_provider.setdefault(extent.provider_id, []).append(extent)
+
+        def fetch_from(provider_id, extents):
+            service = self.deployment.data_provider(provider_id)
+            requests = [(extent.chunk, extent.chunk_offset, extent.length)
+                        for extent in extents]
+            total = sum(extent.length for extent in extents)
+            pieces = yield from self._rpc(
+                service, "get_chunk_ranges",
+                self.cluster.config.control_message_size, total, requests)
+            for extent, data in zip(extents, pieces):
+                fetched.append((extent.offset, extent.length, data))
+
+        fetch_processes = [
+            self.cluster.sim.process(fetch_from(provider_id, extents),
+                                     name=f"{self.name}:get:{provider_id}")
+            for provider_id, extents in sorted(per_provider.items())
+        ]
+        if fetch_processes:
+            yield self.cluster.sim.all_of(fetch_processes)
+
+        results = self._assemble(vector, fetched)
+        total = vector.total_bytes()
+        self.bytes_read += total
+        self.reads += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _charge_metadata_reads(self, plan: ReadPlan):
+        """Charge simulated time for the metadata traversal of a read.
+
+        The traversal itself is resolved synchronously against the metadata
+        shards (nodes are immutable, so timing cannot change the outcome);
+        the cost charged here models one batched round-trip per tree level
+        plus the transfer of every fetched node.
+        """
+        if plan.nodes_fetched == 0:
+            return
+        config = self.cluster.config
+        round_trip = 2 * config.network_latency + config.rpc_handling_overhead
+        transfer = (plan.nodes_fetched * config.metadata_node_size * 2
+                    / config.network_bandwidth)
+        yield self.cluster.sim.timeout(plan.levels * round_trip + transfer)
+
+    @staticmethod
+    def _assemble(vector: IOVector, fetched: List[Tuple[int, int, bytes]]) -> List[bytes]:
+        """Scatter fetched extents back into one buffer per vector request."""
+        results: List[bytes] = []
+        for request in vector:
+            buffer = bytearray(request.size)
+            req_region = Region(request.offset, request.size)
+            for offset, length, data in fetched:
+                overlap = req_region.intersect(Region(offset, length))
+                if overlap.empty:
+                    continue
+                src_start = overlap.offset - offset
+                dst_start = overlap.offset - request.offset
+                buffer[dst_start:dst_start + overlap.size] = \
+                    data[src_start:src_start + overlap.size]
+            results.append(bytes(buffer))
+        return results

@@ -1,0 +1,320 @@
+"""Pure algorithms of the versioned segment tree.
+
+Everything in this module is simulation-independent: given a BLOB descriptor
+and a vectored access, these functions compute
+
+* how the payload splits into chunk-aligned :class:`WritePiece`\\ s,
+* which :class:`~repro.blobseer.metadata.nodes.LeafSegment`\\ s describe each
+  touched leaf after the write (later requests of the same vector win on
+  overlaps),
+* the full set of new metadata nodes the write must publish (leaves plus the
+  copy-on-write path up to the root — the *shadowing* of Rodeh that the paper
+  cites), and
+* the read plan of a versioned snapshot: which chunks (or zero ranges) supply
+  every requested byte.
+
+The BlobSeer client and the vstore vectored client feed these functions with
+real payloads and charge simulated time around them; the unit tests exercise
+them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blobseer.blob import BlobDescriptor
+from repro.blobseer.chunk import ChunkKey
+from repro.blobseer.metadata.nodes import ChildRef, LeafSegment, MetadataNode, NodeKey
+from repro.core.listio import IOVector
+from repro.core.regions import Region, RegionList
+from repro.errors import InvalidRegion
+
+
+# ----------------------------------------------------------------------
+# write-side decomposition
+# ----------------------------------------------------------------------
+@dataclass
+class WritePiece:
+    """One chunk-aligned piece of a write request's payload.
+
+    A piece never crosses a chunk boundary, so it becomes exactly one stored
+    chunk.  ``request_index`` preserves the order of the originating
+    :class:`~repro.core.listio.IORequest`\\ s so that intra-vector overlaps are
+    resolved "last request wins".
+    """
+
+    leaf_offset: int
+    rel_offset: int
+    length: int
+    data: bytes
+    request_index: int
+    chunk: Optional[ChunkKey] = None
+    provider_id: Optional[str] = None
+
+    @property
+    def abs_offset(self) -> int:
+        """Absolute byte offset of the piece in the BLOB."""
+        return self.leaf_offset + self.rel_offset
+
+
+def split_vector_into_pieces(blob: BlobDescriptor, vector: IOVector) -> List[WritePiece]:
+    """Split a write vector into chunk-aligned pieces (one future chunk each)."""
+    pieces: List[WritePiece] = []
+    for request_index, request in enumerate(vector):
+        if not request.is_write:
+            raise InvalidRegion("split_vector_into_pieces() needs a write vector")
+        if request.size == 0:
+            continue
+        blob.validate_access(request.offset, request.size)
+        consumed = 0
+        for piece_region in request.region.chunk_aligned_pieces(blob.chunk_size):
+            payload = request.data[consumed:consumed + piece_region.size]
+            pieces.append(WritePiece(
+                leaf_offset=blob.leaf_offset(piece_region.offset),
+                rel_offset=piece_region.offset % blob.chunk_size,
+                length=piece_region.size,
+                data=payload,
+                request_index=request_index,
+            ))
+            consumed += piece_region.size
+    return pieces
+
+
+def overlay_segments(existing: Sequence[LeafSegment],
+                     new: LeafSegment) -> List[LeafSegment]:
+    """Overlay ``new`` onto ``existing`` segments of one leaf (new wins).
+
+    Existing segments that overlap the new one are clipped (possibly split in
+    two); the result stays sorted by ``rel_offset`` and non-overlapping.
+    """
+    result: List[LeafSegment] = []
+    new_start, new_end = new.rel_offset, new.rel_end
+    for segment in existing:
+        if segment.rel_end <= new_start or segment.rel_offset >= new_end:
+            result.append(segment)
+            continue
+        # left survivor
+        if segment.rel_offset < new_start:
+            result.append(LeafSegment(
+                rel_offset=segment.rel_offset,
+                length=new_start - segment.rel_offset,
+                chunk=segment.chunk,
+                chunk_offset=segment.chunk_offset,
+                provider_id=segment.provider_id,
+            ))
+        # right survivor
+        if segment.rel_end > new_end:
+            cut = new_end - segment.rel_offset
+            result.append(LeafSegment(
+                rel_offset=new_end,
+                length=segment.rel_end - new_end,
+                chunk=segment.chunk,
+                chunk_offset=segment.chunk_offset + cut,
+                provider_id=segment.provider_id,
+            ))
+    result.append(new)
+    result.sort(key=lambda segment: segment.rel_offset)
+    return result
+
+
+def build_leaf_segments(blob: BlobDescriptor,
+                        pieces: Sequence[WritePiece]) -> Dict[int, List[LeafSegment]]:
+    """Per-leaf segment lists for a set of placed (chunk/provider known) pieces."""
+    by_leaf: Dict[int, List[LeafSegment]] = {}
+    for piece in sorted(pieces, key=lambda p: p.request_index):
+        if piece.chunk is None or piece.provider_id is None:
+            raise InvalidRegion("build_leaf_segments() needs placed pieces "
+                                "(chunk and provider assigned)")
+        segment = LeafSegment(
+            rel_offset=piece.rel_offset,
+            length=piece.length,
+            chunk=piece.chunk,
+            chunk_offset=0,
+            provider_id=piece.provider_id,
+        )
+        by_leaf[piece.leaf_offset] = overlay_segments(
+            by_leaf.get(piece.leaf_offset, []), segment)
+    return by_leaf
+
+
+def leaf_pieces_for_vector(blob: BlobDescriptor, vector: IOVector) -> Dict[int, int]:
+    """Map leaf offset -> bytes written into it by ``vector`` (a sizing helper)."""
+    counts: Dict[int, int] = {}
+    for piece in split_vector_into_pieces(blob, vector):
+        counts[piece.leaf_offset] = counts.get(piece.leaf_offset, 0) + piece.length
+    return counts
+
+
+def build_write_metadata(blob: BlobDescriptor, version: int, base_version: int,
+                         leaf_segments: Dict[int, List[LeafSegment]],
+                         ) -> List[MetadataNode]:
+    """All metadata nodes a write must publish for snapshot ``version``.
+
+    The returned list contains one leaf node per touched leaf and one inner
+    node per tree level on the copy-on-write paths from those leaves up to the
+    root.  Untouched subtrees are shadowed through child references whose
+    version hint is ``base_version``.
+    """
+    if not leaf_segments:
+        raise InvalidRegion("a write must touch at least one leaf")
+    nodes: List[MetadataNode] = []
+
+    for leaf_offset, segments in sorted(leaf_segments.items()):
+        nodes.append(MetadataNode(
+            key=NodeKey(blob.blob_id, version, leaf_offset, blob.chunk_size),
+            is_leaf=True,
+            segments=tuple(sorted(segments, key=lambda s: s.rel_offset)),
+            base_version=base_version,
+        ))
+
+    touched = set(leaf_segments.keys())
+    level_size = blob.chunk_size
+    while level_size < blob.capacity:
+        parent_size = level_size * 2
+        parents = sorted({(offset // parent_size) * parent_size for offset in touched})
+        for parent_offset in parents:
+            left_offset = parent_offset
+            right_offset = parent_offset + level_size
+            left_hint = version if left_offset in touched else base_version
+            right_hint = version if right_offset in touched else base_version
+            nodes.append(MetadataNode(
+                key=NodeKey(blob.blob_id, version, parent_offset, parent_size),
+                is_leaf=False,
+                left=ChildRef(left_hint, left_offset, level_size),
+                right=ChildRef(right_hint, right_offset, level_size),
+            ))
+        touched = set(parents)
+        level_size = parent_size
+    return nodes
+
+
+# ----------------------------------------------------------------------
+# read-side planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadExtent:
+    """One resolved piece of a snapshot read.
+
+    ``chunk is None`` means the bytes were never written at this snapshot and
+    must be zero-filled.
+    """
+
+    offset: int
+    length: int
+    chunk: Optional[ChunkKey] = None
+    chunk_offset: int = 0
+    provider_id: Optional[str] = None
+
+    @property
+    def is_zero(self) -> bool:
+        """True for never-written (zero-filled) extents."""
+        return self.chunk is None
+
+
+@dataclass
+class ReadPlan:
+    """Result of :func:`plan_read`: extents plus metadata-traffic accounting."""
+
+    extents: List[ReadExtent]
+    nodes_fetched: int
+    levels: int
+
+    def chunk_bytes(self) -> int:
+        """Bytes that must be fetched from data providers."""
+        return sum(extent.length for extent in self.extents if not extent.is_zero)
+
+    def zero_bytes(self) -> int:
+        """Bytes zero-filled locally."""
+        return sum(extent.length for extent in self.extents if extent.is_zero)
+
+
+GetNode = Callable[[int, int, int], Optional[MetadataNode]]
+
+
+def plan_read(blob: BlobDescriptor, version: int, regions: RegionList,
+              get_node: GetNode) -> ReadPlan:
+    """Resolve which chunks supply every byte of ``regions`` at ``version``.
+
+    Parameters
+    ----------
+    get_node:
+        Callback ``(offset, size, version_hint) -> MetadataNode | None``
+        implementing the at-or-before lookup (``None`` = range never written
+        as of that version, i.e. zero-filled).
+
+    The traversal proceeds level by level from the root; shadowed subtrees are
+    followed through their version hints, and partially-covered leaves recurse
+    into their base version — the mechanism that makes every published
+    snapshot a complete, immutable image.
+    """
+    wanted = regions.normalized()
+    for region in wanted:
+        blob.validate_access(region.offset, region.size)
+    if len(wanted) == 0:
+        return ReadPlan(extents=[], nodes_fetched=0, levels=0)
+
+    extents: List[ReadExtent] = []
+    nodes_fetched = 0
+    levels = 0
+    # frontier entries: (offset, size, version_hint, wanted RegionList)
+    frontier: List[Tuple[int, int, int, RegionList]] = [
+        (0, blob.capacity, version, wanted)
+    ]
+
+    while frontier:
+        levels += 1
+        next_frontier: List[Tuple[int, int, int, RegionList]] = []
+        for offset, size, hint, sub_wanted in frontier:
+            node = get_node(offset, size, hint)
+            if node is not None:
+                nodes_fetched += 1
+            if node is None:
+                for region in sub_wanted:
+                    extents.append(ReadExtent(region.offset, region.size))
+                continue
+            if node.is_leaf:
+                leaf_extents, leftover = _resolve_leaf(node, offset, sub_wanted)
+                extents.extend(leaf_extents)
+                if len(leftover) > 0:
+                    if node.base_version is None:
+                        for region in leftover:
+                            extents.append(ReadExtent(region.offset, region.size))
+                    else:
+                        next_frontier.append((offset, size, node.base_version,
+                                              leftover))
+            else:
+                for child in (node.left, node.right):
+                    child_region = Region(child.offset, child.size)
+                    child_wanted = sub_wanted.clip(child_region)
+                    if len(child_wanted) > 0:
+                        next_frontier.append((child.offset, child.size,
+                                              child.version_hint, child_wanted))
+        frontier = next_frontier
+
+    extents.sort(key=lambda extent: extent.offset)
+    return ReadPlan(extents=extents, nodes_fetched=nodes_fetched, levels=levels)
+
+
+def _resolve_leaf(node: MetadataNode, leaf_offset: int, wanted: RegionList,
+                  ) -> Tuple[List[ReadExtent], RegionList]:
+    """Map wanted bytes of one leaf onto its segments; return leftovers."""
+    extents: List[ReadExtent] = []
+    covered: List[Region] = []
+    for segment in node.segments:
+        seg_region = Region(leaf_offset + segment.rel_offset, segment.length)
+        for region in wanted:
+            overlap = region.intersect(seg_region)
+            if overlap.empty:
+                continue
+            delta = overlap.offset - seg_region.offset
+            extents.append(ReadExtent(
+                offset=overlap.offset,
+                length=overlap.size,
+                chunk=segment.chunk,
+                chunk_offset=segment.chunk_offset + delta,
+                provider_id=segment.provider_id,
+            ))
+            covered.append(overlap)
+    leftover = wanted.subtract(RegionList(covered))
+    return extents, leftover

@@ -1,0 +1,116 @@
+"""Metadata node store with at-or-before version resolution.
+
+The store maps the *range key* ``(blob id, offset, size)`` to the list of
+versions that created a node for that range.  The central query —
+:meth:`MetadataStore.get_at_or_before` — returns the newest node of a range
+whose version does not exceed the requested snapshot, which is how shadowed
+(untouched) subtrees are resolved during versioned reads.
+
+:class:`PartitionedMetadataStore` spreads range keys over several shards by
+hashing, mirroring BlobSeer's DHT-organized metadata providers; the client
+uses the partition map to know which metadata provider to contact for each
+node, and the simulation charges one RPC per node accordingly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.blobseer.metadata.nodes import MetadataNode, NodeKey
+from repro.errors import VersionNotFound
+
+
+RangeKey = Tuple[str, int, int]
+
+
+class MetadataStore:
+    """One shard of versioned metadata nodes."""
+
+    def __init__(self, store_id: str = "metadata0"):
+        self.store_id = store_id
+        # range key -> parallel lists (sorted versions, nodes)
+        self._versions: Dict[RangeKey, List[int]] = {}
+        self._nodes: Dict[RangeKey, List[MetadataNode]] = {}
+        self.nodes_written: int = 0
+        self.nodes_read: int = 0
+
+    # ------------------------------------------------------------------
+    def put_node(self, node: MetadataNode) -> None:
+        """Insert an immutable node (idempotent for identical re-puts)."""
+        range_key = node.key.range_key
+        versions = self._versions.setdefault(range_key, [])
+        nodes = self._nodes.setdefault(range_key, [])
+        index = bisect.bisect_left(versions, node.key.version)
+        if index < len(versions) and versions[index] == node.key.version:
+            # Same node written twice (e.g. a retried RPC): keep the first.
+            return
+        versions.insert(index, node.key.version)
+        nodes.insert(index, node)
+        self.nodes_written += 1
+
+    def get_at_or_before(self, blob_id: str, offset: int, size: int,
+                         version: int) -> Optional[MetadataNode]:
+        """Newest node for ``(offset, size)`` with version <= ``version``."""
+        range_key = (blob_id, offset, size)
+        versions = self._versions.get(range_key)
+        if not versions:
+            return None
+        index = bisect.bisect_right(versions, version)
+        if index == 0:
+            return None
+        self.nodes_read += 1
+        return self._nodes[range_key][index - 1]
+
+    def get_exact(self, key: NodeKey) -> MetadataNode:
+        """Node with exactly this key (raises if absent)."""
+        node = self.get_at_or_before(key.blob_id, key.offset, key.size, key.version)
+        if node is None or node.key.version != key.version:
+            raise VersionNotFound(f"no metadata node {key}")
+        return node
+
+    def node_count(self) -> int:
+        """Total nodes held by this shard."""
+        return sum(len(nodes) for nodes in self._nodes.values())
+
+
+class PartitionedMetadataStore:
+    """Hash-partitioned view over several metadata shards.
+
+    The same class serves two purposes: in *direct* use it is simply a store
+    spread over ``shards``; in the simulated deployment each shard lives
+    inside one metadata provider service, and the partitioning function below
+    is shared by the client to route node reads/writes to the right provider.
+    """
+
+    def __init__(self, shards: List[MetadataStore]):
+        if not shards:
+            raise ValueError("at least one metadata shard is required")
+        self.shards = list(shards)
+
+    @staticmethod
+    def partition_index(blob_id: str, offset: int, size: int, shard_count: int) -> int:
+        """Stable shard index for a range key."""
+        digest = hashlib.sha256(f"{blob_id}:{offset}:{size}".encode()).digest()
+        return int.from_bytes(digest[:4], "little") % shard_count
+
+    def shard_for(self, blob_id: str, offset: int, size: int) -> MetadataStore:
+        """The shard responsible for a range key."""
+        index = self.partition_index(blob_id, offset, size, len(self.shards))
+        return self.shards[index]
+
+    # ------------------------------------------------------------------
+    def put_node(self, node: MetadataNode) -> None:
+        """Route the node to its shard."""
+        self.shard_for(*node.key.range_key).put_node(node)
+
+    def get_at_or_before(self, blob_id: str, offset: int, size: int,
+                         version: int) -> Optional[MetadataNode]:
+        """At-or-before lookup routed to the responsible shard."""
+        return self.shard_for(blob_id, offset, size).get_at_or_before(
+            blob_id, offset, size, version)
+
+    def node_count(self) -> int:
+        """Total nodes across all shards."""
+        return sum(shard.node_count() for shard in self.shards)

@@ -1,0 +1,164 @@
+"""Data providers: the chunk stores of BlobSeer.
+
+:class:`DataProviderStore` is the pure (simulation-independent) chunk store;
+:class:`SimDataProvider` wraps one store as a cluster service, charging disk
+and network time for every chunk transferred.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.blobseer.chunk import ChunkKey
+from repro.cluster.rpc import Service
+from repro.errors import ChunkNotFound, ProviderUnavailable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+
+
+class DataProviderStore:
+    """In-memory map of chunk key -> immutable payload, with usage counters."""
+
+    def __init__(self, provider_id: str):
+        self.provider_id = provider_id
+        self._chunks: Dict[ChunkKey, bytes] = {}
+        #: cumulative number of bytes ever stored (for load-balancing stats)
+        self.bytes_written: int = 0
+        self.bytes_read: int = 0
+        #: set True by failure-injection tests to simulate a crashed provider
+        self.failed: bool = False
+
+    # ------------------------------------------------------------------
+    def put_chunk(self, key: ChunkKey, data: bytes) -> None:
+        """Store an immutable chunk.  Re-putting the same key is idempotent."""
+        self._ensure_alive()
+        existing = self._chunks.get(key)
+        if existing is not None and existing != data:
+            raise ProviderUnavailable(
+                f"chunk {key} re-uploaded with different content on "
+                f"{self.provider_id}; chunks are immutable")
+        self._chunks[key] = bytes(data)
+        self.bytes_written += len(data)
+
+    def get_chunk(self, key: ChunkKey) -> bytes:
+        """Fetch a chunk payload."""
+        self._ensure_alive()
+        try:
+            data = self._chunks[key]
+        except KeyError:
+            raise ChunkNotFound(f"{key} not stored on {self.provider_id}") from None
+        self.bytes_read += len(data)
+        return data
+
+    def has_chunk(self, key: ChunkKey) -> bool:
+        """True if the chunk is stored here."""
+        return key in self._chunks
+
+    def chunk_count(self) -> int:
+        """Number of chunks held."""
+        return len(self._chunks)
+
+    def stored_bytes(self) -> int:
+        """Total payload bytes currently held."""
+        return sum(len(data) for data in self._chunks.values())
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the provider as crashed (every further access raises)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Clear the crashed flag (chunks survive, as on a restarted node)."""
+        self.failed = False
+
+    def _ensure_alive(self) -> None:
+        if self.failed:
+            raise ProviderUnavailable(f"provider {self.provider_id} is down")
+
+
+class SimDataProvider(Service):
+    """A data provider deployed on a cluster node.
+
+    The handlers charge disk time when the cluster is configured with
+    ``persist_to_disk=True`` (the default); the RPC transport separately
+    charges network time proportional to the chunk size.
+    """
+
+    def __init__(self, node: "Node", store: Optional[DataProviderStore] = None,
+                 persist_to_disk: bool = True):
+        super().__init__(node, name=f"provider:{node.name}")
+        self.store = store or DataProviderStore(provider_id=node.name)
+        self.persist_to_disk = persist_to_disk
+
+    @property
+    def provider_id(self) -> str:
+        """Identifier used by the provider manager's allocation tables."""
+        return self.store.provider_id
+
+    # ------------------------------------------------------------------
+    # RPC handlers (generator methods)
+    # ------------------------------------------------------------------
+    def put_chunk(self, key: ChunkKey, data: bytes):
+        """Store ``data`` under ``key``, charging local disk time."""
+        if self.persist_to_disk:
+            yield from self.node.disk_io(len(data))
+        self.store.put_chunk(key, data)
+        return len(data)
+
+    def put_chunks(self, items):
+        """Store a batch of ``(key, data)`` pairs in one request.
+
+        Clients group the chunks of one write by destination provider and
+        ship each group as a single RPC (as the BlobSeer client library
+        does), so many small pieces do not pay one disk/network round trip
+        each.  The provider appends the batch with a single disk operation.
+        """
+        items = list(items)
+        total = sum(len(data) for _key, data in items)
+        if self.persist_to_disk and total:
+            yield from self.node.disk_io(total)
+        for key, data in items:
+            self.store.put_chunk(key, data)
+        return total
+
+    def get_chunk(self, key: ChunkKey):
+        """Return the payload of ``key``, charging local disk time."""
+        data = self.store.get_chunk(key)
+        if self.persist_to_disk:
+            yield from self.node.disk_io(len(data))
+        return data
+
+    def get_chunk_range(self, key: ChunkKey, offset: int, length: int):
+        """Return ``length`` bytes of ``key`` starting at ``offset``.
+
+        Fine-grain sub-chunk reads are part of BlobSeer's interface; only the
+        requested bytes are charged to the disk and shipped back.
+        """
+        data = self.store.get_chunk(key)
+        piece = data[offset:offset + length]
+        if len(piece) != length:
+            raise ChunkNotFound(
+                f"range [{offset}, {offset + length}) outside chunk {key} "
+                f"of size {len(data)}")
+        if self.persist_to_disk:
+            yield from self.node.disk_io(length)
+        return piece
+
+    def get_chunk_ranges(self, requests):
+        """Serve a batch of ``(key, offset, length)`` range reads in one request."""
+        requests = list(requests)
+        pieces = []
+        total = 0
+        for key, offset, length in requests:
+            data = self.store.get_chunk(key)
+            piece = data[offset:offset + length]
+            if len(piece) != length:
+                raise ChunkNotFound(
+                    f"range [{offset}, {offset + length}) outside chunk {key} "
+                    f"of size {len(data)}")
+            pieces.append(piece)
+            total += length
+        if self.persist_to_disk and total:
+            yield from self.node.disk_io(total)
+        return pieces

@@ -1,0 +1,182 @@
+"""The provider manager: chunk placement / load balancing.
+
+The provider manager is the control-plane service that writers contact to
+learn *where* to put each new chunk.  The paper's second design principle —
+data striping with a load-balancing allocation strategy that spreads writes
+over the storage elements in a round-robin fashion — is implemented by the
+pluggable :class:`AllocationStrategy` classes below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.cluster.rpc import Service
+from repro.errors import ProviderUnavailable
+from repro.simengine.rand import DeterministicRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+
+
+class AllocationStrategy:
+    """Strategy interface: choose a provider for each chunk of a write."""
+
+    name = "abstract"
+
+    def select(self, providers: Sequence[str], sizes: Sequence[int],
+               load: Dict[str, int]) -> List[str]:
+        """Return one provider id per entry of ``sizes``.
+
+        Parameters
+        ----------
+        providers:
+            Identifiers of the currently alive providers.
+        sizes:
+            Sizes (bytes) of the chunks about to be written.
+        load:
+            Cumulative bytes already allocated to each provider.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinAllocation(AllocationStrategy):
+    """Cycle through providers in a fixed order (the paper's default)."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, providers: Sequence[str], sizes: Sequence[int],
+               load: Dict[str, int]) -> List[str]:
+        chosen: List[str] = []
+        for _ in sizes:
+            chosen.append(providers[self._cursor % len(providers)])
+            self._cursor += 1
+        return chosen
+
+
+class LoadBalancedAllocation(AllocationStrategy):
+    """Greedily place each chunk on the provider with the fewest bytes so far."""
+
+    name = "load_balanced"
+
+    def select(self, providers: Sequence[str], sizes: Sequence[int],
+               load: Dict[str, int]) -> List[str]:
+        running = {provider: load.get(provider, 0) for provider in providers}
+        chosen: List[str] = []
+        for size in sizes:
+            target = min(providers, key=lambda provider: (running[provider], provider))
+            chosen.append(target)
+            running[target] += size
+        return chosen
+
+
+class RandomAllocation(AllocationStrategy):
+    """Uniform random placement (a baseline for the striping ablation)."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[DeterministicRNG] = None, seed: int = 0):
+        self._rng = rng or DeterministicRNG(seed)
+
+    def select(self, providers: Sequence[str], sizes: Sequence[int],
+               load: Dict[str, int]) -> List[str]:
+        stream = self._rng.stream("allocation")
+        return [providers[int(stream.integers(0, len(providers)))] for _ in sizes]
+
+
+STRATEGIES = {
+    RoundRobinAllocation.name: RoundRobinAllocation,
+    LoadBalancedAllocation.name: LoadBalancedAllocation,
+    RandomAllocation.name: RandomAllocation,
+}
+
+
+def make_strategy(name: str, **kwargs) -> AllocationStrategy:
+    """Instantiate a strategy by name (``round_robin``, ``load_balanced``, ``random``)."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation strategy {name!r}; "
+            f"choose from {sorted(STRATEGIES)}") from None
+    return factory(**kwargs)
+
+
+class ProviderManager:
+    """Pure allocation bookkeeping shared by the simulated service."""
+
+    def __init__(self, strategy: Optional[AllocationStrategy] = None):
+        self.strategy = strategy or RoundRobinAllocation()
+        self._providers: List[str] = []
+        self._alive: Dict[str, bool] = {}
+        #: cumulative bytes allocated per provider (allocation-time estimate)
+        self.allocated_bytes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, provider_id: str) -> None:
+        """Add a provider to the allocation pool."""
+        if provider_id not in self._providers:
+            self._providers.append(provider_id)
+        self._alive[provider_id] = True
+        self.allocated_bytes.setdefault(provider_id, 0)
+
+    def mark_failed(self, provider_id: str) -> None:
+        """Exclude a provider from future allocations."""
+        self._alive[provider_id] = False
+
+    def mark_recovered(self, provider_id: str) -> None:
+        """Re-admit a previously failed provider."""
+        if provider_id not in self._alive:
+            raise ProviderUnavailable(f"unknown provider {provider_id!r}")
+        self._alive[provider_id] = True
+
+    @property
+    def alive_providers(self) -> List[str]:
+        """Providers currently eligible for allocation (registration order)."""
+        return [provider for provider in self._providers if self._alive[provider]]
+
+    # ------------------------------------------------------------------
+    def allocate(self, sizes: Sequence[int]) -> List[str]:
+        """Pick a provider for each chunk size, updating the load table."""
+        alive = self.alive_providers
+        if not alive:
+            raise ProviderUnavailable("no alive data providers to allocate on")
+        chosen = self.strategy.select(alive, sizes, dict(self.allocated_bytes))
+        if len(chosen) != len(sizes):
+            raise ProviderUnavailable(
+                f"strategy {self.strategy.name} returned {len(chosen)} targets "
+                f"for {len(sizes)} chunks")
+        for provider, size in zip(chosen, sizes):
+            self.allocated_bytes[provider] = self.allocated_bytes.get(provider, 0) + size
+        return chosen
+
+    def load_imbalance(self) -> float:
+        """max/mean ratio of allocated bytes (1.0 = perfectly balanced)."""
+        loads = [self.allocated_bytes.get(p, 0) for p in self._providers]
+        if not loads or sum(loads) == 0:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+
+class SimProviderManager(Service):
+    """The provider manager deployed as a cluster service."""
+
+    def __init__(self, node: "Node", manager: Optional[ProviderManager] = None):
+        super().__init__(node, name="provider-manager")
+        self.manager = manager or ProviderManager()
+
+    def allocate(self, sizes: Sequence[int]):
+        """RPC handler: allocate providers for ``sizes`` (control-plane only)."""
+        chosen = self.manager.allocate(sizes)
+        return chosen
+        yield  # pragma: no cover - makes this a generator function
+
+    def mark_failed(self, provider_id: str):
+        """RPC handler: exclude a crashed provider."""
+        self.manager.mark_failed(provider_id)
+        return None
+        yield  # pragma: no cover - makes this a generator function

@@ -1,0 +1,80 @@
+"""Cluster builder: nodes + network + RPC under one simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.disk import Disk
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.rpc import RpcTransport
+from repro.errors import SimulationError
+from repro.simengine import Simulator
+
+
+class Cluster:
+    """A simulated cluster owning the simulator, the network and the nodes.
+
+    Nodes are created on demand with :meth:`add_node` / :meth:`add_nodes`.
+    Storage deployments (BlobSeer services, Lustre-like OSTs) and MPI jobs
+    place themselves on these nodes.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 sim: Optional[Simulator] = None, seed: int = 0):
+        self.config = config or ClusterConfig()
+        self.sim = sim or Simulator(seed=seed)
+        self.network = Network(self.sim, self.config.network_latency,
+                               self.config.network_bandwidth)
+        self.rpc = RpcTransport(self)
+        self.nodes: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, role: str = "compute",
+                 with_disk: bool = False) -> Node:
+        """Create one node; storage roles usually request ``with_disk=True``."""
+        if name in self.nodes:
+            raise SimulationError(f"duplicate node name {name!r}")
+        disk = None
+        if with_disk:
+            disk = Disk(self.sim, self.config.disk_bandwidth,
+                        self.config.disk_overhead, name=f"disk:{name}")
+        node = Node(self.sim, name, self.network, disk=disk, role=role)
+        self.nodes[name] = node
+        return node
+
+    def add_nodes(self, prefix: str, count: int, role: str = "compute",
+                  with_disk: bool = False) -> List[Node]:
+        """Create ``count`` nodes named ``{prefix}{index}``."""
+        return [self.add_node(f"{prefix}{index}", role=role, with_disk=with_disk)
+                for index in range(count)]
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def run(self, **kwargs):
+        """Forward to :meth:`repro.simengine.Simulator.run`."""
+        return self.sim.run(**kwargs)
+
+    def stats(self) -> dict:
+        """Aggregate transport statistics (for benchmark reports)."""
+        disks = [node.disk for node in self.nodes.values() if node.disk]
+        return {
+            "nodes": len(self.nodes),
+            "network_bytes": self.network.bytes_transferred,
+            "network_messages": self.network.messages,
+            "rpc_calls": self.rpc.total_calls,
+            "disk_bytes": sum(disk.bytes_transferred for disk in disks),
+            "disk_operations": sum(disk.operations for disk in disks),
+        }

@@ -1,0 +1,46 @@
+"""Cluster-wide configuration knobs.
+
+All values use SI units: bytes, bytes per second, seconds.  The defaults are
+loosely calibrated on the Grid'5000 clusters used by the paper (Gigabit
+Ethernet, commodity SATA disks); they define the absolute scale of the
+simulated throughput axis but not the relative behaviour of the compared
+approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+MiB = 1024 * 1024
+GiB = 1024 * MiB
+
+
+@dataclass
+class ClusterConfig:
+    """Hardware parameters of the simulated cluster."""
+
+    #: one-way network latency per message (seconds)
+    network_latency: float = 100e-6
+    #: NIC bandwidth per node (bytes/second); GbE ~ 117 MiB/s
+    network_bandwidth: float = 117 * MiB
+    #: disk sequential bandwidth (bytes/second)
+    disk_bandwidth: float = 70 * MiB
+    #: fixed per-I/O disk overhead (seconds) — seek + controller
+    disk_overhead: float = 1e-3
+    #: CPU cost charged per RPC handled by a service (seconds)
+    rpc_handling_overhead: float = 20e-6
+    #: size in bytes assumed for small control messages (tickets, acks, ...)
+    control_message_size: int = 256
+    #: size in bytes of one serialized metadata tree node
+    metadata_node_size: int = 512
+    #: whether storage services persist chunk/object payloads to their disk
+    #: (True charges disk time on the data path; False models memory-backed
+    #: providers, as BlobSeer deployments on Grid'5000 often used)
+    persist_to_disk: bool = True
+
+    def copy(self, **overrides) -> "ClusterConfig":
+        """A copy of the config with selected fields replaced."""
+        data = self.__dict__.copy()
+        data.update(overrides)
+        return ClusterConfig(**data)

@@ -1,0 +1,88 @@
+"""Network model: per-node NICs with latency + bandwidth costs.
+
+The model is a full-bisection switch (as in a Grid'5000 cluster): a transfer
+from ``src`` to ``dst`` occupies the sender NIC and then the receiver NIC for
+``nbytes / bandwidth`` each, plus a one-way propagation latency.  Serializing
+transfers on each NIC is what produces incast congestion at heavily used
+servers — the phenomenon that makes a single storage target a bottleneck and
+data striping worthwhile (design principle 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.simengine import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.simengine import Simulator
+
+
+class NIC:
+    """A node's network interface: a FIFO resource with fixed bandwidth."""
+
+    def __init__(self, sim: "Simulator", bandwidth: float, name: str):
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self._port = Resource(sim, capacity=1)
+        self.bytes_transferred: int = 0
+        self.busy_time: float = 0.0
+
+    def occupy(self, nbytes: int):
+        """Generator occupying the NIC for the serialization time of ``nbytes``."""
+        request = self._port.request()
+        yield request
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(nbytes / self.bandwidth)
+        finally:
+            self.busy_time += self.sim.now - start
+            self._port.release(request)
+        self.bytes_transferred += nbytes
+
+
+class Network:
+    """Switch-based cluster network connecting every node to every other."""
+
+    def __init__(self, sim: "Simulator", latency: float, bandwidth: float):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self._nics: Dict[str, NIC] = {}
+        #: total bytes moved across the network
+        self.bytes_transferred: int = 0
+        #: total messages moved across the network
+        self.messages: int = 0
+
+    def nic(self, node_name: str) -> NIC:
+        """The (lazily created) NIC of ``node_name``."""
+        if node_name not in self._nics:
+            self._nics[node_name] = NIC(self.sim, self.bandwidth,
+                                        name=f"nic:{node_name}")
+        return self._nics[node_name]
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded end-to-end time for a message of ``nbytes``."""
+        return self.latency + 2 * (nbytes / self.bandwidth)
+
+    def transfer(self, src: "Node", dst: "Node", nbytes: int):
+        """Generator moving ``nbytes`` from ``src`` to ``dst``.
+
+        Local (same-node) transfers cost nothing: services co-located with
+        their client short-circuit the network, as a real loopback would.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if src.name == dst.name:
+            return
+        yield from self.nic(src.name).occupy(nbytes)
+        yield self.sim.timeout(self.latency)
+        yield from self.nic(dst.name).occupy(nbytes)
+        self.bytes_transferred += nbytes
+        self.messages += 1

@@ -1,0 +1,88 @@
+"""Simulated RPC transport between cluster services.
+
+A :class:`Service` is an object bound to a :class:`~repro.cluster.node.Node`
+whose public methods are *generator methods*: they may yield simulation
+events (disk I/O, lock waits) and finally ``return`` their result.
+:func:`remote_call` wraps an invocation with the network cost of shipping the
+request and the response and a small per-RPC handling overhead.
+
+The payload sizes are explicit arguments rather than being derived from
+serializing real Python objects — the simulation transfers *sizes*, the
+functional layer transfers *values*; both travel together through the same
+call so behaviour and cost cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+
+
+class Service:
+    """Base class of every simulated service (provider, lock manager, ...)."""
+
+    def __init__(self, node: "Node", name: str):
+        self.node = node
+        self.name = name
+        #: number of RPCs handled, per method name
+        self.calls: dict = {}
+
+    def _account(self, method: str) -> None:
+        self.calls[method] = self.calls.get(method, 0) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Service {self.name} on {self.node.name}>"
+
+
+class RpcTransport:
+    """Cost model shared by every remote call on a cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.total_calls: int = 0
+        self.total_request_bytes: int = 0
+        self.total_response_bytes: int = 0
+
+    def call(self, caller: "Node", service: Service, method: str,
+             request_bytes: int, response_bytes: int, *args: Any, **kwargs: Any):
+        """Invoke ``service.method(*args, **kwargs)`` with transport costs.
+
+        The method must be a generator function; its return value is returned
+        to the caller after the response transfer completes.
+        """
+        sim = self.cluster.sim
+        config = self.cluster.config
+        handler = getattr(service, method, None)
+        if handler is None:
+            raise SimulationError(f"service {service.name} has no method {method!r}")
+
+        self.total_calls += 1
+        self.total_request_bytes += request_bytes
+        self.total_response_bytes += response_bytes
+        service._account(method)
+
+        # request
+        yield from self.cluster.network.transfer(
+            caller, service.node, max(request_bytes, config.control_message_size))
+        # handling overhead on the server
+        if config.rpc_handling_overhead:
+            yield sim.timeout(config.rpc_handling_overhead)
+        # server-side work
+        result = yield from handler(*args, **kwargs)
+        # response
+        yield from self.cluster.network.transfer(
+            service.node, caller, max(response_bytes, config.control_message_size))
+        return result
+
+
+def remote_call(cluster: "Cluster", caller: "Node", service: Service, method: str,
+                request_bytes: int, response_bytes: int, *args: Any, **kwargs: Any):
+    """Convenience wrapper around :meth:`RpcTransport.call`."""
+    result = yield from cluster.rpc.call(caller, service, method, request_bytes,
+                                         response_bytes, *args, **kwargs)
+    return result

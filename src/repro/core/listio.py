@@ -1,0 +1,221 @@
+"""List-I/O style vectored access descriptors.
+
+The paper extends the storage back-end's access interface so that a *single
+call* can describe a complex non-contiguous access, "closely matched [to] the
+List I/O interface proposal" of Ching et al. (CLUSTER'02).  These descriptor
+types are that interface: an :class:`IOVector` carries an ordered list of
+``(file offset, length)`` pairs plus, for writes, the corresponding payload
+buffers.  Both storage backends and every ADIO driver consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.regions import Region, RegionList
+from repro.errors import InvalidRegion
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A single element of a vectored access: one byte range, one buffer.
+
+    ``data`` is ``None`` for read requests (the buffer is produced by the
+    backend) and a ``bytes`` payload of exactly ``size`` bytes for writes.
+    """
+
+    offset: int
+    size: int
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise InvalidRegion(f"negative offset: {self.offset}")
+        if self.size < 0:
+            raise InvalidRegion(f"negative size: {self.size}")
+        if self.data is not None and len(self.data) != self.size:
+            raise InvalidRegion(
+                f"payload length {len(self.data)} does not match size {self.size}")
+
+    @property
+    def region(self) -> Region:
+        """The byte range touched by this request."""
+        return Region(self.offset, self.size)
+
+    @property
+    def is_write(self) -> bool:
+        """True when a payload is attached."""
+        return self.data is not None
+
+
+class IOVector:
+    """An ordered vectored access: the unit of MPI atomicity.
+
+    One :class:`IOVector` corresponds to one MPI-I/O call made by one rank.
+    Its requests may be non-contiguous and may (between *different* vectors)
+    overlap; MPI atomic mode requires that the whole vector is applied
+    indivisibly with respect to other vectors.
+
+    Within a single vector, later requests overwrite earlier ones on any
+    overlapping bytes (matching the "monotonically nondecreasing file offset"
+    convention of MPI datatypes is *not* required).
+    """
+
+    __slots__ = ("_requests",)
+
+    def __init__(self, requests: Iterable[IORequest] = ()):
+        self._requests: Tuple[IORequest, ...] = tuple(requests)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_write(cls, pairs: Sequence[Tuple[int, bytes]]) -> "IOVector":
+        """Build a write vector from ``[(offset, payload), ...]``."""
+        return cls(IORequest(offset, len(data), bytes(data)) for offset, data in pairs)
+
+    @classmethod
+    def for_read(cls, pairs: Sequence[Tuple[int, int]]) -> "IOVector":
+        """Build a read vector from ``[(offset, size), ...]``."""
+        return cls(IORequest(offset, size) for offset, size in pairs)
+
+    @classmethod
+    def contiguous_write(cls, offset: int, data: bytes) -> "IOVector":
+        """A single-range write vector."""
+        return cls([IORequest(offset, len(data), bytes(data))])
+
+    @classmethod
+    def contiguous_read(cls, offset: int, size: int) -> "IOVector":
+        """A single-range read vector."""
+        return cls([IORequest(offset, size)])
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self._requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __getitem__(self, index: int) -> IORequest:
+        return self._requests[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOVector):
+            return NotImplemented
+        return self._requests == other._requests
+
+    def __hash__(self) -> int:
+        return hash(self._requests)
+
+    def __repr__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"<IOVector {kind} n={len(self)} bytes={self.total_bytes()}>"
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> Tuple[IORequest, ...]:
+        """The underlying requests, in call order."""
+        return self._requests
+
+    @property
+    def is_write(self) -> bool:
+        """True if every request carries a payload (a pure write vector)."""
+        return bool(self._requests) and all(req.is_write for req in self._requests)
+
+    @property
+    def is_read(self) -> bool:
+        """True if no request carries a payload (a pure read vector)."""
+        return all(not req.is_write for req in self._requests)
+
+    def total_bytes(self) -> int:
+        """Sum of request sizes."""
+        return sum(req.size for req in self._requests)
+
+    def region_list(self) -> RegionList:
+        """The touched byte ranges (construction order, not normalized)."""
+        return RegionList(req.region for req in self._requests)
+
+    def covering_extent(self) -> Region:
+        """Smallest contiguous range covering the whole vector."""
+        return self.region_list().covering_extent()
+
+    def is_contiguous(self) -> bool:
+        """True when the access touches one contiguous range."""
+        return self.region_list().is_contiguous()
+
+    def overlaps(self, other: "IOVector") -> bool:
+        """True if the two vectors touch at least one common byte."""
+        return self.region_list().overlaps(other.region_list())
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def sorted_by_offset(self) -> "IOVector":
+        """Requests re-ordered by offset (stable)."""
+        return IOVector(sorted(self._requests, key=lambda req: (req.offset, req.size)))
+
+    def coalesced(self) -> "IOVector":
+        """Merge adjacent/overlapping *write* requests into larger ones.
+
+        Later requests win on overlapping bytes, matching :meth:`apply_to`.
+        Read vectors are returned with ranges normalized.
+        """
+        if not self._requests:
+            return IOVector()
+        if self.is_read:
+            ranges = self.region_list().normalized()
+            return IOVector.for_read([(r.offset, r.size) for r in ranges])
+
+        extent = self.covering_extent()
+        if extent.empty:
+            return IOVector()
+        buffer = bytearray(extent.size)
+        mask = bytearray(extent.size)
+        for req in self._requests:
+            if req.size == 0:
+                continue
+            start = req.offset - extent.offset
+            buffer[start:start + req.size] = req.data  # type: ignore[arg-type]
+            mask[start:start + req.size] = b"\x01" * req.size
+
+        pieces: List[Tuple[int, bytes]] = []
+        run_start: Optional[int] = None
+        for index in range(extent.size + 1):
+            covered = index < extent.size and mask[index]
+            if covered and run_start is None:
+                run_start = index
+            elif not covered and run_start is not None:
+                pieces.append((extent.offset + run_start,
+                               bytes(buffer[run_start:index])))
+                run_start = None
+        return IOVector.for_write(pieces)
+
+    def apply_to(self, content: bytearray) -> None:
+        """Apply the write vector in request order onto ``content`` in place.
+
+        The target is grown with zero bytes if a request extends past its end,
+        mirroring how a file grows on writes past EOF.
+        """
+        for req in self._requests:
+            if not req.is_write:
+                raise InvalidRegion("apply_to() called on a read vector")
+            end = req.offset + req.size
+            if end > len(content):
+                content.extend(b"\x00" * (end - len(content)))
+            content[req.offset:end] = req.data  # type: ignore[arg-type]
+
+    def extract_from(self, content: bytes) -> List[bytes]:
+        """Read the vector's ranges out of ``content`` (zero-filled past EOF)."""
+        results: List[bytes] = []
+        for req in self._requests:
+            end = req.offset + req.size
+            piece = content[req.offset:min(end, len(content))]
+            if len(piece) < req.size:
+                piece = piece + b"\x00" * (req.size - len(piece))
+            results.append(bytes(piece))
+        return results

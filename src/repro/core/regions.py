@@ -1,0 +1,347 @@
+"""Byte-region algebra.
+
+Every layer of the stack talks about *non-contiguous sets of byte ranges in a
+flat file*: the MPI-I/O layer produces them by flattening derived datatypes,
+the versioning backend stores them as chunk descriptors, the lock manager
+locks them, and the atomicity checker reasons about their overlaps.  This
+module provides the two value types used everywhere:
+
+* :class:`Region` — a half-open byte interval ``[offset, offset + size)``;
+* :class:`RegionList` — an ordered collection of regions with the usual set
+  operations (normalization, union, intersection, subtraction, covering
+  extent).
+
+Both types are immutable so they can be hashed, shared between simulated
+processes, and used as dictionary keys without defensive copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidRegion
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """A half-open byte interval ``[offset, offset + size)`` in a flat file."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise InvalidRegion(f"negative offset: {self.offset}")
+        if self.size < 0:
+            raise InvalidRegion(f"negative size: {self.size}")
+
+    # ------------------------------------------------------------------
+    @property
+    def end(self) -> int:
+        """First byte *after* the region."""
+        return self.offset + self.size
+
+    @property
+    def empty(self) -> bool:
+        """True for zero-length regions."""
+        return self.size == 0
+
+    def contains(self, offset: int) -> bool:
+        """True if byte ``offset`` lies inside the region."""
+        return self.offset <= offset < self.end
+
+    def contains_region(self, other: "Region") -> bool:
+        """True if ``other`` is entirely inside this region."""
+        if other.empty:
+            return self.offset <= other.offset <= self.end
+        return self.offset <= other.offset and other.end <= self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """True if the two regions share at least one byte."""
+        if self.empty or other.empty:
+            return False
+        return self.offset < other.end and other.offset < self.end
+
+    def adjacent(self, other: "Region") -> bool:
+        """True if the regions touch end-to-start (no gap, no overlap)."""
+        return self.end == other.offset or other.end == self.offset
+
+    def intersect(self, other: "Region") -> "Region":
+        """The overlapping part (possibly empty, anchored at the overlap start)."""
+        start = max(self.offset, other.offset)
+        end = min(self.end, other.end)
+        if end <= start:
+            return Region(start if start >= 0 else 0, 0)
+        return Region(start, end - start)
+
+    def union_extent(self, other: "Region") -> "Region":
+        """Smallest contiguous region covering both (may include gap bytes)."""
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        start = min(self.offset, other.offset)
+        end = max(self.end, other.end)
+        return Region(start, end - start)
+
+    def subtract(self, other: "Region") -> Tuple["Region", ...]:
+        """The parts of this region not covered by ``other`` (0, 1 or 2 pieces)."""
+        if not self.overlaps(other):
+            return (self,) if not self.empty else ()
+        pieces: List[Region] = []
+        if self.offset < other.offset:
+            pieces.append(Region(self.offset, other.offset - self.offset))
+        if other.end < self.end:
+            pieces.append(Region(other.end, self.end - other.end))
+        return tuple(pieces)
+
+    def shift(self, delta: int) -> "Region":
+        """A copy of the region moved by ``delta`` bytes."""
+        return Region(self.offset + delta, self.size)
+
+    def split_at(self, offset: int) -> Tuple["Region", "Region"]:
+        """Split at absolute byte ``offset`` (must lie inside the region)."""
+        if not (self.offset < offset < self.end):
+            raise InvalidRegion(
+                f"split point {offset} outside the interior of {self}")
+        return (Region(self.offset, offset - self.offset),
+                Region(offset, self.end - offset))
+
+    def chunk_aligned_pieces(self, chunk_size: int) -> Tuple["Region", ...]:
+        """Split the region at every multiple of ``chunk_size``.
+
+        This is the decomposition used when striping a write across fixed-size
+        chunks: each returned piece lies entirely within one chunk.
+        """
+        if chunk_size <= 0:
+            raise InvalidRegion(f"chunk_size must be positive, got {chunk_size}")
+        if self.empty:
+            return ()
+        pieces: List[Region] = []
+        cursor = self.offset
+        while cursor < self.end:
+            boundary = ((cursor // chunk_size) + 1) * chunk_size
+            piece_end = min(boundary, self.end)
+            pieces.append(Region(cursor, piece_end - cursor))
+            cursor = piece_end
+        return tuple(pieces)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """``(offset, size)`` tuple form."""
+        return (self.offset, self.size)
+
+    def __repr__(self) -> str:
+        return f"Region({self.offset}, {self.size})"
+
+
+class RegionList:
+    """An immutable ordered list of byte regions with set-like operations.
+
+    The constructor accepts regions in any order, possibly overlapping or
+    adjacent; :meth:`normalized` returns the canonical form (sorted by offset,
+    overlapping/adjacent regions coalesced, empties dropped).  Most algebraic
+    operations are defined on the normalized form.
+    """
+
+    __slots__ = ("_regions",)
+
+    def __init__(self, regions: Iterable[Region | Tuple[int, int]] = ()):
+        converted: List[Region] = []
+        for region in regions:
+            if isinstance(region, Region):
+                converted.append(region)
+            else:
+                offset, size = region
+                converted.append(Region(int(offset), int(size)))
+        self._regions: Tuple[Region, ...] = tuple(converted)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __getitem__(self, index: int) -> Region:
+        return self._regions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionList):
+            return NotImplemented
+        return self._regions == other._regions
+
+    def __hash__(self) -> int:
+        return hash(self._regions)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({r.offset}, {r.size})" for r in self._regions)
+        return f"RegionList([{inner}])"
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> Tuple[Region, ...]:
+        """The underlying tuple of regions (in construction order)."""
+        return self._regions
+
+    def total_bytes(self) -> int:
+        """Sum of region sizes (overlapping bytes counted multiple times)."""
+        return sum(region.size for region in self._regions)
+
+    def covered_bytes(self) -> int:
+        """Number of distinct bytes covered (overlaps counted once)."""
+        return self.normalized().total_bytes()
+
+    def covering_extent(self) -> Region:
+        """Smallest contiguous region covering every listed region.
+
+        This is exactly the range a POSIX-locking MPI-I/O driver must lock
+        for a non-contiguous access (the paper's Section III observation).
+        """
+        non_empty = [region for region in self._regions if not region.empty]
+        if not non_empty:
+            return Region(0, 0)
+        start = min(region.offset for region in non_empty)
+        end = max(region.end for region in non_empty)
+        return Region(start, end - start)
+
+    def is_normalized(self) -> bool:
+        """True if sorted, non-overlapping, non-adjacent, and without empties."""
+        previous_end = None
+        for region in self._regions:
+            if region.empty:
+                return False
+            if previous_end is not None and region.offset <= previous_end:
+                return False
+            previous_end = region.end
+        return True
+
+    def is_contiguous(self) -> bool:
+        """True if the normalized form is a single region (or empty)."""
+        return len(self.normalized()) <= 1
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def normalized(self) -> "RegionList":
+        """Canonical form: sorted, coalesced, empties removed."""
+        non_empty = sorted(
+            (region for region in self._regions if not region.empty),
+            key=lambda region: (region.offset, region.end),
+        )
+        if not non_empty:
+            return RegionList()
+        merged: List[Region] = [non_empty[0]]
+        for region in non_empty[1:]:
+            last = merged[-1]
+            if region.offset <= last.end:
+                merged[-1] = Region(last.offset, max(last.end, region.end) - last.offset)
+            else:
+                merged.append(region)
+        return RegionList(merged)
+
+    def union(self, other: "RegionList") -> "RegionList":
+        """Normalized union of both region sets."""
+        return RegionList(tuple(self._regions) + tuple(other._regions)).normalized()
+
+    def intersection(self, other: "RegionList") -> "RegionList":
+        """Normalized set of bytes present in both region sets."""
+        a = self.normalized()
+        b = other.normalized()
+        result: List[Region] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            overlap = a[i].intersect(b[j])
+            if not overlap.empty:
+                result.append(overlap)
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return RegionList(result)
+
+    def subtract(self, other: "RegionList") -> "RegionList":
+        """Normalized set of bytes in ``self`` but not in ``other``."""
+        a = self.normalized()
+        b = other.normalized()
+        result: List[Region] = []
+        for region in a:
+            pieces = [region]
+            for cut in b:
+                next_pieces: List[Region] = []
+                for piece in pieces:
+                    next_pieces.extend(piece.subtract(cut))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            result.extend(pieces)
+        return RegionList(result).normalized()
+
+    def overlaps(self, other: "RegionList") -> bool:
+        """True if any byte is covered by both region sets."""
+        return len(self.intersection(other)) > 0
+
+    def gaps(self) -> "RegionList":
+        """Regions *between* the normalized regions (holes inside the extent)."""
+        norm = self.normalized()
+        holes: List[Region] = []
+        for left, right in zip(norm, norm[1:]):
+            holes.append(Region(left.end, right.offset - left.end))
+        return RegionList(holes)
+
+    def shift(self, delta: int) -> "RegionList":
+        """Every region moved by ``delta`` bytes (order preserved)."""
+        return RegionList(region.shift(delta) for region in self._regions)
+
+    def clip(self, bounds: Region) -> "RegionList":
+        """Regions clipped to ``bounds`` (pieces outside are dropped)."""
+        clipped: List[Region] = []
+        for region in self._regions:
+            piece = region.intersect(bounds)
+            if not piece.empty:
+                clipped.append(piece)
+        return RegionList(clipped)
+
+    def chunk_aligned(self, chunk_size: int) -> "RegionList":
+        """Every region split on ``chunk_size`` boundaries (order preserved)."""
+        pieces: List[Region] = []
+        for region in self._regions:
+            pieces.extend(region.chunk_aligned_pieces(chunk_size))
+        return RegionList(pieces)
+
+    def as_tuples(self) -> List[Tuple[int, int]]:
+        """``[(offset, size), ...]`` form (construction order)."""
+        return [region.as_tuple() for region in self._regions]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(cls, tuples: Sequence[Tuple[int, int]]) -> "RegionList":
+        """Build from ``[(offset, size), ...]``."""
+        return cls(Region(int(offset), int(size)) for offset, size in tuples)
+
+    @classmethod
+    def single(cls, offset: int, size: int) -> "RegionList":
+        """A list holding one region."""
+        return cls([Region(offset, size)])
+
+
+def pairwise_overlap_matrix(region_lists: Sequence[RegionList]) -> List[List[bool]]:
+    """Symmetric boolean matrix: entry ``[i][j]`` is True if lists i, j overlap.
+
+    Used by the conflict-detection ADIO driver (related work [9] in the paper)
+    to decide which concurrent accesses actually need mutual exclusion.
+    """
+    count = len(region_lists)
+    matrix = [[False] * count for _ in range(count)]
+    for i in range(count):
+        for j in range(i + 1, count):
+            conflict = region_lists[i].overlaps(region_lists[j])
+            matrix[i][j] = conflict
+            matrix[j][i] = conflict
+    return matrix

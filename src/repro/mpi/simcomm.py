@@ -1,0 +1,157 @@
+"""Simulated MPI communicator: the collective operations the stack needs.
+
+The communicator is shared by the rank processes of one job.  Every
+collective is implemented as a synchronization point: ranks arriving early
+wait on a per-operation event; the last arrival completes the operation,
+charges its communication cost (a tree-structured latency term plus the data
+volume moved over the slowest rank's NIC bandwidth), and wakes everyone with
+the result.
+
+Matching of collective calls follows MPI semantics: all ranks must call the
+same collectives in the same order; each call site consumes one "generation"
+of the operation's sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.simengine import Event
+
+
+class _Collective:
+    """State of one in-flight collective operation (one generation)."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.contributions: Dict[int, Any] = {}
+        self.event: Optional["Event"] = None
+        self.result: Any = None
+
+
+class Communicator:
+    """A communicator over ``size`` simulated ranks."""
+
+    def __init__(self, cluster: "Cluster", size: int, name: str = "comm_world"):
+        if size <= 0:
+            raise MPIError(f"communicator size must be positive, got {size}")
+        self.cluster = cluster
+        self.size = size
+        self.name = name
+        self._pending: Dict[str, List[_Collective]] = {}
+        self._generation: Dict[str, List[int]] = {}
+        #: per-rank counters of how many collectives each rank entered
+        self._rank_counts: Dict[str, Dict[int, int]] = {}
+        #: total collectives completed (benchmark metric)
+        self.collectives_completed: int = 0
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise MPIError(f"rank {rank} outside communicator of size {self.size}")
+
+    def _cost(self, payload_bytes: int) -> float:
+        """Latency/bandwidth cost of one collective (binomial-tree model)."""
+        config = self.cluster.config
+        rounds = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+        return (rounds * config.network_latency
+                + payload_bytes / config.network_bandwidth)
+
+    def _enter(self, op: str, rank: int, contribution: Any,
+               payload_bytes: int, finalize: Callable[[Dict[int, Any]], Any]):
+        """Common rendezvous logic of every collective."""
+        self._check_rank(rank)
+        counts = self._rank_counts.setdefault(op, {})
+        generation = counts.get(rank, 0)
+        counts[rank] = generation + 1
+
+        pending = self._pending.setdefault(op, [])
+        while len(pending) <= generation:
+            pending.append(_Collective(self.size))
+        collective = pending[generation]
+
+        if rank in collective.contributions:
+            raise MPIError(
+                f"rank {rank} entered {op} generation {generation} twice")
+        collective.contributions[rank] = contribution
+
+        if len(collective.contributions) < self.size:
+            if collective.event is None:
+                collective.event = self.cluster.sim.event()
+            yield collective.event
+            return collective.result
+
+        # last arrival: perform the operation, charge its cost, wake the others
+        collective.result = finalize(collective.contributions)
+        if self.size > 1:
+            yield self.cluster.sim.timeout(self._cost(payload_bytes))
+        self.collectives_completed += 1
+        if collective.event is not None:
+            collective.event.succeed(collective.result)
+        return collective.result
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self, rank: int):
+        """Block until every rank reached the same barrier."""
+        result = yield from self._enter("barrier", rank, None, 0, lambda _: None)
+        return result
+
+    def bcast(self, rank: int, value: Any = None, root: int = 0):
+        """Broadcast ``value`` from ``root`` to every rank."""
+        self._check_rank(root)
+        size_estimate = len(value) if isinstance(value, (bytes, bytearray)) else 64
+        result = yield from self._enter(
+            "bcast", rank, value if rank == root else None, size_estimate,
+            lambda contributions: contributions[root])
+        return result
+
+    def gather(self, rank: int, value: Any, root: int = 0):
+        """Gather one value per rank at ``root`` (others receive ``None``)."""
+        self._check_rank(root)
+        gathered = yield from self._enter(
+            "gather", rank, value, 64 * self.size,
+            lambda contributions: [contributions[index] for index in range(self.size)])
+        return gathered if rank == root else None
+
+    def allgather(self, rank: int, value: Any):
+        """Gather one value per rank at every rank."""
+        gathered = yield from self._enter(
+            "allgather", rank, value, 64 * self.size,
+            lambda contributions: [contributions[index] for index in range(self.size)])
+        return gathered
+
+    def allreduce(self, rank: int, value: Any, op: Callable[[Any, Any], Any] = None):
+        """Reduce one value per rank with ``op`` (default: sum) at every rank."""
+        def finalize(contributions: Dict[int, Any]) -> Any:
+            values = [contributions[index] for index in range(self.size)]
+            if op is None:
+                return sum(values)
+            result = values[0]
+            for item in values[1:]:
+                result = op(result, item)
+            return result
+
+        reduced = yield from self._enter("allreduce", rank, value, 64, finalize)
+        return reduced
+
+    def scatter(self, rank: int, values: Optional[List[Any]] = None, root: int = 0):
+        """Scatter one element of ``values`` (given at ``root``) to each rank."""
+        self._check_rank(root)
+
+        def finalize(contributions: Dict[int, Any]) -> List[Any]:
+            items = contributions[root]
+            if items is None or len(items) != self.size:
+                raise MPIError("scatter root must supply one value per rank")
+            return list(items)
+
+        scattered = yield from self._enter(
+            "scatter", rank, values if rank == root else None, 64 * self.size,
+            finalize)
+        return scattered[rank]

@@ -1,0 +1,26 @@
+"""ADIO drivers: the storage-specific back-ends of the MPI-I/O layer."""
+
+from repro.mpiio.adio.base import ADIODriver
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.adio.posix_locking import PosixLockingDriver
+from repro.mpiio.adio.posix_listlock import PosixListLockDriver
+from repro.mpiio.adio.conflict_detect import ConflictDetectDriver
+from repro.mpiio.adio.nolock import NoLockDriver
+
+DRIVERS = {
+    VersioningDriver.name: VersioningDriver,
+    PosixLockingDriver.name: PosixLockingDriver,
+    PosixListLockDriver.name: PosixListLockDriver,
+    ConflictDetectDriver.name: ConflictDetectDriver,
+    NoLockDriver.name: NoLockDriver,
+}
+
+__all__ = [
+    "ADIODriver",
+    "VersioningDriver",
+    "PosixLockingDriver",
+    "PosixListLockDriver",
+    "ConflictDetectDriver",
+    "NoLockDriver",
+    "DRIVERS",
+]

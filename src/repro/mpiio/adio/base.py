@@ -1,0 +1,83 @@
+"""The ADIO driver interface.
+
+A driver instance belongs to one rank (it wraps that rank's storage client)
+and translates the flattened, view-independent accesses produced by
+:class:`repro.mpiio.file.File` into operations of its storage backend.  All
+data-path methods are generator methods running inside the rank's simulated
+process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.listio import IOVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.simcomm import Communicator
+
+
+class ADIODriver:
+    """Abstract storage driver used by the MPI-I/O layer."""
+
+    #: registry name (``versioning``, ``posix-locking``, ...)
+    name = "abstract"
+    #: True when the driver guarantees MPI atomicity natively (no locking
+    #: needed at the MPI-I/O layer even in atomic mode)
+    native_atomicity = False
+
+    def __init__(self) -> None:
+        #: bytes moved through this driver (benchmark metric)
+        self.bytes_written: int = 0
+        self.bytes_read: int = 0
+        #: number of write/read calls
+        self.write_calls: int = 0
+        self.read_calls: int = 0
+
+    # ------------------------------------------------------------------
+    # interface (generator methods)
+    # ------------------------------------------------------------------
+    def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
+             comm: Optional["Communicator"] = None):
+        """Open (collectively, when ``comm`` is given) the file ``path``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write_vector(self, path: str, vector: IOVector, atomic: bool,
+                     rank: int = 0, comm: Optional["Communicator"] = None):
+        """Write a flattened access; honour MPI atomicity when ``atomic``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def read_vector(self, path: str, vector: IOVector, atomic: bool,
+                    rank: int = 0, comm: Optional["Communicator"] = None):
+        """Read a flattened access; returns one ``bytes`` per request."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def file_size(self, path: str):
+        """Current size of the file as known by the backend."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def sync(self, path: str):
+        """Flush outstanding data (a no-op for both simulated backends)."""
+        return None
+        yield  # pragma: no cover
+
+    def close(self, path: str):
+        """Release per-file driver state (default: nothing to do)."""
+        return None
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _account_write(self, vector: IOVector) -> None:
+        self.bytes_written += vector.total_bytes()
+        self.write_calls += 1
+
+    def _account_read(self, vector: IOVector) -> None:
+        self.bytes_read += vector.total_bytes()
+        self.read_calls += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} ({self.name})>"

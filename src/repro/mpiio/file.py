@@ -1,0 +1,168 @@
+"""The MPI-I/O ``File`` object.
+
+This mirrors the subset of the MPI-I/O interface the paper's workloads use:
+
+* collective open with an access mode (:class:`AccessMode`);
+* per-rank file views set with derived datatypes (:meth:`File.set_view`);
+* explicit-offset reads and writes, independent (``read_at`` / ``write_at``)
+  and collective (``read_at_all`` / ``write_at_all``);
+* atomic mode (:meth:`File.set_atomicity`) with the semantics of the MPI
+  standard: in atomic mode, concurrent overlapping writes — including
+  non-contiguous ones described by file views — must not interleave.
+
+Like ROMIO, the File object contains no storage code: it flattens the access
+against the rank's view and hands the resulting vector to its ADIO driver.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.listio import IOVector
+from repro.errors import MPIIOError
+from repro.mpi.datatypes import BYTE, Datatype
+from repro.mpiio.flatten import FileView, build_read_vector, build_write_vector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.simcomm import Communicator
+    from repro.mpiio.adio.base import ADIODriver
+
+
+class AccessMode(enum.Flag):
+    """MPI_File_open access modes (the subset the workloads need)."""
+
+    RDONLY = enum.auto()
+    WRONLY = enum.auto()
+    RDWR = enum.auto()
+    CREATE = enum.auto()
+    EXCL = enum.auto()
+
+    @classmethod
+    def default_write(cls) -> "AccessMode":
+        """``CREATE | RDWR``, the mode every workload opens its dump file with."""
+        return cls.CREATE | cls.RDWR
+
+
+class File:
+    """One rank's handle on a shared MPI-I/O file."""
+
+    def __init__(self, driver: "ADIODriver", path: str, amode: AccessMode,
+                 rank: int = 0, comm: Optional["Communicator"] = None):
+        self.driver = driver
+        self.path = path
+        self.amode = amode
+        self.rank = rank
+        self.comm = comm
+        self.view = FileView()
+        self._atomic = False
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, driver: "ADIODriver", path: str,
+             amode: Optional[AccessMode] = None, rank: int = 0,
+             comm: Optional["Communicator"] = None, size_hint: int = 0):
+        """Open (collectively when ``comm`` is given) the file ``path``.
+
+        Generator method: run it inside the rank's simulated process.
+        """
+        amode = amode or AccessMode.default_write()
+        handle = cls(driver, path, amode, rank=rank, comm=comm)
+        yield from driver.open(path, size_hint, create=bool(amode & AccessMode.CREATE),
+                               rank=rank, comm=comm)
+        handle._open = True
+        return handle
+
+    def close(self):
+        """Close the handle (collective in MPI; here a local driver hook)."""
+        self._ensure_open()
+        yield from self.driver.close(self.path)
+        self._open = False
+        return None
+
+    def sync(self):
+        """MPI_File_sync."""
+        self._ensure_open()
+        yield from self.driver.sync(self.path)
+        return None
+
+    def get_size(self):
+        """Current file size as known by the backend."""
+        self._ensure_open()
+        size = yield from self.driver.file_size(self.path)
+        return size
+
+    # ------------------------------------------------------------------
+    # view and atomicity (local, non-generator operations)
+    # ------------------------------------------------------------------
+    def set_view(self, displacement: int = 0, etype: Datatype = BYTE,
+                 filetype: Optional[Datatype] = None) -> None:
+        """Install this rank's file view (``MPI_File_set_view``)."""
+        self.view = FileView(displacement=displacement, etype=etype,
+                             filetype=filetype or etype)
+
+    def set_atomicity(self, flag: bool) -> None:
+        """Enable/disable MPI atomic mode (``MPI_File_set_atomicity``)."""
+        self._atomic = bool(flag)
+
+    def get_atomicity(self) -> bool:
+        """Current atomic-mode flag."""
+        return self._atomic
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def write_at(self, offset: int, data: bytes):
+        """Independent explicit-offset write through the rank's view."""
+        self._ensure_open()
+        self._ensure_writable()
+        vector = build_write_vector(self.view, offset, bytes(data))
+        if len(vector) == 0:
+            return 0
+        written = yield from self.driver.write_vector(
+            self.path, vector, atomic=self._atomic, rank=self.rank, comm=None)
+        return written
+
+    def write_at_all(self, offset: int, data: bytes):
+        """Collective explicit-offset write (all ranks must call it)."""
+        self._ensure_open()
+        self._ensure_writable()
+        vector = build_write_vector(self.view, offset, bytes(data))
+        written = 0
+        if len(vector) > 0:
+            written = yield from self.driver.write_vector(
+                self.path, vector, atomic=self._atomic, rank=self.rank,
+                comm=self.comm)
+        if self.comm is not None:
+            yield from self.comm.barrier(self.rank)
+        return written
+
+    def read_at(self, offset: int, size: int):
+        """Independent explicit-offset read through the rank's view."""
+        self._ensure_open()
+        vector = build_read_vector(self.view, offset, size)
+        if len(vector) == 0:
+            return b""
+        pieces = yield from self.driver.read_vector(
+            self.path, vector, atomic=self._atomic, rank=self.rank, comm=None)
+        return b"".join(pieces)
+
+    def read_at_all(self, offset: int, size: int):
+        """Collective explicit-offset read."""
+        self._ensure_open()
+        data = yield from self.read_at(offset, size)
+        if self.comm is not None:
+            yield from self.comm.barrier(self.rank)
+        return data
+
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if not self._open:
+            raise MPIIOError(f"file {self.path!r} is not open")
+
+    def _ensure_writable(self) -> None:
+        if not (self.amode & (AccessMode.WRONLY | AccessMode.RDWR)):
+            raise MPIIOError(f"file {self.path!r} was opened read-only")

@@ -1,0 +1,265 @@
+"""POSIX client of the Lustre-like baseline file system.
+
+The client implements the semantics the paper attributes to POSIX parallel
+file systems:
+
+* a single contiguous :meth:`PosixClient.write` or :meth:`PosixClient.read`
+  is atomic — internally it takes exclusive (resp. shared) extent locks on
+  the OSTs owning the touched stripes before moving data;
+* nothing stronger is guaranteed across *sets* of writes, so upper layers
+  (the locking ADIO drivers) must build MPI atomicity themselves out of the
+  fcntl-style advisory locks exposed by :meth:`PosixClient.lock_regions` /
+  :meth:`PosixClient.unlock`.
+
+Lock ordering: locks are always acquired in (OST index, offset) order, which
+rules out deadlocks between clients acquiring multiple sub-locks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.listio import IOVector
+from repro.core.regions import Region, RegionList
+from repro.errors import FileSystemError, LockNotHeld
+from repro.posixfs.lock_manager import LockMode
+from repro.posixfs.mds import FileAttributes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.posixfs.deployment import PosixFsDeployment
+
+
+class LockHandle:
+    """Token set returned by :meth:`PosixClient.lock_regions`."""
+
+    __slots__ = ("entries", "acquired_at", "wait_time")
+
+    def __init__(self, entries: List[Tuple[int, int]], acquired_at: float,
+                 wait_time: float):
+        #: list of (ost_index, token)
+        self.entries = entries
+        self.acquired_at = acquired_at
+        self.wait_time = wait_time
+
+
+class PosixClient:
+    """Client-side access to a :class:`~repro.posixfs.deployment.PosixFsDeployment`."""
+
+    def __init__(self, deployment: "PosixFsDeployment", node: "Node",
+                 name: Optional[str] = None):
+        self.deployment = deployment
+        self.cluster = deployment.cluster
+        self.node = node
+        self.name = name or f"posix:{node.name}"
+        self._attributes: Dict[str, FileAttributes] = {}
+        #: client-side counters (aggregated by the benchmark harness)
+        self.bytes_written: int = 0
+        self.bytes_read: int = 0
+        self.lock_wait_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _rpc(self, service, method, request_bytes, response_bytes, *args):
+        result = yield from self.cluster.rpc.call(
+            self.node, service, method, request_bytes, response_bytes, *args)
+        return result
+
+    def _control(self, service, method, *args):
+        size = self.cluster.config.control_message_size
+        result = yield from self._rpc(service, method, size, size, *args)
+        return result
+
+    def _attrs(self, path: str):
+        if path not in self._attributes:
+            attributes = yield from self._control(self.deployment.mds, "lookup", path)
+            self._attributes[path] = attributes
+        return self._attributes[path]
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, path: str, stripe_size: Optional[int] = None,
+               stripe_count: Optional[int] = None, exist_ok: bool = False):
+        """Create a file (choosing its striping) and cache its attributes."""
+        attributes = yield from self._control(
+            self.deployment.mds, "create", path, stripe_size, stripe_count, exist_ok)
+        self._attributes[path] = attributes
+        return attributes
+
+    def open(self, path: str):
+        """Fetch (and cache) the attributes of an existing file."""
+        attributes = yield from self._attrs(path)
+        return attributes
+
+    def stat(self, path: str):
+        """Fresh attributes from the MDS (size included)."""
+        attributes = yield from self._control(self.deployment.mds, "lookup", path)
+        self._attributes[path] = attributes
+        return attributes
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def lock_regions(self, path: str, regions: RegionList, mode: LockMode,
+                     namespace: str = "fcntl"):
+        """Acquire byte-range locks covering ``regions`` on every involved OST.
+
+        Locks are taken in (OST index, offset) order; the returned
+        :class:`LockHandle` releases them all.  ``namespace`` separates the
+        advisory (``fcntl``) space used by the MPI-I/O drivers from the file
+        system's internal ``data`` space.
+        """
+        attributes = yield from self._attrs(path)
+        started = self.cluster.sim.now
+        normalized = regions.normalized()
+        if len(normalized) == 0:
+            return LockHandle([], started, 0.0)
+        file_id = f"{namespace}:{path}"
+
+        # group the byte ranges by the OST that owns them, keep global order
+        per_ost: Dict[int, List[Region]] = {}
+        for region in normalized:
+            for piece in attributes.layout.map_region(region):
+                per_ost.setdefault(piece.ost_index, []).append(
+                    Region(piece.file_offset, piece.length))
+
+        entries: List[Tuple[int, int]] = []
+        for ost_index in sorted(per_ost):
+            ost = self.deployment.osts[ost_index]
+            ranges = RegionList(per_ost[ost_index]).normalized()
+            for region in ranges:
+                token = yield from self._control(
+                    ost.locks, "acquire", file_id, region.offset, region.size,
+                    mode, self.name)
+                entries.append((ost_index, token))
+
+        handle = LockHandle(entries, self.cluster.sim.now,
+                            self.cluster.sim.now - started)
+        self.lock_wait_time += handle.wait_time
+        return handle
+
+    def lock_extent(self, path: str, offset: int, size: int, mode: LockMode,
+                    namespace: str = "fcntl"):
+        """Lock one contiguous extent (convenience wrapper)."""
+        handle = yield from self.lock_regions(
+            path, RegionList.single(offset, size), mode, namespace)
+        return handle
+
+    def unlock(self, handle: LockHandle):
+        """Release every lock of a handle."""
+        if handle is None:
+            raise LockNotHeld("unlock() of a missing handle")
+        for ost_index, token in reversed(handle.entries):
+            ost = self.deployment.osts[ost_index]
+            yield from self._control(ost.locks, "release", token)
+        handle.entries = []
+        return None
+
+    # ------------------------------------------------------------------
+    # POSIX data path
+    # ------------------------------------------------------------------
+    def write(self, path: str, offset: int, data: bytes, _locked: bool = False):
+        """POSIX-atomic contiguous write.
+
+        The implicit exclusive extent lock (``data`` namespace) makes the
+        write atomic with respect to other contiguous reads/writes — the
+        POSIX guarantee the paper says is *not* sufficient for MPI atomicity.
+        ``_locked=True`` skips it when an upper layer already serialized the
+        access (the covering-extent ADIO driver does this to avoid paying the
+        internal lock twice).
+        """
+        if not data:
+            return 0
+        attributes = yield from self._attrs(path)
+        handle = None
+        if not _locked:
+            handle = yield from self.lock_regions(
+                path, RegionList.single(offset, len(data)),
+                LockMode.EXCLUSIVE, namespace="data")
+
+        write_processes = []
+        for piece in attributes.layout.map_region(Region(offset, len(data))):
+            ost = self.deployment.osts[piece.ost_index]
+            payload = data[piece.file_offset - offset:
+                           piece.file_offset - offset + piece.length]
+            write_processes.append(self.cluster.sim.process(
+                self._rpc(ost, "write_range", piece.length,
+                          self.cluster.config.control_message_size,
+                          attributes.object_id(piece.ost_index),
+                          piece.object_offset, payload),
+                name=f"{self.name}:write:{piece.ost_index}"))
+        if write_processes:
+            yield self.cluster.sim.all_of(write_processes)
+
+        yield from self._control(self.deployment.mds, "update_size",
+                                 path, offset + len(data))
+        if handle is not None:
+            yield from self.unlock(handle)
+        self.bytes_written += len(data)
+        return len(data)
+
+    def read(self, path: str, offset: int, size: int, _locked: bool = False):
+        """POSIX-atomic contiguous read."""
+        if size == 0:
+            return b""
+        attributes = yield from self._attrs(path)
+        handle = None
+        if not _locked:
+            handle = yield from self.lock_regions(
+                path, RegionList.single(offset, size),
+                LockMode.SHARED, namespace="data")
+
+        pieces: List[Tuple[int, bytes]] = []
+
+        def fetch(piece):
+            data = yield from self._rpc(
+                self.deployment.osts[piece.ost_index], "read_range",
+                self.cluster.config.control_message_size, piece.length,
+                attributes.object_id(piece.ost_index), piece.object_offset,
+                piece.length)
+            pieces.append((piece.file_offset, data))
+
+        read_processes = [
+            self.cluster.sim.process(fetch(piece), name=f"{self.name}:read")
+            for piece in attributes.layout.map_region(Region(offset, size))
+        ]
+        if read_processes:
+            yield self.cluster.sim.all_of(read_processes)
+        if handle is not None:
+            yield from self.unlock(handle)
+
+        buffer = bytearray(size)
+        for file_offset, data in pieces:
+            start = file_offset - offset
+            buffer[start:start + len(data)] = data
+        self.bytes_read += size
+        return bytes(buffer)
+
+    # ------------------------------------------------------------------
+    # vectored helpers used by the ADIO drivers
+    # ------------------------------------------------------------------
+    def write_vector(self, path: str, vector: IOVector, _locked: bool = False):
+        """Issue the vector's writes one contiguous POSIX write at a time.
+
+        No atomicity is guaranteed across the requests — that is exactly the
+        gap the locking ADIO drivers must close with advisory locks.
+        """
+        total = 0
+        for request in vector:
+            if not request.is_write:
+                raise FileSystemError("write_vector() needs a write vector")
+            written = yield from self.write(path, request.offset, request.data,
+                                            _locked=_locked)
+            total += written
+        return total
+
+    def read_vector(self, path: str, vector: IOVector, _locked: bool = False):
+        """Issue the vector's reads one contiguous POSIX read at a time."""
+        results: List[bytes] = []
+        for request in vector:
+            data = yield from self.read(path, request.offset, request.size,
+                                        _locked=_locked)
+            results.append(data)
+        return results

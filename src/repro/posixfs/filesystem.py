@@ -1,0 +1,86 @@
+"""Synchronous facade over the Lustre-like baseline file system.
+
+Mirrors :class:`repro.vstore.backend.VersioningBackend` for the locking-based
+side: a private cluster, one MDS + ``num_osts`` OSTs, and blocking
+``create`` / ``write`` / ``read`` / ``lock`` methods for single-client use
+(examples, unit tests).  Multi-writer experiments instantiate
+:class:`~repro.posixfs.deployment.PosixFsDeployment` on a shared cluster
+instead, so that lock contention plays out in simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.listio import IOVector
+from repro.core.regions import RegionList
+from repro.posixfs.client import LockHandle
+from repro.posixfs.deployment import PosixFsDeployment
+from repro.posixfs.lock_manager import LockMode
+from repro.posixfs.mds import FileAttributes
+
+
+class PosixParallelFS:
+    """Single-client, synchronous entry point to the locking-based baseline."""
+
+    def __init__(self, num_osts: int = 4, stripe_size: int = 64 * 1024,
+                 stripe_count: Optional[int] = None,
+                 config: Optional[ClusterConfig] = None, seed: int = 0):
+        self.cluster = Cluster(config=config, seed=seed)
+        self.deployment = PosixFsDeployment(
+            self.cluster, num_osts=num_osts,
+            default_stripe_size=stripe_size,
+            default_stripe_count=stripe_count)
+        self._client_node = self.cluster.add_node("posix-facade-client",
+                                                  role="compute")
+        self.client = self.deployment.client(self._client_node, name="facade")
+
+    # ------------------------------------------------------------------
+    def _run(self, generator):
+        process = self.cluster.sim.process(generator, name="posix-facade-op")
+        return self.cluster.sim.run(stop_event=process)
+
+    # ------------------------------------------------------------------
+    def create(self, path: str, stripe_size: Optional[int] = None,
+               stripe_count: Optional[int] = None) -> FileAttributes:
+        """Create a file with the given striping."""
+        return self._run(self.client.create(path, stripe_size, stripe_count))
+
+    def stat(self, path: str) -> FileAttributes:
+        """File attributes (size, layout)."""
+        return self._run(self.client.stat(path))
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        """POSIX-atomic contiguous write."""
+        return self._run(self.client.write(path, offset, bytes(data)))
+
+    def read(self, path: str, offset: int, size: int) -> bytes:
+        """POSIX-atomic contiguous read."""
+        return self._run(self.client.read(path, offset, size))
+
+    def write_vector(self, path: str,
+                     pairs: Sequence[Tuple[int, bytes]]) -> int:
+        """Non-atomic vectored write (one POSIX write per range)."""
+        return self._run(self.client.write_vector(path, IOVector.for_write(pairs)))
+
+    def read_vector(self, path: str,
+                    pairs: Sequence[Tuple[int, int]]) -> List[bytes]:
+        """Vectored read (one POSIX read per range)."""
+        return self._run(self.client.read_vector(path, IOVector.for_read(pairs)))
+
+    def lock(self, path: str, offset: int, size: int,
+             exclusive: bool = True) -> LockHandle:
+        """Acquire an advisory (fcntl-style) byte-range lock."""
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        return self._run(self.client.lock_extent(path, offset, size, mode))
+
+    def unlock(self, handle: LockHandle) -> None:
+        """Release an advisory lock handle."""
+        self._run(self.client.unlock(handle))
+
+    def stats(self) -> dict:
+        """Cluster + storage statistics."""
+        combined = dict(self.cluster.stats())
+        combined.update(self.deployment.stats())
+        return combined

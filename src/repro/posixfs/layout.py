@@ -1,0 +1,74 @@
+"""Striping layout: mapping file byte ranges onto object storage targets.
+
+A file with stripe size ``s`` over ``n`` OSTs places byte
+``offset`` in stripe ``offset // s``; stripe ``k`` lives on OST
+``k % n`` at object offset ``(k // n) * s + (offset % s)`` — the classic
+RAID-0 / Lustre layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.regions import Region, RegionList
+from repro.errors import InvalidRegion
+
+
+@dataclass(frozen=True)
+class StripePiece:
+    """One stripe-aligned piece of a file byte range."""
+
+    ost_index: int
+    object_offset: int
+    length: int
+    file_offset: int
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Striping parameters of one file."""
+
+    stripe_size: int
+    ost_count: int
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise InvalidRegion(f"stripe_size must be positive, got {self.stripe_size}")
+        if self.ost_count <= 0:
+            raise InvalidRegion(f"ost_count must be positive, got {self.ost_count}")
+
+    # ------------------------------------------------------------------
+    def map_region(self, region: Region) -> List[StripePiece]:
+        """Split a file byte range into per-OST object pieces."""
+        pieces: List[StripePiece] = []
+        for part in region.chunk_aligned_pieces(self.stripe_size):
+            stripe_index = part.offset // self.stripe_size
+            ost_index = stripe_index % self.ost_count
+            object_offset = ((stripe_index // self.ost_count) * self.stripe_size
+                             + part.offset % self.stripe_size)
+            pieces.append(StripePiece(
+                ost_index=ost_index,
+                object_offset=object_offset,
+                length=part.size,
+                file_offset=part.offset,
+            ))
+        return pieces
+
+    def map_regions(self, regions: RegionList) -> List[StripePiece]:
+        """Map every region of a list (construction order preserved)."""
+        pieces: List[StripePiece] = []
+        for region in regions:
+            pieces.extend(self.map_region(region))
+        return pieces
+
+    def osts_for_region(self, region: Region) -> List[int]:
+        """Sorted list of distinct OST indices a byte range touches."""
+        return sorted({piece.ost_index for piece in self.map_region(region)})
+
+    def osts_for_regions(self, regions: RegionList) -> List[int]:
+        """Sorted list of distinct OST indices a set of byte ranges touches."""
+        indices = set()
+        for region in regions:
+            indices.update(self.osts_for_region(region))
+        return sorted(indices)

@@ -1,0 +1,113 @@
+"""The metadata server: namespace and striping layout of the baseline FS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.cluster.rpc import Service
+from repro.errors import FileExists, FileNotFound
+from repro.posixfs.layout import StripeLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+
+
+@dataclass
+class FileAttributes:
+    """Inode-like attributes of one file."""
+
+    path: str
+    inode: int
+    layout: StripeLayout
+    size: int = 0
+
+    def object_id(self, ost_index: int) -> str:
+        """Identifier of this file's object on a given OST."""
+        return f"inode{self.inode}@ost{ost_index}"
+
+
+class MetadataServer:
+    """Pure namespace + layout bookkeeping."""
+
+    def __init__(self, default_stripe_size: int = 64 * 1024,
+                 default_stripe_count: int = 4):
+        self.default_stripe_size = default_stripe_size
+        self.default_stripe_count = default_stripe_count
+        self._files: Dict[str, FileAttributes] = {}
+        self._next_inode = 1
+
+    # ------------------------------------------------------------------
+    def create(self, path: str, stripe_size: Optional[int] = None,
+               stripe_count: Optional[int] = None,
+               exist_ok: bool = False) -> FileAttributes:
+        """Create a file with the given striping (or the defaults)."""
+        if path in self._files:
+            if exist_ok:
+                return self._files[path]
+            raise FileExists(f"file {path!r} already exists")
+        layout = StripeLayout(
+            stripe_size=stripe_size or self.default_stripe_size,
+            ost_count=stripe_count or self.default_stripe_count,
+        )
+        attributes = FileAttributes(path=path, inode=self._next_inode, layout=layout)
+        self._next_inode += 1
+        self._files[path] = attributes
+        return attributes
+
+    def lookup(self, path: str) -> FileAttributes:
+        """Attributes of an existing file."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` names a file."""
+        return path in self._files
+
+    def update_size(self, path: str, new_end: int) -> int:
+        """Grow the recorded file size to at least ``new_end``; return the size."""
+        attributes = self.lookup(path)
+        attributes.size = max(attributes.size, new_end)
+        return attributes.size
+
+    def unlink(self, path: str) -> None:
+        """Remove a file from the namespace (objects are left to the OSTs)."""
+        if path not in self._files:
+            raise FileNotFound(f"no such file: {path!r}")
+        del self._files[path]
+
+    def file_count(self) -> int:
+        """Number of files in the namespace."""
+        return len(self._files)
+
+
+class SimMetadataServer(Service):
+    """The MDS deployed on a cluster node (control-plane RPCs only)."""
+
+    def __init__(self, node: "Node", server: Optional[MetadataServer] = None,
+                 default_stripe_size: int = 64 * 1024,
+                 default_stripe_count: int = 4):
+        super().__init__(node, name="mds")
+        self.server = server or MetadataServer(default_stripe_size,
+                                               default_stripe_count)
+
+    # ------------------------------------------------------------------
+    # RPC handlers (generator methods)
+    # ------------------------------------------------------------------
+    def create(self, path: str, stripe_size: Optional[int] = None,
+               stripe_count: Optional[int] = None, exist_ok: bool = False):
+        """Create a file entry."""
+        return self.server.create(path, stripe_size, stripe_count, exist_ok)
+        yield  # pragma: no cover - makes this a generator function
+
+    def lookup(self, path: str):
+        """Open / stat an existing file."""
+        return self.server.lookup(path)
+        yield  # pragma: no cover - makes this a generator function
+
+    def update_size(self, path: str, new_end: int):
+        """Record a size extension after a write past EOF."""
+        return self.server.update_size(path, new_end)
+        yield  # pragma: no cover - makes this a generator function

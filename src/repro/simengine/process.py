@@ -1,0 +1,122 @@
+"""Generator-based simulated processes.
+
+A process wraps a Python generator.  Each ``yield`` hands an
+:class:`~repro.simengine.events.Event` back to the engine; the process is
+suspended until that event is processed, at which point the event's value is
+sent into the generator (or its exception thrown into it).  When the
+generator returns, the process — which is itself an event — succeeds with the
+return value, so other processes can wait for it or collect its result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import ProcessInterrupted, SimulationError
+from repro.simengine.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simengine.simulator import Simulator
+
+
+class Process(Event):
+    """A running simulated process (and the event of its termination).
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The generator to drive.  It must yield :class:`Event` instances.
+    name:
+        Optional human-readable name used in error messages and tracing.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None if not started
+        #: or already terminated)
+        self._target: Optional[Event] = None
+
+        # Kick-start the process via an immediately-triggered bootstrap event.
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim.schedule(bootstrap, priority=sim.PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process at its next step.
+
+        The interrupt is delivered asynchronously (as an urgent event) so that
+        the caller's own execution is not re-entered.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = ProcessInterrupted(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim.schedule(interrupt_event, priority=self.sim.PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Drive the generator one step with the outcome of ``event``."""
+        if self.triggered:
+            # A stale wake-up (e.g. an interrupt racing with termination).
+            return
+
+        self._target = None
+        try:
+            if event._ok:
+                yielded = self._generator.send(event._value)
+            else:
+                # Mark the failure as handled: it is being delivered to a
+                # process, which may catch it.
+                event._defused = True
+                yielded = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(yielded, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; "
+                "processes must yield Event instances")
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+
+        if yielded.sim is not self.sim:
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"))
+            return
+
+        self._target = yielded
+        yielded.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

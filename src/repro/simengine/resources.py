@@ -1,0 +1,227 @@
+"""Shared resources for simulated processes.
+
+Three resource flavours are provided, mirroring the needs of the cluster and
+storage models:
+
+* :class:`Resource` / :class:`PriorityResource` — a server with finite
+  capacity (a disk head, a NIC, a lock-manager thread).  Processes ``yield
+  resource.request()`` to acquire a slot and must release it when done.
+* :class:`Store` — an unbounded (or bounded) FIFO of Python objects, used as
+  message queues between simulated services.
+* :class:`Container` — a continuous quantity (buffer space, credits).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.simengine.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simengine.simulator import Simulator
+
+
+class Request(Event):
+    """Acquisition request for a :class:`Resource`.
+
+    The event succeeds when the resource grants a slot to the requester.
+    A request also works as a context token: pass it back to
+    :meth:`Resource.release`.
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.usage_since: Optional[float] = None
+
+
+class Resource:
+    """FIFO resource with ``capacity`` concurrent users."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; returns an event that fires when granted."""
+        req = Request(self, priority)
+        self._enqueue(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request`` to the pool."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            # Cancel a still-queued request (e.g. after an interrupt).
+            self.queue.remove(request)
+        else:
+            raise SimulationError("release() of a request that is not held/queued")
+        self._grant()
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            req = self._pop_next()
+            self.users.append(req)
+            req.usage_since = self.sim.now
+            req.succeed(req)
+
+    def _pop_next(self) -> Request:
+        return self.queue.popleft()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiting queue is ordered by ``priority`` (lower first).
+
+    Ties are broken by arrival order, so behaviour stays deterministic.
+    """
+
+    def _enqueue(self, req: Request) -> None:
+        req._order = (req.priority, next(self._tiebreak))  # type: ignore[attr-defined]
+        self.queue.append(req)
+
+    def _pop_next(self) -> Request:
+        best_index = 0
+        best_key = self.queue[0]._order  # type: ignore[attr-defined]
+        for index, req in enumerate(self.queue):
+            key = req._order  # type: ignore[attr-defined]
+            if key < best_key:
+                best_key = key
+                best_index = index
+        req = self.queue[best_index]
+        del self.queue[best_index]
+        return req
+
+
+class StorePut(Event):
+    """Event representing a pending ``put`` into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event representing a pending ``get`` from a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+
+
+class Store:
+    """FIFO queue of arbitrary Python objects with optional bounded capacity."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        """Queue ``item``; the returned event fires once the item is stored."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Request one item; the returned event fires with the item."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move queued puts into the buffer while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve waiting getters from the buffer.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progress = True
+
+
+class Container:
+    """A continuous quantity (credits / buffer bytes) with blocking get/put."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("Container capacity must be positive")
+        if init < 0 or init > capacity:
+            raise SimulationError("init must be within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self._putters: Deque[tuple] = deque()
+        self._getters: Deque[tuple] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks (pending event) while it would overflow."""
+        if amount <= 0:
+            raise SimulationError("put amount must be positive")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount <= 0:
+            raise SimulationError("get amount must be positive")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    event.succeed(amount)
+                    progress = True

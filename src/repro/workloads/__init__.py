@@ -1,0 +1,28 @@
+"""Workload generators reproducing the paper's access patterns.
+
+* :mod:`repro.workloads.domain` — n-dimensional domain decomposition with
+  overlapping (ghost-cell) subdomains, the access pattern the paper's
+  introduction motivates;
+* :mod:`repro.workloads.overlap_stress` — Experiment 1: every client writes a
+  large set of non-contiguous regions deliberately chosen to overlap with its
+  neighbours' regions;
+* :mod:`repro.workloads.tile_io` — Experiment 2: a faithful re-implementation
+  of the MPI-tile-IO benchmark (dense 2-D tile grid with overlapping tile
+  borders);
+* :mod:`repro.workloads.ghost_cells` — a small iterative stencil simulation
+  (2-D heat diffusion) whose ranks dump their overlapping subdomains every
+  iteration; used by the examples and the producer/consumer experiment.
+"""
+
+from repro.workloads.domain import DomainDecomposition, process_grid
+from repro.workloads.overlap_stress import OverlapStressWorkload
+from repro.workloads.tile_io import TileIOWorkload
+from repro.workloads.ghost_cells import GhostCellSimulation
+
+__all__ = [
+    "DomainDecomposition",
+    "process_grid",
+    "OverlapStressWorkload",
+    "TileIOWorkload",
+    "GhostCellSimulation",
+]

@@ -1,0 +1,50 @@
+"""Unit tests for BLOB descriptors."""
+
+import pytest
+
+from repro.blobseer.blob import BlobDescriptor
+from repro.errors import InvalidRegion, OutOfBounds
+
+
+def test_capacity_rounded_to_power_of_two_chunks():
+    descriptor = BlobDescriptor.create("b", size=5 * 100, chunk_size=100)
+    assert descriptor.capacity == 8 * 100
+    assert descriptor.num_leaves == 8
+    assert descriptor.requested_size == 500
+
+
+def test_minimum_one_chunk():
+    descriptor = BlobDescriptor.create("b", size=0, chunk_size=64)
+    assert descriptor.capacity == 64
+    assert descriptor.num_leaves == 1
+    assert descriptor.tree_depth == 0
+
+
+def test_exact_power_of_two_not_grown():
+    descriptor = BlobDescriptor.create("b", size=4 * 128, chunk_size=128)
+    assert descriptor.capacity == 4 * 128
+    assert descriptor.tree_depth == 2
+
+
+def test_leaf_offset():
+    descriptor = BlobDescriptor.create("b", size=1000, chunk_size=100)
+    assert descriptor.leaf_offset(0) == 0
+    assert descriptor.leaf_offset(99) == 0
+    assert descriptor.leaf_offset(100) == 100
+    assert descriptor.leaf_offset(555) == 500
+
+
+def test_validate_access():
+    descriptor = BlobDescriptor.create("b", size=100, chunk_size=100)
+    descriptor.validate_access(0, 100)
+    with pytest.raises(OutOfBounds):
+        descriptor.validate_access(50, 100)
+    with pytest.raises(InvalidRegion):
+        descriptor.validate_access(-1, 10)
+
+
+def test_invalid_creation_parameters():
+    with pytest.raises(InvalidRegion):
+        BlobDescriptor.create("b", size=10, chunk_size=0)
+    with pytest.raises(InvalidRegion):
+        BlobDescriptor.create("b", size=-1, chunk_size=10)

@@ -1,0 +1,112 @@
+"""Failure-injection tests at the deployment level."""
+
+import pytest
+
+from repro.blobseer import BlobSeerDeployment
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import ProviderUnavailable
+
+
+def make_deployment(num_providers=3):
+    cluster = Cluster(config=ClusterConfig(network_latency=1e-5))
+    deployment = BlobSeerDeployment(cluster, num_providers=num_providers,
+                                    chunk_size=64)
+    return cluster, deployment
+
+
+def run(cluster, generator):
+    process = cluster.sim.process(generator)
+    return cluster.sim.run(stop_event=process)
+
+
+class TestProviderFailure:
+    def test_writes_avoid_failed_provider(self):
+        cluster, deployment = make_deployment(num_providers=3)
+        client = deployment.client(cluster.add_node("c0"))
+        deployment.fail_provider("bs-data1")
+
+        def scenario():
+            yield from client.create_blob("b", size=1024)
+            yield from client.write("b", 0, b"x" * 1024)
+            data = yield from client.read("b", 0, 1024)
+            return data
+
+        assert run(cluster, scenario()) == b"x" * 1024
+        assert deployment.data_provider("bs-data1").store.chunk_count() == 0
+        # the surviving providers hold everything
+        total = sum(service.store.chunk_count()
+                    for service in deployment.data_providers.values())
+        assert total == 1024 // 64
+
+    def test_reads_of_old_data_fail_when_its_provider_dies(self):
+        cluster, deployment = make_deployment(num_providers=2)
+        client = deployment.client(cluster.add_node("c0"))
+
+        def write_phase():
+            yield from client.create_blob("b", size=256)
+            yield from client.write("b", 0, b"y" * 256)
+
+        run(cluster, write_phase())
+        deployment.fail_provider("bs-data0")
+
+        def read_phase():
+            data = yield from client.read("b", 0, 256)
+            return data
+
+        with pytest.raises(ProviderUnavailable):
+            run(cluster, read_phase())
+
+    def test_recovered_provider_serves_its_chunks_again(self):
+        cluster, deployment = make_deployment(num_providers=2)
+        client = deployment.client(cluster.add_node("c0"))
+
+        def write_phase():
+            yield from client.create_blob("b", size=256)
+            yield from client.write("b", 0, b"z" * 256)
+
+        run(cluster, write_phase())
+        deployment.fail_provider("bs-data0")
+        deployment.recover_provider("bs-data0")
+
+        def read_phase():
+            data = yield from client.read("b", 0, 256)
+            return data
+
+        assert run(cluster, read_phase()) == b"z" * 256
+
+    def test_all_providers_failed_rejects_writes(self):
+        cluster, deployment = make_deployment(num_providers=1)
+        client = deployment.client(cluster.add_node("c0"))
+        deployment.fail_provider("bs-data0")
+
+        def scenario():
+            yield from client.create_blob("b", size=256)
+            yield from client.write("b", 0, b"a" * 64)
+
+        with pytest.raises(ProviderUnavailable):
+            run(cluster, scenario())
+
+    def test_unpublished_writer_blocks_later_snapshots_not_earlier(self):
+        """A crashed writer (assigned ticket, never completed) stalls
+        publication of later tickets — the documented trade-off of in-order
+        publication — but already-published snapshots stay readable."""
+        cluster, deployment = make_deployment(num_providers=2)
+        client_a = deployment.client(cluster.add_node("c0"))
+        client_b = deployment.client(cluster.add_node("c1"))
+
+        def scenario():
+            yield from client_a.create_blob("b", size=256)
+            receipt = yield from client_a.write("b", 0, b"first")
+            # writer B grabs a ticket but "crashes" before completing
+            yield from client_b._control(
+                deployment.version_manager, "assign_ticket", "b")
+            # writer A writes again: its snapshot cannot publish yet
+            receipt_late = yield from client_a.write("b", 0, b"later")
+            latest = yield from client_a.latest_version("b")
+            early = yield from client_a.read("b", 0, 5, version=receipt.version)
+            return receipt.version, receipt_late.version, latest, early
+
+        first, late, latest, early = run(cluster, scenario())
+        assert first == 1 and late == 3
+        assert latest == 1          # version 2 never completed, 3 is held back
+        assert early == b"first"    # published data remains readable

@@ -1,0 +1,89 @@
+"""Unit tests for the version manager (tickets and in-order publication)."""
+
+import pytest
+
+from repro.blobseer.blob import BlobDescriptor
+from repro.blobseer.version_manager import VersionManager
+from repro.errors import BlobNotFound, StorageError, VersionNotFound
+
+
+def make_manager():
+    manager = VersionManager()
+    manager.create_blob(BlobDescriptor.create("b", 1024, 64))
+    return manager
+
+
+class TestNamespace:
+    def test_create_and_get(self):
+        manager = make_manager()
+        assert manager.get_blob("b").blob_id == "b"
+        assert manager.blob_exists("b")
+        assert not manager.blob_exists("other")
+
+    def test_duplicate_create_rejected(self):
+        manager = make_manager()
+        with pytest.raises(StorageError):
+            manager.create_blob(BlobDescriptor.create("b", 10, 64))
+
+    def test_unknown_blob_rejected(self):
+        with pytest.raises(BlobNotFound):
+            VersionManager().get_blob("nope")
+
+
+class TestTickets:
+    def test_tickets_are_sequential(self):
+        manager = make_manager()
+        assert manager.assign_ticket("b") == (1, 0)
+        assert manager.assign_ticket("b") == (2, 1)
+        assert manager.assign_ticket("b") == (3, 2)
+        assert manager.tickets_assigned == 3
+
+    def test_initial_published_version_is_zero(self):
+        manager = make_manager()
+        assert manager.latest_published("b") == 0
+        assert manager.is_published("b", 0)
+        assert not manager.is_published("b", 1)
+
+
+class TestPublication:
+    def test_in_order_completion_publishes_immediately(self):
+        manager = make_manager()
+        manager.assign_ticket("b")
+        latest, newly = manager.complete("b", 1)
+        assert latest == 1
+        assert newly == [1]
+
+    def test_out_of_order_completion_waits_for_predecessor(self):
+        manager = make_manager()
+        manager.assign_ticket("b")
+        manager.assign_ticket("b")
+        manager.assign_ticket("b")
+
+        latest, newly = manager.complete("b", 3)
+        assert latest == 0 and newly == []
+        latest, newly = manager.complete("b", 2)
+        assert latest == 0 and newly == []
+        latest, newly = manager.complete("b", 1)
+        assert latest == 3 and newly == [1, 2, 3]
+        assert manager.snapshots_published == 3
+
+    def test_unassigned_version_rejected(self):
+        manager = make_manager()
+        with pytest.raises(VersionNotFound):
+            manager.complete("b", 5)
+
+    def test_double_completion_rejected(self):
+        manager = make_manager()
+        manager.assign_ticket("b")
+        manager.complete("b", 1)
+        with pytest.raises(StorageError):
+            manager.complete("b", 1)
+
+    def test_pending_versions(self):
+        manager = make_manager()
+        manager.assign_ticket("b")
+        manager.assign_ticket("b")
+        manager.complete("b", 2)
+        assert manager.pending_versions("b") == [1, 2]
+        manager.complete("b", 1)
+        assert manager.pending_versions("b") == []

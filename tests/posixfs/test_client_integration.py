@@ -1,0 +1,192 @@
+"""Integration tests: POSIX client + deployment on a simulated cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.listio import IOVector
+from repro.core.regions import RegionList
+from repro.errors import FileNotFound
+from repro.posixfs import PosixFsDeployment, PosixParallelFS
+from repro.posixfs.lock_manager import LockMode
+
+
+def make_deployment(num_osts=3, stripe_size=64):
+    cluster = Cluster(config=ClusterConfig(network_latency=1e-5, disk_overhead=1e-4))
+    deployment = PosixFsDeployment(cluster, num_osts=num_osts,
+                                   default_stripe_size=stripe_size)
+    return cluster, deployment
+
+
+def run(cluster, generator):
+    process = cluster.sim.process(generator)
+    return cluster.sim.run(stop_event=process)
+
+
+class TestPosixClient:
+    def test_write_read_roundtrip(self):
+        cluster, deployment = make_deployment()
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.create("/shared", stripe_size=64)
+            yield from client.write("/shared", 100, b"hello world")
+            data = yield from client.read("/shared", 100, 11)
+            attrs = yield from client.stat("/shared")
+            return data, attrs.size
+
+        data, size = run(cluster, scenario())
+        assert data == b"hello world"
+        assert size == 111
+
+    def test_write_striped_across_osts(self):
+        cluster, deployment = make_deployment(num_osts=3, stripe_size=64)
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.create("/f", stripe_size=64, stripe_count=3)
+            yield from client.write("/f", 0, b"z" * 64 * 6)
+
+        run(cluster, scenario())
+        per_ost = [ost.store.stored_bytes() for ost in deployment.osts]
+        assert per_ost == [128, 128, 128]
+
+    def test_read_missing_file_raises(self):
+        cluster, deployment = make_deployment()
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.read("/missing", 0, 4)
+
+        with pytest.raises(FileNotFound):
+            run(cluster, scenario())
+
+    def test_unwritten_bytes_read_as_zero(self):
+        cluster, deployment = make_deployment()
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.create("/f")
+            yield from client.write("/f", 10, b"x")
+            data = yield from client.read("/f", 0, 12)
+            return data
+
+        assert run(cluster, scenario()) == b"\x00" * 10 + b"x\x00"
+
+    def test_vector_write_and_read(self):
+        cluster, deployment = make_deployment()
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.create("/f", stripe_size=64)
+            yield from client.write_vector(
+                "/f", IOVector.for_write([(0, b"aa"), (100, b"bb")]))
+            results = yield from client.read_vector(
+                "/f", IOVector.for_read([(0, 2), (100, 2)]))
+            return results
+
+        assert run(cluster, scenario()) == [b"aa", b"bb"]
+
+    def test_advisory_lock_serializes_writers(self):
+        cluster, deployment = make_deployment()
+        clients = [deployment.client(node)
+                   for node in cluster.add_nodes("c", 2)]
+        order = []
+
+        def locker(client, name, hold_time):
+            handle = yield from client.lock_extent("/f", 0, 128,
+                                                   LockMode.EXCLUSIVE)
+            order.append((name, "acquired", cluster.sim.now))
+            yield cluster.sim.timeout(hold_time)
+            yield from client.unlock(handle)
+            order.append((name, "released", cluster.sim.now))
+
+        def scenario():
+            yield from clients[0].create("/f", stripe_size=64)
+            procs = [cluster.sim.process(locker(clients[0], "a", 0.5)),
+                     cluster.sim.process(locker(clients[1], "b", 0.5))]
+            yield cluster.sim.all_of(procs)
+
+        run(cluster, scenario())
+        acquired = [entry for entry in order if entry[1] == "acquired"]
+        released = [entry for entry in order if entry[1] == "released"]
+        # the second acquisition happens only after the first release
+        assert acquired[1][2] >= released[0][2]
+
+    def test_lock_wait_time_accounted(self):
+        cluster, deployment = make_deployment()
+        clients = [deployment.client(node) for node in cluster.add_nodes("c", 2)]
+
+        def locker(client, hold):
+            handle = yield from client.lock_extent("/f", 0, 64, LockMode.EXCLUSIVE)
+            yield cluster.sim.timeout(hold)
+            yield from client.unlock(handle)
+
+        def scenario():
+            yield from clients[0].create("/f", stripe_size=64)
+            procs = [cluster.sim.process(locker(client, 1.0)) for client in clients]
+            yield cluster.sim.all_of(procs)
+
+        run(cluster, scenario())
+        stats = deployment.stats()
+        assert stats["lock_wait_time"] >= 1.0
+
+    def test_shared_locks_allow_concurrent_readers(self):
+        cluster, deployment = make_deployment()
+        clients = [deployment.client(node) for node in cluster.add_nodes("c", 3)]
+        acquired_times = []
+
+        def reader(client):
+            handle = yield from client.lock_extent("/f", 0, 64, LockMode.SHARED)
+            acquired_times.append(cluster.sim.now)
+            yield cluster.sim.timeout(1.0)
+            yield from client.unlock(handle)
+
+        def scenario():
+            yield from clients[0].create("/f", stripe_size=64)
+            procs = [cluster.sim.process(reader(client)) for client in clients]
+            yield cluster.sim.all_of(procs)
+
+        run(cluster, scenario())
+        assert max(acquired_times) - min(acquired_times) < 1.0
+
+    def test_noncontiguous_lock_spans_multiple_osts(self):
+        cluster, deployment = make_deployment(num_osts=3, stripe_size=64)
+        client = deployment.client(cluster.add_node("c0"))
+
+        def scenario():
+            yield from client.create("/f", stripe_size=64, stripe_count=3)
+            handle = yield from client.lock_regions(
+                "/f", RegionList([(0, 10), (64, 10), (128, 10)]),
+                LockMode.EXCLUSIVE)
+            count = len(handle.entries)
+            yield from client.unlock(handle)
+            return count
+
+        assert run(cluster, scenario()) == 3
+
+
+class TestPosixFacade:
+    def test_facade_roundtrip(self):
+        fs = PosixParallelFS(num_osts=2, stripe_size=64,
+                             config=ClusterConfig(network_latency=1e-5))
+        fs.create("/f")
+        fs.write("/f", 5, b"abc")
+        assert fs.read("/f", 5, 3) == b"abc"
+        assert fs.stat("/f").size == 8
+
+    def test_facade_vector_helpers(self):
+        fs = PosixParallelFS(num_osts=2, stripe_size=64,
+                             config=ClusterConfig(network_latency=1e-5))
+        fs.create("/f")
+        fs.write_vector("/f", [(0, b"xx"), (70, b"yy")])
+        assert fs.read_vector("/f", [(0, 2), (70, 2)]) == [b"xx", b"yy"]
+
+    def test_facade_lock_unlock(self):
+        fs = PosixParallelFS(num_osts=2, stripe_size=64,
+                             config=ClusterConfig(network_latency=1e-5))
+        fs.create("/f")
+        handle = fs.lock("/f", 0, 100)
+        assert handle.entries
+        fs.unlock(handle)
+        stats = fs.stats()
+        assert stats["locks_granted"] >= 1

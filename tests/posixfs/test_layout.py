@@ -1,0 +1,62 @@
+"""Unit tests for the striping layout."""
+
+import pytest
+
+from repro.core.regions import Region, RegionList
+from repro.errors import InvalidRegion
+from repro.posixfs.layout import StripeLayout
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(InvalidRegion):
+        StripeLayout(stripe_size=0, ost_count=2)
+    with pytest.raises(InvalidRegion):
+        StripeLayout(stripe_size=64, ost_count=0)
+
+
+def test_single_stripe_region():
+    layout = StripeLayout(stripe_size=100, ost_count=4)
+    pieces = layout.map_region(Region(10, 50))
+    assert len(pieces) == 1
+    piece = pieces[0]
+    assert piece.ost_index == 0
+    assert piece.object_offset == 10
+    assert piece.length == 50
+    assert piece.file_offset == 10
+
+
+def test_round_robin_across_osts():
+    layout = StripeLayout(stripe_size=100, ost_count=2)
+    pieces = layout.map_region(Region(0, 400))
+    assert [piece.ost_index for piece in pieces] == [0, 1, 0, 1]
+    # second visit of OST 0 goes to the next object slot
+    assert pieces[2].object_offset == 100
+    assert pieces[3].object_offset == 100
+
+
+def test_unaligned_region_splits_on_stripe_boundaries():
+    layout = StripeLayout(stripe_size=100, ost_count=3)
+    pieces = layout.map_region(Region(250, 200))
+    assert [(p.ost_index, p.object_offset, p.length) for p in pieces] == [
+        (2, 50, 50), (0, 100, 100), (1, 100, 50)]
+    assert sum(piece.length for piece in pieces) == 200
+
+
+def test_map_regions_preserves_order():
+    layout = StripeLayout(stripe_size=100, ost_count=2)
+    pieces = layout.map_regions(RegionList([(300, 10), (0, 10)]))
+    assert [piece.file_offset for piece in pieces] == [300, 0]
+
+
+def test_osts_for_region_and_regions():
+    layout = StripeLayout(stripe_size=100, ost_count=4)
+    assert layout.osts_for_region(Region(0, 250)) == [0, 1, 2]
+    assert layout.osts_for_regions(RegionList([(0, 50), (300, 50)])) == [0, 3]
+
+
+def test_bytes_never_lost_or_duplicated():
+    layout = StripeLayout(stripe_size=64, ost_count=3)
+    region = Region(17, 1000)
+    pieces = layout.map_region(region)
+    covered = RegionList([(p.file_offset, p.length) for p in pieces]).normalized()
+    assert covered.as_tuples() == [(17, 1000)]

@@ -1,0 +1,224 @@
+"""Unit tests for simulated resources, stores and containers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simengine import Container, PriorityResource, Resource, Simulator, Store
+
+
+def test_resource_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_serializes_users_beyond_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    acquisitions = []
+
+    def user(name, hold):
+        request = resource.request()
+        yield request
+        acquisitions.append((name, sim.now))
+        yield sim.timeout(hold)
+        resource.release(request)
+
+    sim.process(user("a", 5))
+    sim.process(user("b", 5))
+    sim.process(user("c", 5))
+    sim.run_all()
+    assert acquisitions == [("a", 0), ("b", 5), ("c", 10)]
+
+
+def test_resource_capacity_two_allows_two_concurrent_users():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    acquisitions = []
+
+    def user(name):
+        request = resource.request()
+        yield request
+        acquisitions.append((name, sim.now))
+        yield sim.timeout(10)
+        resource.release(request)
+
+    for name in ("a", "b", "c"):
+        sim.process(user(name))
+    sim.run_all()
+    assert acquisitions == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_release_unknown_request_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    foreign = other.request()
+    with pytest.raises(SimulationError):
+        resource.release(foreign)
+
+
+def test_release_queued_request_cancels_it():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    granted = []
+
+    def holder():
+        request = resource.request()
+        yield request
+        yield sim.timeout(10)
+        resource.release(request)
+
+    def canceller():
+        yield sim.timeout(1)
+        request = resource.request()
+        yield sim.timeout(1)
+        resource.release(request)  # cancel while still queued
+
+    def third():
+        yield sim.timeout(3)
+        request = resource.request()
+        yield request
+        granted.append(sim.now)
+        resource.release(request)
+
+    sim.process(holder())
+    sim.process(canceller())
+    sim.process(third())
+    sim.run_all()
+    assert granted == [10]
+
+
+def test_priority_resource_grants_lowest_priority_first():
+    sim = Simulator()
+    resource = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        request = resource.request()
+        yield request
+        yield sim.timeout(10)
+        resource.release(request)
+
+    def waiter(name, priority, arrival):
+        yield sim.timeout(arrival)
+        request = resource.request(priority=priority)
+        yield request
+        order.append(name)
+        resource.release(request)
+
+    sim.process(holder())
+    sim.process(waiter("low-priority", 5, 1))
+    sim.process(waiter("high-priority", 1, 2))
+    sim.run_all()
+    assert order == ["high-priority", "low-priority"]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for index in range(5):
+            yield sim.timeout(1)
+            yield store.put(index)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run_all()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(7)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run_all()
+    assert times == [("x", 7)]
+
+
+def test_bounded_store_blocks_put_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("first")
+        log.append(("put-first", sim.now))
+        yield store.put("second")
+        log.append(("put-second", sim.now))
+
+    def consumer():
+        yield sim.timeout(4)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run_all()
+    assert ("put-second", 4) in log
+
+
+def test_container_levels():
+    sim = Simulator()
+    container = Container(sim, capacity=100, init=10)
+    levels = []
+
+    def user():
+        yield container.get(5)
+        levels.append(container.level)
+        yield container.put(20)
+        levels.append(container.level)
+
+    sim.process(user())
+    sim.run_all()
+    assert levels == [5, 25]
+
+
+def test_container_get_blocks_until_enough():
+    sim = Simulator()
+    container = Container(sim, capacity=100, init=0)
+    times = []
+
+    def consumer():
+        yield container.get(10)
+        times.append(sim.now)
+
+    def producer():
+        yield sim.timeout(3)
+        yield container.put(10)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run_all()
+    assert times == [3]
+
+
+def test_container_invalid_arguments():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=10, init=20)
+    container = Container(sim, capacity=10)
+    with pytest.raises(SimulationError):
+        container.put(0)
+    with pytest.raises(SimulationError):
+        container.get(-1)

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs to completion and verifies itself.
+
+The examples contain their own assertions (file-content verification,
+snapshot-isolation checks), so "runs without raising" is a meaningful check.
+Output is captured so the test log stays quiet.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "producer_consumer",
+    "ghost_cell_simulation",
+    "tile_io_comparison",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out  # every example reports what it did
+
+
+def test_examples_directory_is_complete():
+    present = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "ghost_cell_simulation", "tile_io_comparison",
+            "producer_consumer"} <= present

@@ -1,0 +1,78 @@
+"""Unit tests for the ghost-cell stencil simulation workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.workloads.ghost_cells import GhostCellSimulation
+
+
+class TestGhostCellSimulation:
+    def test_invalid_parameters(self):
+        with pytest.raises(BenchmarkError):
+            GhostCellSimulation(domain_x=0)
+        with pytest.raises(BenchmarkError):
+            GhostCellSimulation(alpha=0.5)
+
+    def test_initial_field_has_hot_region(self):
+        simulation = GhostCellSimulation(domain_x=32, domain_y=32, num_ranks=4)
+        assert simulation.field.max() == 100.0
+        assert simulation.field.min() == 0.0
+
+    def test_step_diffuses_heat(self):
+        simulation = GhostCellSimulation(domain_x=32, domain_y=32, num_ranks=4)
+        initial_max = simulation.field.max()
+        initial_heat = simulation.total_heat()
+        for _ in range(5):
+            simulation.step()
+        assert simulation.iteration == 5
+        assert simulation.field.max() < initial_max
+        # interior diffusion conserves heat (no flux leaves in 5 tiny steps
+        # because the hot square sits far from the boundary)
+        assert simulation.total_heat() == pytest.approx(initial_heat, rel=1e-9)
+
+    def test_dump_pairs_cover_each_rank_block(self):
+        simulation = GhostCellSimulation(domain_x=32, domain_y=32, num_ranks=4,
+                                         ghost=2)
+        for rank in range(4):
+            pairs = simulation.rank_dump_pairs(rank)
+            regions = simulation.decomposition.rank_regions(rank)
+            assert len(pairs) == len(regions)
+            assert sum(len(data) for _, data in pairs) == \
+                regions.total_bytes()
+
+    def test_dumps_reassemble_to_global_field(self):
+        simulation = GhostCellSimulation(domain_x=16, domain_y=16, num_ranks=4,
+                                         ghost=1)
+        simulation.step()
+        content = bytearray(simulation.file_size)
+        for rank in range(4):
+            for offset, data in simulation.rank_dump_pairs(rank):
+                content[offset:offset + len(data)] = data
+        reassembled = simulation.decode_file(bytes(content))
+        np.testing.assert_array_equal(reassembled, simulation.field)
+
+    def test_overlapping_ranks_write_identical_ghost_values(self):
+        simulation = GhostCellSimulation(domain_x=16, domain_y=16, num_ranks=4,
+                                         ghost=2)
+        simulation.step()
+        expected = simulation.expected_file_content()
+        # applying ranks in *any* order must give the same file: the ghost
+        # bytes written by several ranks carry identical values
+        import itertools
+
+        orders = list(itertools.permutations(range(4)))[:6]
+        results = set()
+        for order in orders:
+            content = bytearray(simulation.file_size)
+            for rank in order:
+                for offset, data in simulation.rank_dump_pairs(rank):
+                    content[offset:offset + len(data)] = data
+            results.add(bytes(content))
+        assert results == {expected}
+
+    def test_decode_file_pads_short_content(self):
+        simulation = GhostCellSimulation(domain_x=8, domain_y=8, num_ranks=2)
+        decoded = simulation.decode_file(b"")
+        assert decoded.shape == (8, 8)
+        assert decoded.sum() == 0.0
