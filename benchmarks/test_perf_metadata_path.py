@@ -1,0 +1,123 @@
+"""PERF — metadata read-path microbenchmarks (cache + per-level batching).
+
+Runs the EXP1-style overlapped-write / repeated-read workload through the
+three client configurations of :mod:`repro.bench.metadata_path` with one
+shared harness, asserts the acceptance shape (>= 5x fewer metadata RPC
+round-trips on the warm-cache path than the uncached one-RPC-per-node
+baseline, byte-identical reads), and records every row — metadata RPCs,
+cache hit rate, simulated seconds, wall-clock seconds — into
+``BENCH_metadata.json`` at the repository root so future PRs can track the
+perf trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the same shapes on a fraction of the
+work (what CI does on every push).
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.bench.metadata_path import (
+    MODES,
+    MetadataPathSettings,
+    run_metadata_path_suite,
+    run_region_algebra_microbench,
+)
+from repro.bench.metrics import rpc_reduction
+from repro.bench.reporting import format_table
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_metadata.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: acceptance threshold: warm-cache path vs uncached baseline round-trips
+MIN_RPC_REDUCTION = 5.0
+
+
+def bench_settings() -> MetadataPathSettings:
+    settings = MetadataPathSettings()
+    return settings.scaled_down() if SMOKE else settings
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Run all modes once on identical settings; emit the JSON artifact."""
+    settings = bench_settings()
+    results = run_metadata_path_suite(settings)
+    rows = [results[mode].sample.as_row() for mode in MODES]
+    rows.append(run_region_algebra_microbench())
+    artifact = {
+        "suite": "metadata-read-path",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "settings": {
+            "num_clients": settings.num_clients,
+            "regions_per_client": settings.regions_per_client,
+            "region_size": settings.region_size,
+            "overlap_fraction": settings.overlap_fraction,
+            "read_repeats": settings.read_repeats,
+            "num_metadata_providers": settings.num_metadata_providers,
+            "chunk_size": settings.chunk_size,
+        },
+        "rpc_reduction_vs_baseline": {
+            mode: rpc_reduction(results["baseline"].sample, results[mode].sample)
+            for mode in MODES
+        },
+        "rows": rows,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print()
+    print(format_table(rows, title="metadata read-path microbenchmark"))
+    return results
+
+
+def test_all_modes_read_identical_bytes(suite):
+    baseline = suite["baseline"].read_digest
+    assert suite["batched"].read_digest == baseline
+    assert suite["cached-batched"].read_digest == baseline
+
+
+def test_batching_collapses_round_trips(suite):
+    """One RPC per shard per level beats one RPC per node on cold reads alone."""
+    assert suite["batched"].sample.metadata_rpcs \
+        < suite["baseline"].sample.metadata_rpcs / 2
+
+
+def test_warm_cache_rpc_reduction_at_least_5x(suite):
+    """The acceptance criterion: >= 5x fewer metadata round-trips."""
+    reduction = rpc_reduction(suite["baseline"].sample,
+                              suite["cached-batched"].sample)
+    assert reduction >= MIN_RPC_REDUCTION, (
+        f"only {reduction:.1f}x fewer metadata RPCs "
+        f"({suite['baseline'].sample.metadata_rpcs} -> "
+        f"{suite['cached-batched'].sample.metadata_rpcs})")
+
+
+def test_warm_cache_hit_rate_is_high(suite):
+    sample = suite["cached-batched"].sample
+    assert sample.cache_hit_rate > 0.5
+    # uncached modes must report a zero (not misleading) hit rate
+    assert suite["baseline"].sample.cache_hit_rate == 0.0
+
+
+def test_cached_reads_are_not_slower_in_simulated_time(suite):
+    assert suite["cached-batched"].sample.sim_elapsed_s \
+        <= suite["baseline"].sample.sim_elapsed_s * 1.05
+
+
+def test_artifact_written_with_populated_columns(suite):
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["suite"] == "metadata-read-path"
+    modes = {row["mode"] for row in artifact["rows"]}
+    assert modes == set(MODES) | {"region-algebra"}
+    for row in artifact["rows"]:
+        if row["mode"] == "region-algebra":
+            assert row["wall_clock_s"] > 0
+            continue
+        assert row["metadata_rpcs"] > 0
+        assert row["wall_clock_s"] > 0
+        assert "cache_hit_rate" in row and "sim_elapsed_s" in row
+    assert artifact["rpc_reduction_vs_baseline"]["cached-batched"] \
+        >= MIN_RPC_REDUCTION

@@ -35,6 +35,66 @@ class ThroughputSample:
         return self.throughput_mib / max(1, self.num_clients)
 
 
+@dataclass
+class MetadataPathSample:
+    """One measured run of the metadata read-path microbenchmark.
+
+    ``metadata_rpcs`` counts the RPC round-trips the clients spent resolving
+    segment-tree nodes; ``cache_hits`` / ``cache_misses`` come from the
+    client-side node caches; ``wall_clock_s`` is real (host) time spent
+    executing the run and ``sim_elapsed_s`` the simulated time the read phase
+    occupied — the two axes the perf trajectory in ``BENCH_metadata.json``
+    tracks.
+    """
+
+    mode: str
+    num_clients: int
+    reads: int
+    metadata_rpcs: int
+    nodes_fetched: int
+    cache_hits: int
+    cache_misses: int
+    sim_elapsed_s: float
+    wall_clock_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of node lookups answered by the client-side cache."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def rpcs_per_read(self) -> float:
+        """Average metadata round-trips one vectored read cost."""
+        return self.metadata_rpcs / max(1, self.reads)
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "clients": self.num_clients,
+            "reads": self.reads,
+            "metadata_rpcs": self.metadata_rpcs,
+            "rpcs_per_read": self.rpcs_per_read,
+            "nodes_fetched": self.nodes_fetched,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def rpc_reduction(baseline: MetadataPathSample,
+                  optimized: MetadataPathSample) -> float:
+    """How many times fewer metadata round-trips the optimized path spent."""
+    if optimized.metadata_rpcs <= 0:
+        return float("inf")
+    return baseline.metadata_rpcs / optimized.metadata_rpcs
+
+
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:
     """Throughput ratio of our approach over the baseline (paper's headline)."""
     base = baseline.throughput

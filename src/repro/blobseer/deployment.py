@@ -90,10 +90,17 @@ class BlobSeerDeployment:
         except KeyError:
             raise ProviderUnavailable(f"unknown data provider {provider_id!r}") from None
 
-    def client(self, node: "Node", name: Optional[str] = None) -> BlobClient:
-        """Create a client bound to ``node`` (typically an MPI rank's node)."""
+    def client(self, node: "Node", name: Optional[str] = None,
+               **client_options) -> BlobClient:
+        """Create a client bound to ``node`` (typically an MPI rank's node).
+
+        ``client_options`` forward to :class:`BlobClient` (e.g.
+        ``enable_metadata_cache`` / ``metadata_batching`` for the metadata
+        read-path benchmarks).
+        """
         self._client_counter += 1
-        return BlobClient(self, node, name or f"blobclient{self._client_counter}")
+        return BlobClient(self, node, name or f"blobclient{self._client_counter}",
+                          **client_options)
 
     # ------------------------------------------------------------------
     def fail_provider(self, provider_id: str) -> None:
@@ -109,11 +116,17 @@ class BlobSeerDeployment:
     def stats(self) -> dict:
         """Aggregate storage-side statistics for benchmark reports."""
         stores = [service.store for service in self.data_providers.values()]
+        get_node_rpcs = sum(provider.calls.get("get_node", 0)
+                            for provider in self.metadata_providers)
+        get_nodes_rpcs = sum(provider.calls.get("get_nodes", 0)
+                             for provider in self.metadata_providers)
         return {
             "providers": len(stores),
             "chunks": sum(store.chunk_count() for store in stores),
             "stored_bytes": sum(store.stored_bytes() for store in stores),
             "metadata_nodes": self.metadata_store.node_count(),
+            "metadata_read_rpcs": get_node_rpcs + get_nodes_rpcs,
+            "metadata_batched_rpcs": get_nodes_rpcs,
             "snapshots_published": self.version_manager.manager.snapshots_published,
             "tickets_assigned": self.version_manager.manager.tickets_assigned,
             "load_imbalance": self.provider_manager.manager.load_imbalance(),

@@ -16,9 +16,12 @@ versioning principle the paper relies on to eliminate locking.
 * :mod:`repro.blobseer.metadata.store` — the metadata node store with
   at-or-before version resolution, plus hash partitioning over several
   metadata providers;
-* :mod:`repro.blobseer.metadata.provider` — the metadata provider service.
+* :mod:`repro.blobseer.metadata.provider` — the metadata provider service;
+* :mod:`repro.blobseer.metadata.cache` — the client-side cache of immutable
+  nodes and resolved version hints used by the read hot path.
 """
 
+from repro.blobseer.metadata.cache import CacheStats, MetadataNodeCache
 from repro.blobseer.metadata.nodes import ChildRef, LeafSegment, MetadataNode, NodeKey
 from repro.blobseer.metadata.store import MetadataStore, PartitionedMetadataStore
 from repro.blobseer.metadata.provider import SimMetadataProvider
@@ -36,6 +39,8 @@ __all__ = [
     "MetadataStore",
     "PartitionedMetadataStore",
     "SimMetadataProvider",
+    "CacheStats",
+    "MetadataNodeCache",
     "build_write_metadata",
     "leaf_pieces_for_vector",
     "overlay_segments",

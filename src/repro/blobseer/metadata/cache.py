@@ -1,0 +1,137 @@
+"""Client-side cache of versioned metadata nodes.
+
+Metadata nodes are immutable and version hints are only ever followed for
+*published* snapshots, so the result of an at-or-before lookup
+``(blob, offset, size, hint) -> node-or-None`` can never change once it has
+been observed: publication of snapshot ``v`` requires every write with a
+ticket ``<= v`` to have stored its metadata first, and all hints reachable
+from a published snapshot are ``<= v``.  That makes cached entries valid
+forever — including negative entries (``None`` = "range never written as of
+that hint"), which spare the client a round-trip for zero-filled holes.
+
+One map backs the cache, keyed by the full lookup ``(blob, offset, size,
+hint)``.  A node fetched under hint ``h`` is additionally inserted under its
+exact version ``(blob, offset, size, node.version)`` — traversals of other
+read versions route through that exact hint, so the alias lets them share
+the cached node.  Alias entries are ordinary entries: under a bounded cache
+each occupies one slot and is evicted on its own LRU schedule.
+
+Eviction is LRU over that map (entries refresh their position on every hit
+and overwrite) and is off by default: a metadata node costs a few hundred
+bytes and the simulated workloads touch bounded trees.  ``capacity`` bounds
+the number of entries when set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.blobseer.metadata.nodes import MetadataNode
+
+#: cache key of one at-or-before lookup
+HintKey = Tuple[str, int, int, int]
+
+#: sentinel distinguishing "not cached" from a cached negative (None) result
+_ABSENT = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters surfaced through the benchmark harness."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict form for JSON benchmark artifacts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MetadataNodeCache:
+    """LRU cache of resolved metadata lookups (see module docstring).
+
+    ``get`` returns ``(found, node_or_none)`` so a cached negative result is
+    distinguishable from a cache miss.  ``capacity=None`` disables eviction.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        # hint map: insertion order doubles as LRU order (move-to-end on hit)
+        self._resolved: Dict[HintKey, Optional[MetadataNode]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._resolved)
+
+    def get(self, blob_id: str, offset: int, size: int,
+            hint: int) -> Tuple[bool, Optional[MetadataNode]]:
+        """Cached result of ``get_at_or_before(blob_id, offset, size, hint)``.
+
+        Returns ``(True, node_or_None)`` on a hit, ``(False, None)`` on a
+        miss; counts one hit or miss per call.
+        """
+        key = (blob_id, offset, size, hint)
+        value = self._resolved.get(key, _ABSENT)
+        if value is _ABSENT:
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        if self.capacity is not None:
+            # refresh LRU position
+            del self._resolved[key]
+            self._resolved[key] = value
+        return True, value
+
+    def put(self, blob_id: str, offset: int, size: int, hint: int,
+            node: Optional[MetadataNode]) -> None:
+        """Record one resolved lookup (``node=None`` caches a negative)."""
+        self._insert((blob_id, offset, size, hint), node)
+        if node is not None and node.key.version != hint:
+            # alias under the node's exact version: any future hint that
+            # resolves through this version hits without a round-trip
+            self._insert((blob_id, offset, size, node.key.version), node)
+
+    def _insert(self, key: HintKey, node: Optional[MetadataNode]) -> None:
+        fresh = key not in self._resolved
+        if not fresh:
+            # re-insert so an overwrite also refreshes the LRU position
+            del self._resolved[key]
+        self._resolved[key] = node
+        if fresh:
+            self.stats.insertions += 1
+            if self.capacity is not None and len(self._resolved) > self.capacity:
+                oldest = next(iter(self._resolved))
+                del self._resolved[oldest]
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._resolved.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MetadataNodeCache entries={len(self._resolved)} "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")

@@ -41,3 +41,15 @@ class SimMetadataProvider(Service):
         """At-or-before lookup of one node."""
         return self.store.get_at_or_before(blob_id, offset, size, version)
         yield  # pragma: no cover - makes this a generator function
+
+    def get_nodes(self, blob_id: str, requests):
+        """Batched at-or-before lookups of one read-frontier level.
+
+        ``requests`` is a list of ``(offset, size, version_hint)`` tuples; the
+        response is aligned with it (``None`` entries for never-written
+        ranges).  One such RPC replaces one :meth:`get_node` round-trip per
+        node, collapsing a level's metadata traffic for this shard into a
+        single exchange.
+        """
+        return self.store.get_nodes(blob_id, requests)
+        yield  # pragma: no cover - makes this a generator function

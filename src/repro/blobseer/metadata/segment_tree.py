@@ -21,7 +21,7 @@ them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.blobseer.blob import BlobDescriptor
 from repro.blobseer.chunk import ChunkKey
@@ -29,6 +29,9 @@ from repro.blobseer.metadata.nodes import ChildRef, LeafSegment, MetadataNode, N
 from repro.core.listio import IOVector
 from repro.core.regions import Region, RegionList
 from repro.errors import InvalidRegion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.metadata.cache import MetadataNodeCache
 
 
 # ----------------------------------------------------------------------
@@ -214,11 +217,20 @@ class ReadExtent:
 
 @dataclass
 class ReadPlan:
-    """Result of :func:`plan_read`: extents plus metadata-traffic accounting."""
+    """Result of :func:`plan_read`: extents plus metadata-traffic accounting.
+
+    ``nodes_fetched`` counts every node the traversal *used* (whether it came
+    from the metadata store or a client-side cache); ``cache_hits`` /
+    ``cache_misses`` break lookups down when a cache was consulted, and
+    ``metadata_rpcs`` is filled by callers that issue real (batched) RPCs.
+    """
 
     extents: List[ReadExtent]
     nodes_fetched: int
     levels: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    metadata_rpcs: int = 0
 
     def chunk_bytes(self) -> int:
         """Bytes that must be fetched from data providers."""
@@ -231,55 +243,99 @@ class ReadPlan:
 
 GetNode = Callable[[int, int, int], Optional[MetadataNode]]
 
+#: one at-or-before lookup a frontier level needs: (offset, size, version hint)
+NodeRequest = Tuple[int, int, int]
 
-def plan_read(blob: BlobDescriptor, version: int, regions: RegionList,
-              get_node: GetNode) -> ReadPlan:
-    """Resolve which chunks supply every byte of ``regions`` at ``version``.
+GetNodes = Callable[[Sequence[NodeRequest]], Sequence[Optional[MetadataNode]]]
 
-    Parameters
-    ----------
-    get_node:
-        Callback ``(offset, size, version_hint) -> MetadataNode | None``
-        implementing the at-or-before lookup (``None`` = range never written
-        as of that version, i.e. zero-filled).
 
-    The traversal proceeds level by level from the root; shadowed subtrees are
-    followed through their version hints, and partially-covered leaves recurse
-    into their base version — the mechanism that makes every published
-    snapshot a complete, immutable image.
+class ReadPlanner:
+    """Level-by-level traversal of a snapshot's segment tree.
+
+    The planner externalizes the node fetches of :func:`plan_read` so callers
+    decide *how* each frontier level's lookups are satisfied: the simulated
+    client groups them by metadata shard and issues one batched RPC per shard
+    per level (O(levels × shards) round-trips instead of O(nodes)), while unit
+    tests drive it with plain callbacks.  A :class:`MetadataNodeCache` short-
+    circuits lookups whose result the client has already seen — immutable
+    nodes make every cached answer permanently valid.
+
+    Protocol::
+
+        planner = ReadPlanner(blob, version, regions, cache=cache)
+        while not planner.done:
+            requests = planner.pending()          # cache misses of this level
+            results = ... fetch them somehow ...  # {request: node-or-None}
+            planner.advance(results)
+        plan = planner.plan()
     """
-    wanted = regions.normalized()
-    for region in wanted:
-        blob.validate_access(region.offset, region.size)
-    if len(wanted) == 0:
-        return ReadPlan(extents=[], nodes_fetched=0, levels=0)
 
-    extents: List[ReadExtent] = []
-    nodes_fetched = 0
-    levels = 0
-    # frontier entries: (offset, size, version_hint, wanted RegionList)
-    frontier: List[Tuple[int, int, int, RegionList]] = [
-        (0, blob.capacity, version, wanted)
-    ]
+    def __init__(self, blob: BlobDescriptor, version: int, regions: RegionList,
+                 cache: Optional["MetadataNodeCache"] = None):
+        wanted = regions.normalized()
+        for region in wanted:
+            blob.validate_access(region.offset, region.size)
+        self.blob = blob
+        self.version = version
+        self.cache = cache
+        self.extents: List[ReadExtent] = []
+        self.nodes_fetched = 0
+        self.levels = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.metadata_rpcs = 0
+        # frontier entries: (offset, size, version_hint, wanted RegionList)
+        self._frontier: List[Tuple[int, int, int, RegionList]] = []
+        if len(wanted) > 0:
+            self._frontier.append((0, blob.capacity, version, wanted))
+        self._cached_level: Dict[NodeRequest, Optional[MetadataNode]] = {}
+        self._pending: List[NodeRequest] = []
+        self._scan_frontier()
 
-    while frontier:
-        levels += 1
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once every wanted byte has been resolved to an extent."""
+        return not self._frontier
+
+    def pending(self) -> List[NodeRequest]:
+        """This level's lookups that the cache could not answer (deduped)."""
+        return list(self._pending)
+
+    def advance(self, fetched: Dict[NodeRequest, Optional[MetadataNode]]) -> None:
+        """Consume one frontier level using cached plus freshly fetched nodes."""
+        if self.done:
+            raise InvalidRegion("advance() called on a finished read plan")
+        missing = [request for request in self._pending if request not in fetched]
+        if missing:
+            raise InvalidRegion(
+                f"advance() is missing results for {missing[:3]}"
+                f"{'...' if len(missing) > 3 else ''}")
+        if self.cache is not None:
+            for request in self._pending:
+                self.cache.put(self.blob.blob_id, *request, fetched[request])
+
+        self.levels += 1
         next_frontier: List[Tuple[int, int, int, RegionList]] = []
-        for offset, size, hint, sub_wanted in frontier:
-            node = get_node(offset, size, hint)
-            if node is not None:
-                nodes_fetched += 1
+        for offset, size, hint, sub_wanted in self._frontier:
+            request = (offset, size, hint)
+            if request in self._cached_level:
+                node = self._cached_level[request]
+            else:
+                node = fetched[request]
             if node is None:
                 for region in sub_wanted:
-                    extents.append(ReadExtent(region.offset, region.size))
+                    self.extents.append(ReadExtent(region.offset, region.size))
                 continue
+            self.nodes_fetched += 1
             if node.is_leaf:
                 leaf_extents, leftover = _resolve_leaf(node, offset, sub_wanted)
-                extents.extend(leaf_extents)
+                self.extents.extend(leaf_extents)
                 if len(leftover) > 0:
                     if node.base_version is None:
                         for region in leftover:
-                            extents.append(ReadExtent(region.offset, region.size))
+                            self.extents.append(
+                                ReadExtent(region.offset, region.size))
                     else:
                         next_frontier.append((offset, size, node.base_version,
                                               leftover))
@@ -290,31 +346,134 @@ def plan_read(blob: BlobDescriptor, version: int, regions: RegionList,
                     if len(child_wanted) > 0:
                         next_frontier.append((child.offset, child.size,
                                               child.version_hint, child_wanted))
-        frontier = next_frontier
+        self._frontier = next_frontier
+        self._scan_frontier()
 
-    extents.sort(key=lambda extent: extent.offset)
-    return ReadPlan(extents=extents, nodes_fetched=nodes_fetched, levels=levels)
+    def plan(self) -> ReadPlan:
+        """The finished plan (extents sorted by file offset)."""
+        if not self.done:
+            raise InvalidRegion("plan() called before the traversal finished")
+        self.extents.sort(key=lambda extent: extent.offset)
+        return ReadPlan(extents=self.extents, nodes_fetched=self.nodes_fetched,
+                        levels=self.levels, cache_hits=self.cache_hits,
+                        cache_misses=self.cache_misses,
+                        metadata_rpcs=self.metadata_rpcs)
+
+    # ------------------------------------------------------------------
+    def _scan_frontier(self) -> None:
+        """Split the new frontier's lookups into cache hits and pending misses."""
+        self._cached_level = {}
+        self._pending = []
+        seen: set = set()
+        for offset, size, hint, _ in self._frontier:
+            request = (offset, size, hint)
+            if request in seen:
+                continue
+            seen.add(request)
+            if self.cache is not None:
+                found, node = self.cache.get(self.blob.blob_id, offset, size, hint)
+                if found:
+                    self._cached_level[request] = node
+                    self.cache_hits += 1
+                    continue
+                self.cache_misses += 1
+            self._pending.append(request)
+
+
+def plan_read(blob: BlobDescriptor, version: int, regions: RegionList,
+              get_node: Optional[GetNode] = None, *,
+              get_nodes: Optional[GetNodes] = None,
+              cache: Optional["MetadataNodeCache"] = None) -> ReadPlan:
+    """Resolve which chunks supply every byte of ``regions`` at ``version``.
+
+    Parameters
+    ----------
+    get_node:
+        Callback ``(offset, size, version_hint) -> MetadataNode | None``
+        implementing one at-or-before lookup (``None`` = range never written
+        as of that version, i.e. zero-filled).
+    get_nodes:
+        Batched alternative: ``[(offset, size, hint), ...] -> [node | None,
+        ...]`` answering one whole frontier level at a time (results aligned
+        with the requests).  Exactly one of ``get_node`` / ``get_nodes`` must
+        be given; ``metadata_rpcs`` then counts callback invocations (one per
+        level) for the batched form and one per lookup for the scalar form.
+    cache:
+        Optional :class:`MetadataNodeCache`; lookups it answers are not
+        forwarded to the callback, and every fetched result is inserted.
+
+    The traversal proceeds level by level from the root; shadowed subtrees are
+    followed through their version hints, and partially-covered leaves recurse
+    into their base version — the mechanism that makes every published
+    snapshot a complete, immutable image.
+    """
+    if (get_node is None) == (get_nodes is None):
+        raise InvalidRegion("plan_read() needs exactly one of get_node/get_nodes")
+    planner = ReadPlanner(blob, version, regions, cache=cache)
+    while not planner.done:
+        requests = planner.pending()
+        results: Dict[NodeRequest, Optional[MetadataNode]] = {}
+        if requests:
+            if get_nodes is not None:
+                nodes = list(get_nodes(requests))
+                if len(nodes) != len(requests):
+                    raise InvalidRegion(
+                        f"get_nodes returned {len(nodes)} results for "
+                        f"{len(requests)} requests")
+                results = dict(zip(requests, nodes))
+                planner.metadata_rpcs += 1
+            else:
+                for request in requests:
+                    results[request] = get_node(*request)
+                    planner.metadata_rpcs += 1
+        planner.advance(results)
+    return planner.plan()
 
 
 def _resolve_leaf(node: MetadataNode, leaf_offset: int, wanted: RegionList,
                   ) -> Tuple[List[ReadExtent], RegionList]:
-    """Map wanted bytes of one leaf onto its segments; return leftovers."""
+    """Map wanted bytes of one leaf onto its segments; return leftovers.
+
+    ``wanted`` is normalized and ``node.segments`` is sorted and disjoint, so
+    one synchronized sweep resolves everything in O(|wanted| + |segments|) —
+    the covered regions and the leftover holes fall out of the same pass with
+    no intermediate subtraction.
+    """
     extents: List[ReadExtent] = []
-    covered: List[Region] = []
-    for segment in node.segments:
-        seg_region = Region(leaf_offset + segment.rel_offset, segment.length)
-        for region in wanted:
-            overlap = region.intersect(seg_region)
-            if overlap.empty:
-                continue
-            delta = overlap.offset - seg_region.offset
-            extents.append(ReadExtent(
-                offset=overlap.offset,
-                length=overlap.size,
-                chunk=segment.chunk,
-                chunk_offset=segment.chunk_offset + delta,
-                provider_id=segment.provider_id,
-            ))
-            covered.append(overlap)
-    leftover = wanted.subtract(RegionList(covered))
-    return extents, leftover
+    leftover: List[Region] = []
+    segments = node.segments
+    count = len(segments)
+    base = 0  # first segment that may still overlap the current region
+    for region in wanted:
+        cursor = region.offset
+        end = region.end
+        while base < count and leaf_offset + segments[base].rel_end <= cursor:
+            base += 1
+        index = base
+        while cursor < end and index < count:
+            segment = segments[index]
+            seg_start = leaf_offset + segment.rel_offset
+            seg_end = leaf_offset + segment.rel_end
+            if seg_start >= end:
+                break
+            if seg_start > cursor:
+                leftover.append(Region(cursor, seg_start - cursor))
+                cursor = seg_start
+            take_end = min(seg_end, end)
+            if take_end > cursor:
+                delta = cursor - seg_start
+                extents.append(ReadExtent(
+                    offset=cursor,
+                    length=take_end - cursor,
+                    chunk=segment.chunk,
+                    chunk_offset=segment.chunk_offset + delta,
+                    provider_id=segment.provider_id,
+                ))
+                cursor = take_end
+            if seg_end <= end:
+                index += 1
+            else:
+                break
+        if cursor < end:
+            leftover.append(Region(cursor, end - cursor))
+    return extents, RegionList._from_normalized(leftover)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.blobseer.metadata.nodes import MetadataNode, NodeKey
 from repro.errors import VersionNotFound
@@ -62,6 +62,19 @@ class MetadataStore:
             return None
         self.nodes_read += 1
         return self._nodes[range_key][index - 1]
+
+    def get_nodes(self, blob_id: str,
+                  requests: Sequence[Tuple[int, int, int]],
+                  ) -> List[Optional[MetadataNode]]:
+        """Batched at-or-before lookups: one ``(offset, size, hint)`` each.
+
+        The result list is aligned with ``requests``.  This is the store-side
+        half of the per-level batched fetch: a reading client ships one whole
+        frontier level's lookups for this shard in a single RPC instead of one
+        RPC per node.
+        """
+        return [self.get_at_or_before(blob_id, offset, size, hint)
+                for offset, size, hint in requests]
 
     def get_exact(self, key: NodeKey) -> MetadataNode:
         """Node with exactly this key (raises if absent)."""
@@ -110,6 +123,29 @@ class PartitionedMetadataStore:
         """At-or-before lookup routed to the responsible shard."""
         return self.shard_for(blob_id, offset, size).get_at_or_before(
             blob_id, offset, size, version)
+
+    def get_nodes(self, blob_id: str,
+                  requests: Sequence[Tuple[int, int, int]],
+                  ) -> List[Optional[MetadataNode]]:
+        """Batched at-or-before lookups, each routed to its shard."""
+        return [self.get_at_or_before(blob_id, offset, size, hint)
+                for offset, size, hint in requests]
+
+    def group_by_shard(self, blob_id: str,
+                       requests: Sequence[Tuple[int, int, int]],
+                       ) -> Dict[int, List[Tuple[int, int, int]]]:
+        """Partition lookups by responsible shard index (request order kept).
+
+        Shared by the simulated client so that one frontier level becomes one
+        batched RPC per shard.
+        """
+        by_shard: Dict[int, List[Tuple[int, int, int]]] = {}
+        shard_count = len(self.shards)
+        for request in requests:
+            offset, size, _ = request
+            index = self.partition_index(blob_id, offset, size, shard_count)
+            by_shard.setdefault(index, []).append(request)
+        return by_shard
 
     def node_count(self) -> int:
         """Total nodes across all shards."""

@@ -99,9 +99,16 @@ class VersionManager:
         if version not in state.assigned:
             raise VersionNotFound(
                 f"version {version} of {blob_id!r} was never assigned")
-        if version in state.completed or version <= state.latest_published:
+        if version <= state.latest_published:
+            # published snapshots drop out of ``completed``, so this duplicate
+            # report is recognized by the publication watermark instead
             raise StorageError(
-                f"version {version} of {blob_id!r} reported complete twice")
+                f"version {version} of {blob_id!r} is already published; "
+                f"completion was reported again after publication")
+        if version in state.completed:
+            raise StorageError(
+                f"version {version} of {blob_id!r} reported complete twice "
+                f"(still awaiting publication)")
         state.completed.add(version)
 
         newly_published: List[int] = []

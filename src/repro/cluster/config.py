@@ -34,6 +34,9 @@ class ClusterConfig:
     control_message_size: int = 256
     #: size in bytes of one serialized metadata tree node
     metadata_node_size: int = 512
+    #: size in bytes of one (offset, size, version hint) entry in a batched
+    #: metadata lookup request
+    metadata_request_size: int = 32
     #: whether storage services persist chunk/object payloads to their disk
     #: (True charges disk time on the data path; False models memory-backed
     #: providers, as BlobSeer deployments on Grid'5000 often used)

@@ -18,7 +18,7 @@ processes, and used as dictionary keys without defensive copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidRegion
 
@@ -142,9 +142,15 @@ class RegionList:
     adjacent; :meth:`normalized` returns the canonical form (sorted by offset,
     overlapping/adjacent regions coalesced, empties dropped).  Most algebraic
     operations are defined on the normalized form.
+
+    :meth:`normalized` is memoized on the instance (the type is immutable, so
+    the canonical form can never change), and the algebraic operations below
+    produce their results directly in canonical form via single-pass merges —
+    the lists sit on every entry of the segment-tree read frontier, so both
+    properties matter for the metadata hot path.
     """
 
-    __slots__ = ("_regions",)
+    __slots__ = ("_regions", "_normalized")
 
     def __init__(self, regions: Iterable[Region | Tuple[int, int]] = ()):
         converted: List[Region] = []
@@ -155,6 +161,15 @@ class RegionList:
                 offset, size = region
                 converted.append(Region(int(offset), int(size)))
         self._regions: Tuple[Region, ...] = tuple(converted)
+        self._normalized: Optional["RegionList"] = None
+
+    @classmethod
+    def _from_normalized(cls, regions: Sequence[Region]) -> "RegionList":
+        """Wrap regions already known to be in canonical form (no re-check)."""
+        instance = cls.__new__(cls)
+        instance._regions = tuple(regions)
+        instance._normalized = instance
+        return instance
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -228,70 +243,133 @@ class RegionList:
     # algebra
     # ------------------------------------------------------------------
     def normalized(self) -> "RegionList":
-        """Canonical form: sorted, coalesced, empties removed."""
+        """Canonical form: sorted, coalesced, empties removed (memoized)."""
+        if self._normalized is not None:
+            return self._normalized
+        if self.is_normalized():
+            self._normalized = self
+            return self
         non_empty = sorted(
             (region for region in self._regions if not region.empty),
             key=lambda region: (region.offset, region.end),
         )
         if not non_empty:
-            return RegionList()
-        merged: List[Region] = [non_empty[0]]
-        for region in non_empty[1:]:
-            last = merged[-1]
-            if region.offset <= last.end:
-                merged[-1] = Region(last.offset, max(last.end, region.end) - last.offset)
-            else:
-                merged.append(region)
-        return RegionList(merged)
+            result = RegionList._from_normalized(())
+        else:
+            merged: List[Region] = [non_empty[0]]
+            for region in non_empty[1:]:
+                last = merged[-1]
+                if region.offset <= last.end:
+                    if region.end > last.end:
+                        merged[-1] = Region(last.offset, region.end - last.offset)
+                else:
+                    merged.append(region)
+            result = RegionList._from_normalized(merged)
+        self._normalized = result
+        return result
 
     def union(self, other: "RegionList") -> "RegionList":
-        """Normalized union of both region sets."""
-        return RegionList(tuple(self._regions) + tuple(other._regions)).normalized()
+        """Normalized union of both region sets (linear merge)."""
+        a = self.normalized()._regions
+        b = other.normalized()._regions
+        if not a:
+            return other.normalized()
+        if not b:
+            return self.normalized()
+        merged: List[Region] = []
+        i = j = 0
+        while i < len(a) or j < len(b):
+            if j >= len(b) or (i < len(a) and a[i].offset <= b[j].offset):
+                region = a[i]
+                i += 1
+            else:
+                region = b[j]
+                j += 1
+            if merged and region.offset <= merged[-1].end:
+                last = merged[-1]
+                if region.end > last.end:
+                    merged[-1] = Region(last.offset, region.end - last.offset)
+            else:
+                merged.append(region)
+        return RegionList._from_normalized(merged)
 
     def intersection(self, other: "RegionList") -> "RegionList":
-        """Normalized set of bytes present in both region sets."""
-        a = self.normalized()
-        b = other.normalized()
+        """Normalized set of bytes present in both region sets (linear merge)."""
+        a = self.normalized()._regions
+        b = other.normalized()._regions
         result: List[Region] = []
         i = j = 0
         while i < len(a) and j < len(b):
-            overlap = a[i].intersect(b[j])
-            if not overlap.empty:
-                result.append(overlap)
+            start = max(a[i].offset, b[j].offset)
+            end = min(a[i].end, b[j].end)
+            if end > start:
+                result.append(Region(start, end - start))
             if a[i].end <= b[j].end:
                 i += 1
             else:
                 j += 1
-        return RegionList(result)
+        return RegionList._from_normalized(result)
 
     def subtract(self, other: "RegionList") -> "RegionList":
-        """Normalized set of bytes in ``self`` but not in ``other``."""
-        a = self.normalized()
-        b = other.normalized()
+        """Normalized set of bytes in ``self`` but not in ``other``.
+
+        Single-pass sweep over the two normalized run lists: for each kept
+        region the cut list is consumed monotonically, so the whole operation
+        is O(len(self) + len(other)) instead of the former O(n·m) per-piece
+        re-subtraction.
+        """
+        a = self.normalized()._regions
+        b = other.normalized()._regions
+        if not a or not b:
+            return self.normalized()
         result: List[Region] = []
+        j = 0
         for region in a:
-            pieces = [region]
-            for cut in b:
-                next_pieces: List[Region] = []
-                for piece in pieces:
-                    next_pieces.extend(piece.subtract(cut))
-                pieces = next_pieces
-                if not pieces:
+            cursor = region.offset
+            end = region.end
+            # skip cuts entirely before this region
+            while j < len(b) and b[j].end <= cursor:
+                j += 1
+            k = j
+            while cursor < end and k < len(b):
+                cut = b[k]
+                if cut.offset >= end:
                     break
-            result.extend(pieces)
-        return RegionList(result).normalized()
+                if cut.offset > cursor:
+                    result.append(Region(cursor, cut.offset - cursor))
+                cursor = max(cursor, cut.end)
+                if cut.end <= end:
+                    k += 1
+                else:
+                    break
+            if cursor < end:
+                result.append(Region(cursor, end - cursor))
+            # a cut can span the gap between two kept regions, so only the
+            # cuts that end at or before this region's start are consumed
+            j = k
+        return RegionList._from_normalized(result)
 
     def overlaps(self, other: "RegionList") -> bool:
-        """True if any byte is covered by both region sets."""
-        return len(self.intersection(other)) > 0
+        """True if any byte is covered by both region sets (early exit)."""
+        a = self.normalized()._regions
+        b = other.normalized()._regions
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].offset < b[j].end and b[j].offset < a[i].end:
+                return True
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return False
 
     def gaps(self) -> "RegionList":
         """Regions *between* the normalized regions (holes inside the extent)."""
-        norm = self.normalized()
+        norm = self.normalized()._regions
         holes: List[Region] = []
         for left, right in zip(norm, norm[1:]):
             holes.append(Region(left.end, right.offset - left.end))
-        return RegionList(holes)
+        return RegionList._from_normalized(holes)
 
     def shift(self, delta: int) -> "RegionList":
         """Every region moved by ``delta`` bytes (order preserved)."""
@@ -304,6 +382,9 @@ class RegionList:
             piece = region.intersect(bounds)
             if not piece.empty:
                 clipped.append(piece)
+        if self._normalized is self:
+            # clipping a canonical list only shrinks/drops runs: still canonical
+            return RegionList._from_normalized(clipped)
         return RegionList(clipped)
 
     def chunk_aligned(self, chunk_size: int) -> "RegionList":

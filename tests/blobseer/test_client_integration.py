@@ -186,3 +186,51 @@ class TestConcurrentWriters:
         assert stats["stored_bytes"] == 512
         assert stats["snapshots_published"] == 1
         assert stats["metadata_nodes"] > 0
+
+
+class TestMetadataReadPathModes:
+    """The cached/batched read path and the per-node baseline agree byte-for-byte."""
+
+    PAIRS = [(0, b"a" * 100), (150, b"b" * 40), (400, b"c" * 200)]
+    READS = [(0, 120), (140, 60), (380, 240), (900, 100)]
+
+    def _read_all(self, **client_options):
+        cluster, deployment = make_deployment(chunk_size=64)
+        client = deployment.client(cluster.add_node("c0"), **client_options)
+
+        def scenario():
+            yield from client.create_blob("data", size=1024)
+            for offset, payload in self.PAIRS:
+                receipt = yield from client.write("data", offset, payload)
+                yield from client.wait_published("data", receipt.version)
+            results = []
+            for _ in range(2):  # second pass exercises the warm cache
+                for offset, size in self.READS:
+                    content = yield from client.read("data", offset, size)
+                    results.append(content)
+            return results
+
+        return run(cluster, scenario()), client, deployment
+
+    def test_all_modes_read_identical_bytes(self):
+        baseline, base_client, _ = self._read_all(
+            enable_metadata_cache=False, metadata_batching=False)
+        for options in ({"enable_metadata_cache": False},
+                        {"metadata_batching": False},
+                        {}):
+            content, client, _ = self._read_all(**options)
+            assert content == baseline
+            assert client.metadata_read_rpcs <= base_client.metadata_read_rpcs
+
+    def test_batching_and_cache_cut_round_trips(self):
+        _, base_client, base_deployment = self._read_all(
+            enable_metadata_cache=False, metadata_batching=False)
+        _, fast_client, fast_deployment = self._read_all()
+        assert base_client.metadata_read_rpcs > fast_client.metadata_read_rpcs
+        # the client-side counter agrees with the service-side accounting
+        assert (base_deployment.stats()["metadata_read_rpcs"]
+                == base_client.metadata_read_rpcs)
+        assert (fast_deployment.stats()["metadata_read_rpcs"]
+                == fast_client.metadata_read_rpcs)
+        # warm second pass means a real hit rate
+        assert fast_client.metadata_cache.stats.hit_rate > 0.4

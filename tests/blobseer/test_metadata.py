@@ -105,6 +105,35 @@ class TestMetadataStore:
         assert partitioned.get_at_or_before("b", 64, 64, 1) is node
         assert partitioned.node_count() == 1
 
+    def test_batched_get_nodes_aligned_with_requests(self):
+        shards = [MetadataStore("m0"), MetadataStore("m1")]
+        partitioned = PartitionedMetadataStore(shards)
+        nodes = [MetadataNode(NodeKey("b", 1, offset, 64), True,
+                              segments=(seg(0, 8),), base_version=0)
+                 for offset in (0, 64, 192)]
+        for node in nodes:
+            partitioned.put_node(node)
+        requests = [(0, 64, 5), (128, 64, 5), (64, 64, 5), (192, 64, 0)]
+        # routed across shards, results aligned with request order;
+        # never-written (128) and too-old-hint (192 at hint 0) come back None
+        assert partitioned.get_nodes("b", requests) == \
+            [nodes[0], None, nodes[1], None]
+        # the per-shard form (what one get_nodes RPC executes) agrees
+        for shard in shards:
+            assert shard.get_nodes("b", requests[:2]) == [
+                shard.get_at_or_before("b", 0, 64, 5),
+                shard.get_at_or_before("b", 128, 64, 5)]
+
+    def test_group_by_shard_partitions_consistently(self):
+        partitioned = PartitionedMetadataStore([MetadataStore("m0"), MetadataStore("m1")])
+        requests = [(offset, 64, 3) for offset in range(0, 16 * 64, 64)]
+        grouped = partitioned.group_by_shard("b", requests)
+        assert sorted(r for reqs in grouped.values() for r in reqs) == requests
+        for index, shard_requests in grouped.items():
+            for offset, size, _ in shard_requests:
+                assert PartitionedMetadataStore.partition_index(
+                    "b", offset, size, 2) == index
+
     def test_empty_partition_rejected(self):
         with pytest.raises(ValueError):
             PartitionedMetadataStore([])

@@ -1,0 +1,128 @@
+"""Property test: the cached/batched read planner is extent-identical to the
+uncached one-lookup-per-node baseline.
+
+For arbitrary randomized write histories and arbitrary read ranges, planning
+a read through
+
+* the scalar ``get_node`` callback with no cache (the baseline),
+* the batched per-level ``get_nodes`` callback,
+* the batched callback with a shared warm :class:`MetadataNodeCache`
+
+must produce byte-identical extent lists — same offsets, lengths, chunks,
+chunk offsets and providers.  The cache may only remove round-trips, never
+change what a snapshot reads.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blobseer.blob import BlobDescriptor
+from repro.blobseer.chunk import ChunkKey
+from repro.blobseer.metadata.cache import MetadataNodeCache
+from repro.blobseer.metadata.segment_tree import (
+    build_leaf_segments,
+    build_write_metadata,
+    plan_read,
+    split_vector_into_pieces,
+)
+from repro.blobseer.metadata.store import MetadataStore
+from repro.core.listio import IOVector
+from repro.core.regions import RegionList
+
+CHUNK = 32
+BLOB = BlobDescriptor.create("equiv", size=16 * CHUNK, chunk_size=CHUNK)
+
+
+@st.composite
+def write_histories(draw):
+    num_writes = draw(st.integers(1, 6))
+    history = []
+    for _ in range(num_writes):
+        num_regions = draw(st.integers(1, 4))
+        pairs = []
+        for _ in range(num_regions):
+            offset = draw(st.integers(0, BLOB.capacity - 1))
+            size = draw(st.integers(1, min(3 * CHUNK, BLOB.capacity - offset)))
+            fill = draw(st.integers(1, 255))
+            pairs.append((offset, bytes([fill]) * size))
+        history.append(pairs)
+    return history
+
+
+@st.composite
+def read_accesses(draw):
+    num_regions = draw(st.integers(1, 4))
+    regions = []
+    for _ in range(num_regions):
+        offset = draw(st.integers(0, BLOB.capacity - 1))
+        size = draw(st.integers(1, BLOB.capacity - offset))
+        regions.append((offset, size))
+    return RegionList(regions)
+
+
+def populate(history):
+    store = MetadataStore()
+    for version, pairs in enumerate(history, start=1):
+        pieces = split_vector_into_pieces(BLOB, IOVector.for_write(pairs))
+        for index, piece in enumerate(pieces):
+            piece.chunk = ChunkKey(f"v{version}", index)
+            piece.provider_id = "p0"
+        for node in build_write_metadata(BLOB, version, version - 1,
+                                         build_leaf_segments(BLOB, pieces)):
+            store.put_node(node)
+    return store
+
+
+def extent_tuples(plan):
+    return [(e.offset, e.length, e.chunk, e.chunk_offset, e.provider_id)
+            for e in plan.extents]
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=write_histories(), data=st.data())
+def test_batched_and_cached_plans_match_baseline(history, data):
+    store = populate(history)
+
+    def get_node(offset, size, hint):
+        return store.get_at_or_before(BLOB.blob_id, offset, size, hint)
+
+    def get_nodes(requests):
+        return store.get_nodes(BLOB.blob_id, requests)
+
+    cache = MetadataNodeCache()
+    for _ in range(data.draw(st.integers(1, 3))):
+        version = data.draw(st.integers(0, len(history)))
+        regions = data.draw(read_accesses())
+
+        baseline = plan_read(BLOB, version, regions, get_node)
+        batched = plan_read(BLOB, version, regions, get_nodes=get_nodes)
+        cached = plan_read(BLOB, version, regions, get_nodes=get_nodes,
+                           cache=cache)
+
+        expected = extent_tuples(baseline)
+        assert extent_tuples(batched) == expected
+        assert extent_tuples(cached) == expected
+        assert batched.nodes_fetched == baseline.nodes_fetched
+        assert cached.nodes_fetched == baseline.nodes_fetched
+        # batching collapses round-trips to at most one per level
+        assert batched.metadata_rpcs <= batched.levels
+        assert batched.metadata_rpcs <= baseline.metadata_rpcs
+
+
+@settings(max_examples=40, deadline=None)
+@given(history=write_histories(), access=read_accesses())
+def test_warm_cache_answers_repeat_reads_without_lookups(history, access):
+    store = populate(history)
+    version = len(history)
+
+    def get_nodes(requests):
+        return store.get_nodes(BLOB.blob_id, requests)
+
+    cache = MetadataNodeCache()
+    cold = plan_read(BLOB, version, access, get_nodes=get_nodes, cache=cache)
+    warm = plan_read(BLOB, version, access, get_nodes=get_nodes, cache=cache)
+
+    assert extent_tuples(warm) == extent_tuples(cold)
+    # the repeat read resolves every node from the cache: zero RPCs
+    assert warm.metadata_rpcs == 0
+    assert warm.cache_misses == 0
+    assert warm.cache_hits > 0

@@ -79,6 +79,22 @@ class TestPublication:
         with pytest.raises(StorageError):
             manager.complete("b", 1)
 
+    def test_completion_after_publication_names_the_real_problem(self):
+        """Completing an already-*published* version is not 'completed twice'."""
+        manager = make_manager()
+        manager.assign_ticket("b")
+        manager.complete("b", 1)  # publishes immediately (in ticket order)
+        with pytest.raises(StorageError, match="already published"):
+            manager.complete("b", 1)
+
+    def test_double_completion_before_publication_says_twice(self):
+        manager = make_manager()
+        manager.assign_ticket("b")
+        manager.assign_ticket("b")
+        manager.complete("b", 2)  # waits for version 1: completed, unpublished
+        with pytest.raises(StorageError, match="complete twice"):
+            manager.complete("b", 2)
+
     def test_pending_versions(self):
         manager = make_manager()
         manager.assign_ticket("b")
