@@ -1,0 +1,145 @@
+"""PERF — write-pipeline microbenchmarks (coalescing + overlapped commits).
+
+Runs the queued-small-writes workload through the three write-path
+configurations of :mod:`repro.bench.writepath` with one shared harness,
+asserts the acceptance shape (>= 2x fewer control-plane round-trips per
+logical write for the pipelined+coalesced path vs the serialized baseline,
+write-through cache warmth from the very first read, byte-identical
+read-back in every mode), and records every row — control RPCs, coalescing
+factor, cache hit rates, simulated and wall-clock seconds — into
+``BENCH_writepath.json`` at the repository root so future PRs can track the
+perf trajectory.  A cache-capacity sweep (LRU-bounded metadata caches)
+rides along in the same artifact.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the same shapes on a fraction of the
+work (what CI does on every push).
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.bench.metrics import control_rpc_reduction
+from repro.bench.reporting import format_table
+from repro.bench.writepath import (
+    WRITE_MODES,
+    WritePathSettings,
+    run_cache_capacity_sweep,
+    run_write_path_suite,
+)
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_writepath.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: acceptance threshold: coalesced+pipelined vs baseline control round-trips
+#: per logical write
+MIN_CONTROL_RPC_REDUCTION = 2.0
+
+
+def bench_settings() -> WritePathSettings:
+    settings = WritePathSettings()
+    return settings.scaled_down() if SMOKE else settings
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Run all modes once on identical settings; emit the JSON artifact."""
+    settings = bench_settings()
+    results = run_write_path_suite(settings)
+    sweep_rows = run_cache_capacity_sweep(
+        settings, unbounded=results["pipelined-coalesced"])
+    rows = [results[mode].sample.as_row() for mode in WRITE_MODES]
+    artifact = {
+        "suite": "write-pipeline",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "settings": {
+            "num_clients": settings.num_clients,
+            "writes_per_client": settings.writes_per_client,
+            "regions_per_write": settings.regions_per_write,
+            "region_size": settings.region_size,
+            "hole_size": settings.hole_size,
+            "read_repeats": settings.read_repeats,
+            "num_providers": settings.num_providers,
+            "num_metadata_providers": settings.num_metadata_providers,
+            "chunk_size": settings.chunk_size,
+        },
+        "control_rpc_reduction_vs_baseline": {
+            mode: control_rpc_reduction(results["baseline"].sample,
+                                        results[mode].sample)
+            for mode in WRITE_MODES
+        },
+        "rows": rows,
+        "cache_capacity_sweep": sweep_rows,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print()
+    print(format_table(rows, title="write-pipeline microbenchmark"))
+    print(format_table(sweep_rows, title="cache capacity sweep"))
+    return results
+
+
+def test_all_modes_read_identical_bytes(suite):
+    baseline = suite["baseline"].read_digest
+    assert suite["pipelined"].read_digest == baseline
+    assert suite["pipelined-coalesced"].read_digest == baseline
+
+
+def test_coalescing_folds_writes_into_fewer_snapshots(suite):
+    baseline = suite["baseline"].sample
+    coalesced = suite["pipelined-coalesced"].sample
+    assert baseline.coalescing_factor == 1.0
+    assert suite["pipelined"].sample.coalescing_factor == 1.0
+    assert coalesced.coalescing_factor > 1.5
+    assert coalesced.logical_writes == baseline.logical_writes
+    assert coalesced.snapshots < baseline.snapshots
+
+
+def test_control_rpc_reduction_at_least_2x(suite):
+    """The acceptance criterion: >= 2x fewer control round-trips per write."""
+    reduction = control_rpc_reduction(suite["baseline"].sample,
+                                      suite["pipelined-coalesced"].sample)
+    assert reduction >= MIN_CONTROL_RPC_REDUCTION, (
+        f"only {reduction:.2f}x fewer control RPCs per logical write "
+        f"({suite['baseline'].sample.control_rpcs_per_write:.2f} -> "
+        f"{suite['pipelined-coalesced'].sample.control_rpcs_per_write:.2f})")
+
+
+def test_write_through_cache_is_warm_from_the_first_read(suite):
+    """Write-through population: read-after-write hits before any fetch."""
+    assert suite["baseline"].sample.first_read_cache_hit_rate == 0.0
+    assert suite["pipelined"].sample.first_read_cache_hit_rate > 0.0
+    # a coalesced writer published its whole span in one snapshot, so its
+    # first read-back traversal runs almost entirely out of its own cache
+    assert suite["pipelined-coalesced"].sample.first_read_cache_hit_rate > 0.5
+
+
+def test_pipelining_does_not_slow_the_write_phase(suite):
+    assert suite["pipelined"].sample.sim_write_s \
+        <= suite["baseline"].sample.sim_write_s * 1.05
+    assert suite["pipelined-coalesced"].sample.sim_write_s \
+        <= suite["baseline"].sample.sim_write_s * 1.05
+
+
+def test_artifact_written_with_populated_columns(suite):
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["suite"] == "write-pipeline"
+    modes = {row["mode"] for row in artifact["rows"]}
+    assert modes == set(WRITE_MODES)
+    for row in artifact["rows"]:
+        assert row["logical_writes"] > 0
+        assert row["control_rpcs"] > 0
+        assert row["wall_clock_s"] > 0
+        assert "coalescing_factor" in row and "first_read_cache_hit_rate" in row
+    assert artifact["control_rpc_reduction_vs_baseline"]["pipelined-coalesced"] \
+        >= MIN_CONTROL_RPC_REDUCTION
+    sweep = artifact["cache_capacity_sweep"]
+    assert len(sweep) >= 2
+    capacities = [row["capacity"] for row in sweep]
+    assert "unbounded" in capacities
+    bounded = [row for row in sweep if row["capacity"] != "unbounded"]
+    assert any(row["cache_evictions"] > 0 for row in bounded), (
+        "the sweep's bounded capacities never evicted — shrink the capacities")

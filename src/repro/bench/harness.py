@@ -30,6 +30,29 @@ from repro.mpiio.file import AccessMode, File
 PairsForRank = Callable[[int], Sequence[Tuple[int, bytes]]]
 
 
+def drive_processes(cluster, processes, name: str = "bench-driver") -> None:
+    """Run the simulation until every process in ``processes`` finished.
+
+    The shared scaffolding of the client-level microbenchmark suites
+    (metadata read path, write pipeline): spawn one process per simulated
+    client, wrap them in a driver that joins them, run to the driver.
+    """
+    def driver():
+        yield cluster.sim.all_of(processes)
+    process = cluster.sim.process(driver(), name=name)
+    cluster.sim.run(stop_event=process)
+
+
+def cache_totals(clients) -> Tuple[int, int]:
+    """Aggregate (hits, misses) over the clients' metadata node caches."""
+    hits = misses = 0
+    for client in clients:
+        if client.metadata_cache is not None:
+            hits += client.metadata_cache.stats.hits
+            misses += client.metadata_cache.stats.misses
+    return hits, misses
+
+
 @dataclass
 class RunResult:
     """Outcome of one measured MPI-I/O write job."""

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.harness import cache_totals, drive_processes
 from repro.bench.metrics import MetadataPathSample
 from repro.blobseer.deployment import BlobSeerDeployment
 from repro.cluster import Cluster, ClusterConfig
@@ -34,11 +35,17 @@ from repro.errors import BenchmarkError
 from repro.vstore.client import VectoredClient
 from repro.workloads.overlap_stress import OverlapStressWorkload
 
-#: client options of every benchmarked metadata read-path configuration
+#: client options of every benchmarked metadata read-path configuration.
+#: ``write_through_cache`` is pinned off: this suite isolates the *read*
+#: path, so the write phase must not pre-warm the caches (the write-pipeline
+#: suite measures that effect separately).
 MODES: Dict[str, Dict[str, bool]] = {
-    "baseline": {"enable_metadata_cache": False, "metadata_batching": False},
-    "batched": {"enable_metadata_cache": False, "metadata_batching": True},
-    "cached-batched": {"enable_metadata_cache": True, "metadata_batching": True},
+    "baseline": {"enable_metadata_cache": False, "metadata_batching": False,
+                 "write_through_cache": False},
+    "batched": {"enable_metadata_cache": False, "metadata_batching": True,
+                "write_through_cache": False},
+    "cached-batched": {"enable_metadata_cache": True, "metadata_batching": True,
+                       "write_through_cache": False},
 }
 
 
@@ -113,10 +120,7 @@ def run_metadata_path_point(mode: str,
     blob_id = "perf-blob"
 
     def drive(processes):
-        def driver():
-            yield cluster.sim.all_of(processes)
-        process = cluster.sim.process(driver(), name="perf-driver")
-        cluster.sim.run(stop_event=process)
+        drive_processes(cluster, processes, name="perf-driver")
 
     # setup: create the BLOB once
     setup = cluster.sim.process(
@@ -147,11 +151,7 @@ def run_metadata_path_point(mode: str,
            for rank in range(settings.num_clients)])
     sim_elapsed = cluster.sim.now - read_sim_started
 
-    cache_hits = cache_misses = 0
-    for client in clients:
-        if client.metadata_cache is not None:
-            cache_hits += client.metadata_cache.stats.hits
-            cache_misses += client.metadata_cache.stats.misses
+    cache_hits, cache_misses = cache_totals(clients)
 
     sample = MetadataPathSample(
         mode=mode,

@@ -95,6 +95,76 @@ def rpc_reduction(baseline: MetadataPathSample,
     return baseline.metadata_rpcs / optimized.metadata_rpcs
 
 
+@dataclass
+class WritePathSample:
+    """One measured run of the write-pipeline microbenchmark.
+
+    ``control_rpcs`` counts the write-side control-plane round-trips
+    (``allocate``, ``assign_ticket``, ``complete``, publication waits) and
+    ``metadata_put_rpcs`` the per-shard ``put_nodes`` round-trips; both are
+    normalized per *logical* write — the unit the application issued, however
+    many of them one snapshot coalesced.  ``first_read_cache_hit_rate`` is
+    the node-cache hit rate of the very first read after the writes (the
+    write-through-population signal); ``read_cache_hit_rate`` covers the
+    whole read phase.
+    """
+
+    mode: str
+    num_clients: int
+    logical_writes: int
+    snapshots: int
+    control_rpcs: int
+    metadata_put_rpcs: int
+    cache_primed_nodes: int
+    first_read_cache_hit_rate: float
+    read_cache_hit_rate: float
+    cache_evictions: int
+    sim_write_s: float
+    sim_read_s: float
+    wall_clock_s: float
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Average logical writes folded into one snapshot (1.0 = none)."""
+        if not self.snapshots:
+            return 0.0
+        return self.logical_writes / self.snapshots
+
+    @property
+    def control_rpcs_per_write(self) -> float:
+        """Control-plane round-trips (incl. put_nodes) per logical write."""
+        total = self.control_rpcs + self.metadata_put_rpcs
+        return total / max(1, self.logical_writes)
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "clients": self.num_clients,
+            "logical_writes": self.logical_writes,
+            "snapshots": self.snapshots,
+            "coalescing_factor": self.coalescing_factor,
+            "control_rpcs": self.control_rpcs,
+            "metadata_put_rpcs": self.metadata_put_rpcs,
+            "control_rpcs_per_write": self.control_rpcs_per_write,
+            "cache_primed_nodes": self.cache_primed_nodes,
+            "first_read_cache_hit_rate": self.first_read_cache_hit_rate,
+            "read_cache_hit_rate": self.read_cache_hit_rate,
+            "cache_evictions": self.cache_evictions,
+            "sim_write_s": self.sim_write_s,
+            "sim_read_s": self.sim_read_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def control_rpc_reduction(baseline: WritePathSample,
+                          optimized: WritePathSample) -> float:
+    """How many times fewer control round-trips per logical write."""
+    if optimized.control_rpcs_per_write <= 0:
+        return float("inf")
+    return baseline.control_rpcs_per_write / optimized.control_rpcs_per_write
+
+
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:
     """Throughput ratio of our approach over the baseline (paper's headline)."""
     base = baseline.throughput

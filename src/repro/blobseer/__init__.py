@@ -17,7 +17,11 @@ this package reproduces component by component — consists of:
   the only point of (brief) serialization in the system;
 * **the client library** (:mod:`repro.blobseer.client`): orchestrates the
   write protocol (upload chunks → obtain ticket → weave metadata → publish)
-  and the versioned read protocol.
+  and the versioned read protocol;
+* **the write pipeline** (:mod:`repro.blobseer.writepath`): the commit
+  engine behind the client — coalesced snapshot batches, control RPCs
+  overlapped with the data transfers, and write-through population of the
+  client's metadata cache.
 
 The stock BlobSeer interface only supports *contiguous* reads and writes; the
 paper's contribution — the non-contiguous, MPI-atomic extension — lives in
@@ -38,8 +42,16 @@ from repro.blobseer.provider_manager import (
     SimProviderManager,
 )
 from repro.blobseer.version_manager import SimVersionManager, VersionManager
+from repro.blobseer.writepath import (
+    PipelinedCommitEngine,
+    WriteCoalescer,
+    WriteReceipt,
+)
 
 __all__ = [
+    "PipelinedCommitEngine",
+    "WriteCoalescer",
+    "WriteReceipt",
     "BlobDescriptor",
     "BlobId",
     "ChunkKey",

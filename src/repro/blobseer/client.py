@@ -11,11 +11,20 @@ Write protocol (one vectored write = one snapshot):
 2. ask the provider manager where to place each piece (one small RPC);
 3. upload all pieces to their data providers **in parallel and with no
    coordination with other writers** — this is the heavy, fully parallel part;
-4. obtain a version ticket from the version manager (small RPC);
+4. obtain a version ticket from the version manager (small RPC, overlapped
+   with step 3 on the default pipelined path);
 5. build the copy-on-write metadata nodes for the new snapshot and store them
-   on the metadata providers (batched per shard);
+   on the metadata providers (batched per shard, shipped in parallel);
 6. report completion; the version manager publishes snapshots in ticket
    order.
+
+The commit machinery lives in :mod:`repro.blobseer.writepath`: the
+:class:`~repro.blobseer.writepath.engine.PipelinedCommitEngine` executes
+steps 2-6 (with or without overlap), and a
+:class:`~repro.blobseer.writepath.coalescer.WriteCoalescer` can queue several
+vectored writes and commit them as *one* merged snapshot batch — one
+``allocate``, one ticket, one metadata build — behind an explicit
+flush/barrier.
 
 Read protocol: resolve the requested ranges against the snapshot's segment
 tree (shadowed subtrees are followed to older versions), then fetch the
@@ -29,53 +38,28 @@ internal vectored machinery defined here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.blobseer.blob import BlobDescriptor
 from repro.blobseer.chunk import ChunkKeyFactory
 from repro.blobseer.metadata.cache import MetadataNodeCache
-from repro.blobseer.metadata.segment_tree import (
-    NodeRequest,
-    ReadPlanner,
-    build_leaf_segments,
-    build_write_metadata,
-    split_vector_into_pieces,
-)
+from repro.blobseer.metadata.segment_tree import NodeRequest, ReadPlanner
 from repro.blobseer.metadata.store import PartitionedMetadataStore
+from repro.blobseer.writepath.batch import WriteReceipt
+from repro.blobseer.writepath.engine import PipelinedCommitEngine
 from repro.core.listio import IOVector
 from repro.core.regions import Region, RegionList
-from repro.errors import StorageError, VersionNotFound
+from repro.errors import VersionNotFound
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.blobseer.deployment import BlobSeerDeployment
     from repro.cluster.node import Node
 
+__all__ = ["BlobClient", "WriteReceipt"]
 
-class WriteReceipt:
-    """What a completed vectored write returns to its caller."""
-
-    __slots__ = ("blob_id", "version", "bytes_written", "chunks", "metadata_nodes",
-                 "started_at", "finished_at")
-
-    def __init__(self, blob_id: str, version: int, bytes_written: int,
-                 chunks: int, metadata_nodes: int,
-                 started_at: float, finished_at: float):
-        self.blob_id = blob_id
-        self.version = version
-        self.bytes_written = bytes_written
-        self.chunks = chunks
-        self.metadata_nodes = metadata_nodes
-        self.started_at = started_at
-        self.finished_at = finished_at
-
-    @property
-    def elapsed(self) -> float:
-        """Simulated duration of the write."""
-        return self.finished_at - self.started_at
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<WriteReceipt {self.blob_id} v{self.version} "
-                f"{self.bytes_written}B in {self.elapsed:.6f}s>")
+#: sentinel distinguishing "capacity not given" (fall back to the cluster
+#: config) from an explicit ``None`` (force an unbounded cache)
+_UNSET_CAPACITY = object()
 
 
 class BlobClient:
@@ -87,34 +71,73 @@ class BlobClient:
     are shipped as one batched ``get_nodes`` RPC per metadata shard.  Both
     optimizations can be switched off (``enable_metadata_cache=False`` /
     ``metadata_batching=False``) to measure the one-RPC-per-node baseline.
+
+    The write path is symmetric: commits route through a
+    :class:`~repro.blobseer.writepath.engine.PipelinedCommitEngine` that
+    overlaps the version-ticket RPC with the chunk uploads, ships the
+    per-shard ``put_nodes`` RPCs in parallel, and write-through-populates the
+    metadata cache with the nodes it just published.  ``write_pipelining=
+    False`` restores the serialized pre-subsystem write path and
+    ``write_through_cache=False`` disables the cache priming, again for
+    baseline measurements.  ``metadata_cache_capacity`` bounds the node
+    cache (LRU); when not given it falls back to the cluster-wide
+    ``ClusterConfig.metadata_cache_capacity``, and an explicit ``None``
+    forces an unbounded cache even against a bounded cluster default.
     """
+
+    #: queued-write coalescer; ``None`` on the stock client (the vectored
+    #: subclass attaches one), checked by ``_vectored_write`` so immediate
+    #: commits never overtake writes queued earlier in program order
+    coalescer = None
 
     def __init__(self, deployment: "BlobSeerDeployment", node: "Node",
                  name: Optional[str] = None, *,
                  metadata_cache: Optional[MetadataNodeCache] = None,
                  enable_metadata_cache: bool = True,
-                 metadata_batching: bool = True):
+                 metadata_batching: bool = True,
+                 metadata_cache_capacity: object = _UNSET_CAPACITY,
+                 write_pipelining: bool = True,
+                 write_through_cache: bool = True):
         self.deployment = deployment
         self.cluster = deployment.cluster
         self.node = node
         self.name = name or f"client:{node.name}"
         self._chunk_keys = ChunkKeyFactory(self.name)
         self._descriptors: Dict[str, BlobDescriptor] = {}
+        if metadata_cache_capacity is _UNSET_CAPACITY:
+            metadata_cache_capacity = self.cluster.config.metadata_cache_capacity
         if metadata_cache is not None:
             self.metadata_cache: Optional[MetadataNodeCache] = metadata_cache
         elif enable_metadata_cache:
-            self.metadata_cache = MetadataNodeCache()
+            self.metadata_cache = MetadataNodeCache(capacity=metadata_cache_capacity)
         else:
             self.metadata_cache = None
         self.metadata_batching = metadata_batching
+        self.write_pipelining = write_pipelining
+        self.write_through_cache = write_through_cache
+        #: the commit engine every write of this client routes through
+        self.writepath = PipelinedCommitEngine(self)
+        #: newest snapshot version this client knows to be published, per
+        #: BLOB (fed by completion/publication responses; lets barriers and
+        #: read-after-write paths skip redundant wait round-trips)
+        self.version_hints: Dict[str, int] = {}
         #: client-side counters (aggregated by the benchmark harness)
         self.bytes_written: int = 0
         self.bytes_read: int = 0
         self.writes: int = 0
         self.reads: int = 0
+        #: logical vectored writes accepted (equals ``writes`` unless a
+        #: coalescer merged several of them into one snapshot)
+        self.logical_writes: int = 0
         #: metadata read-path counters (RPC round-trips and nodes used)
         self.metadata_read_rpcs: int = 0
         self.metadata_nodes_fetched: int = 0
+        #: write-path counters: control-plane round-trips (allocate, ticket,
+        #: complete, publication waits), per-shard put_nodes round-trips and
+        #: nodes self-inserted into the cache by write-through population
+        self.write_control_rpcs: int = 0
+        self.metadata_put_rpcs: int = 0
+        self.cache_primed_nodes: int = 0
 
     # ------------------------------------------------------------------
     # small helpers
@@ -158,13 +181,21 @@ class BlobClient:
         """Newest published snapshot version."""
         version = yield from self._control(
             self.deployment.version_manager, "latest", blob_id)
+        self.note_published(blob_id, version)
         return version
 
     def wait_published(self, blob_id: str, version: int):
         """Block until ``version`` is readable; returns the latest version."""
+        self.write_control_rpcs += 1
         latest = yield from self._control(
             self.deployment.version_manager, "wait_published", blob_id, version)
+        self.note_published(blob_id, latest)
         return latest
+
+    def note_published(self, blob_id: str, version: int) -> None:
+        """Record that ``version`` is known to be published (hint table)."""
+        if version > self.version_hints.get(blob_id, 0):
+            self.version_hints[blob_id] = version
 
     # ------------------------------------------------------------------
     # the classic (contiguous) BlobSeer interface
@@ -186,76 +217,23 @@ class BlobClient:
     # vectored machinery (exposed publicly by repro.vstore.VectoredClient)
     # ------------------------------------------------------------------
     def _vectored_write(self, blob_id: str, vector: IOVector):
-        """Write a whole vector as one snapshot (the paper's atomic unit)."""
-        if not vector.is_write or len(vector) == 0:
-            raise StorageError("a vectored write needs at least one payload request")
-        started_at = self.cluster.sim.now
-        blob = yield from self._descriptor(blob_id)
+        """Write a whole vector as one snapshot (the paper's atomic unit).
 
-        # 1. chunk-aligned decomposition
-        pieces = split_vector_into_pieces(blob, vector)
+        The commit protocol — placement, uncoordinated parallel uploads,
+        version ticket, copy-on-write metadata, in-order publication — lives
+        in :class:`~repro.blobseer.writepath.engine.PipelinedCommitEngine`;
+        this entry point always commits immediately and blocks on the
+        ``complete`` RPC (queued/deferred commits go through a
+        :class:`~repro.blobseer.writepath.coalescer.WriteCoalescer`).
 
-        # 2. placement (control-plane RPC to the provider manager)
-        sizes = [piece.length for piece in pieces]
-        providers = yield from self._control(
-            self.deployment.provider_manager, "allocate", sizes)
-
-        # 3. fully parallel, uncoordinated chunk uploads — one batched RPC per
-        #    destination provider (the BlobSeer client library groups the
-        #    chunks of a write the same way)
-        per_provider: Dict[str, list] = {}
-        for piece, provider_id in zip(pieces, providers):
-            piece.chunk = self._chunk_keys.next_key()
-            piece.provider_id = provider_id
-            per_provider.setdefault(provider_id, []).append(piece)
-        upload_processes = []
-        for provider_id, provider_pieces in sorted(per_provider.items()):
-            service = self.deployment.data_provider(provider_id)
-            payload = [(piece.chunk, piece.data) for piece in provider_pieces]
-            payload_bytes = sum(piece.length for piece in provider_pieces)
-            upload_processes.append(self.cluster.sim.process(
-                self._rpc(service, "put_chunks", payload_bytes,
-                          self.cluster.config.control_message_size, payload),
-                name=f"{self.name}:put:{provider_id}"))
-        if upload_processes:
-            yield self.cluster.sim.all_of(upload_processes)
-
-        # 4. version ticket
-        version, base_version = yield from self._control(
-            self.deployment.version_manager, "assign_ticket", blob_id)
-
-        # 5. copy-on-write metadata, batched per metadata shard
-        leaf_segments = build_leaf_segments(blob, pieces)
-        nodes = build_write_metadata(blob, version, base_version, leaf_segments)
-        by_shard: Dict[int, list] = {}
-        shard_count = len(self.deployment.metadata_providers)
-        for node in nodes:
-            index = PartitionedMetadataStore.partition_index(
-                node.key.blob_id, node.key.offset, node.key.size, shard_count)
-            by_shard.setdefault(index, []).append(node)
-        node_size = self.cluster.config.metadata_node_size
-        for index, shard_nodes in sorted(by_shard.items()):
-            service = self.deployment.metadata_providers[index]
-            yield from self._rpc(service, "put_nodes",
-                                 len(shard_nodes) * node_size,
-                                 self.cluster.config.control_message_size,
-                                 shard_nodes)
-
-        # 6. completion -> in-order publication at the version manager
-        yield from self._control(
-            self.deployment.version_manager, "complete", blob_id, version)
-
-        self.bytes_written += vector.total_bytes()
-        self.writes += 1
-        return WriteReceipt(
-            blob_id=blob_id,
-            version=version,
-            bytes_written=vector.total_bytes(),
-            chunks=len(pieces),
-            metadata_nodes=len(nodes),
-            started_at=started_at,
-            finished_at=self.cluster.sim.now,
-        )
+        Writes already queued for this BLOB are flushed first: they were
+        issued earlier in program order, so they must take their ticket
+        before this one does.
+        """
+        if self.coalescer is not None and self.coalescer.pending_writes(blob_id):
+            yield from self.coalescer.flush(blob_id)
+        receipt = yield from self.writepath.commit(blob_id, vector)
+        return receipt
 
     def _vectored_read(self, blob_id: str, vector: IOVector,
                        version: Optional[int] = None):

@@ -96,7 +96,8 @@ class BlobSeerDeployment:
 
         ``client_options`` forward to :class:`BlobClient` (e.g.
         ``enable_metadata_cache`` / ``metadata_batching`` for the metadata
-        read-path benchmarks).
+        read-path benchmarks, ``write_pipelining`` / ``write_through_cache``
+        for the write-path ones).
         """
         self._client_counter += 1
         return BlobClient(self, node, name or f"blobclient{self._client_counter}",
@@ -120,6 +121,8 @@ class BlobSeerDeployment:
                             for provider in self.metadata_providers)
         get_nodes_rpcs = sum(provider.calls.get("get_nodes", 0)
                              for provider in self.metadata_providers)
+        put_nodes_rpcs = sum(provider.calls.get("put_nodes", 0)
+                             for provider in self.metadata_providers)
         return {
             "providers": len(stores),
             "chunks": sum(store.chunk_count() for store in stores),
@@ -127,6 +130,7 @@ class BlobSeerDeployment:
             "metadata_nodes": self.metadata_store.node_count(),
             "metadata_read_rpcs": get_node_rpcs + get_nodes_rpcs,
             "metadata_batched_rpcs": get_nodes_rpcs,
+            "metadata_put_rpcs": put_nodes_rpcs,
             "snapshots_published": self.version_manager.manager.snapshots_published,
             "tickets_assigned": self.version_manager.manager.tickets_assigned,
             "load_imbalance": self.provider_manager.manager.load_imbalance(),

@@ -37,6 +37,11 @@ class SimMetadataProvider(Service):
         return count
         yield  # pragma: no cover - makes this a generator function
 
+    def remove_nodes(self, keys):
+        """Erase the exact-key nodes of a failed write's rollback."""
+        return self.store.remove_nodes(keys)
+        yield  # pragma: no cover - makes this a generator function
+
     def get_node(self, blob_id: str, offset: int, size: int, version: int):
         """At-or-before lookup of one node."""
         return self.store.get_at_or_before(blob_id, offset, size, version)

@@ -50,6 +50,31 @@ class MetadataStore:
         nodes.insert(index, node)
         self.nodes_written += 1
 
+    def remove_node(self, key: NodeKey) -> bool:
+        """Remove the node with exactly this key (rollback of failed writes).
+
+        Aborting a write whose ``put_nodes`` partially succeeded must erase
+        the stored subset, or later snapshots' at-or-before lookups would
+        resolve into a torn version.  Returns whether a node was removed.
+        """
+        range_key = key.range_key
+        versions = self._versions.get(range_key)
+        if not versions:
+            return False
+        index = bisect.bisect_left(versions, key.version)
+        if index >= len(versions) or versions[index] != key.version:
+            return False
+        versions.pop(index)
+        self._nodes[range_key].pop(index)
+        if not versions:
+            del self._versions[range_key]
+            del self._nodes[range_key]
+        return True
+
+    def remove_nodes(self, keys: Sequence[NodeKey]) -> int:
+        """Remove a batch of exact keys; returns how many existed."""
+        return sum(1 for key in keys if self.remove_node(key))
+
     def get_at_or_before(self, blob_id: str, offset: int, size: int,
                          version: int) -> Optional[MetadataNode]:
         """Newest node for ``(offset, size)`` with version <= ``version``."""

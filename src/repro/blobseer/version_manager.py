@@ -33,6 +33,7 @@ class _BlobVersionState:
     latest_published: int = 0
     completed: Set[int] = field(default_factory=set)
     assigned: Set[int] = field(default_factory=set)
+    aborted: Set[int] = field(default_factory=set)
 
 
 class VersionManager:
@@ -44,6 +45,8 @@ class VersionManager:
         self.tickets_assigned: int = 0
         #: total snapshots published (benchmark metric)
         self.snapshots_published: int = 0
+        #: tickets released by failed writers (their versions publish empty)
+        self.tickets_aborted: int = 0
 
     # ------------------------------------------------------------------
     def create_blob(self, descriptor: BlobDescriptor,
@@ -110,14 +113,48 @@ class VersionManager:
                 f"version {version} of {blob_id!r} reported complete twice "
                 f"(still awaiting publication)")
         state.completed.add(version)
+        newly_published = self._advance(state)
+        return state.latest_published, newly_published
 
+    def abort(self, blob_id: str, version: int) -> Tuple[int, List[int]]:
+        """Release a ticket whose write failed before completing.
+
+        The version still occupies its slot in the publication order, so it
+        is marked publishable *empty* (no metadata was reachable under it —
+        readers of the aborted version see its predecessor's contents) and
+        the watermark may advance past it.  Without this, one crashed-or-
+        failed writer would stall publication for every later ticket.
+        """
+        state = self._state(blob_id)
+        if version not in state.assigned:
+            raise VersionNotFound(
+                f"version {version} of {blob_id!r} was never assigned")
+        if version <= state.latest_published:
+            raise StorageError(
+                f"version {version} of {blob_id!r} is already published "
+                f"and cannot be aborted")
+        if version in state.completed:
+            raise StorageError(
+                f"version {version} of {blob_id!r} already reported "
+                f"completion and cannot be aborted")
+        state.completed.add(version)
+        state.aborted.add(version)
+        self.tickets_aborted += 1
+        newly_published = self._advance(state)
+        return state.latest_published, newly_published
+
+    def _advance(self, state: _BlobVersionState) -> List[int]:
+        """Publish every consecutive completed version; return the new ones."""
         newly_published: List[int] = []
         while (state.latest_published + 1) in state.completed:
             state.latest_published += 1
             state.completed.discard(state.latest_published)
             newly_published.append(state.latest_published)
-            self.snapshots_published += 1
-        return state.latest_published, newly_published
+            if state.latest_published in state.aborted:
+                state.aborted.discard(state.latest_published)
+            else:
+                self.snapshots_published += 1
+        return newly_published
 
     # ------------------------------------------------------------------
     def latest_published(self, blob_id: str) -> int:
@@ -173,6 +210,14 @@ class SimVersionManager(Service):
     def complete(self, blob_id: str, version: int):
         """Record completion; publish in order; wake waiting readers."""
         latest, newly_published = self.manager.complete(blob_id, version)
+        if self.publish_cost and newly_published:
+            yield self.node.sim.timeout(self.publish_cost * len(newly_published))
+        self._wake_waiters(blob_id, latest)
+        return latest
+
+    def abort(self, blob_id: str, version: int):
+        """Release a failed writer's ticket; publication may advance past it."""
+        latest, newly_published = self.manager.abort(blob_id, version)
         if self.publish_cost and newly_published:
             yield self.node.sim.timeout(self.publish_cost * len(newly_published))
         self._wake_waiters(blob_id, latest)

@@ -1,0 +1,206 @@
+"""The write coalescer: queue vectored writes, commit them as one snapshot.
+
+Thakur et al.'s ROMIO lesson — aggregate many small noncontiguous requests
+into few large operations — applied to the *control plane* of the versioned
+store: ``k`` queued writes flushed together cost one ``allocate``, one
+version ticket, one merged copy-on-write metadata build and one ``complete``
+instead of ``k`` of each, while their payload still travels as fully
+parallel uncoordinated chunk uploads.
+
+Semantics: a flushed batch is applied in queue order (later writes win on
+overlaps), so the published snapshot equals the serial application of the
+queued writes — MPI atomicity simply holds at batch granularity, and ticket
+order across clients is untouched because a batch takes one ordinary ticket
+at flush time.  Queued writes are invisible to *every* reader (including
+their own client) until flushed; :meth:`WriteCoalescer.barrier` is the
+explicit flush + publication wait that restores write-visible semantics —
+the hook MPI ``sync``/``close``/atomic-mode calls use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.blobseer.writepath.batch import StagedWrite, WriteBatch
+from repro.core.listio import IOVector
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.client import BlobClient
+    from repro.blobseer.writepath.batch import WriteReceipt
+
+
+@dataclass
+class CoalescerStats:
+    """Coalescing counters surfaced through the benchmark harness."""
+
+    staged_writes: int = 0
+    batches: int = 0
+    coalesced_writes: int = 0
+    coalesced_bytes: int = 0
+    auto_flushes: int = 0
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Average queued writes per committed batch (1.0 = no coalescing)."""
+        if not self.batches:
+            return 0.0
+        return self.coalesced_writes / self.batches
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict form for JSON benchmark artifacts."""
+        return {
+            "staged_writes": self.staged_writes,
+            "batches": self.batches,
+            "coalesced_writes": self.coalesced_writes,
+            "coalesced_bytes": self.coalesced_bytes,
+            "auto_flushes": self.auto_flushes,
+            "coalescing_factor": self.coalescing_factor,
+        }
+
+
+class WriteCoalescer:
+    """Per-client write queue committing merged snapshot batches.
+
+    ``max_batch_writes`` / ``max_batch_bytes`` bound how much one batch may
+    accumulate; crossing either threshold flushes the BLOB's queue
+    automatically.  ``None`` (the default) means unbounded — flushing happens
+    only at explicit :meth:`flush`/:meth:`barrier` calls.
+    """
+
+    def __init__(self, client: "BlobClient", *,
+                 max_batch_writes: Optional[int] = None,
+                 max_batch_bytes: Optional[int] = None):
+        if max_batch_writes is not None and max_batch_writes <= 0:
+            raise StorageError(
+                f"max_batch_writes must be positive or None, got {max_batch_writes}")
+        if max_batch_bytes is not None and max_batch_bytes <= 0:
+            raise StorageError(
+                f"max_batch_bytes must be positive or None, got {max_batch_bytes}")
+        self.client = client
+        self.max_batch_writes = max_batch_writes
+        self.max_batch_bytes = max_batch_bytes
+        self.stats = CoalescerStats()
+        self._pending: Dict[str, List[StagedWrite]] = {}
+        # running queued-payload byte counters (kept in sync with _pending
+        # so the byte-bound check is O(1) per enqueue)
+        self._pending_bytes: Dict[str, int] = {}
+        # highest snapshot version committed through this coalescer, per blob
+        self._last_version: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def pending_writes(self, blob_id: Optional[str] = None) -> int:
+        """Queued-but-uncommitted writes (of one BLOB, or all of them)."""
+        if blob_id is not None:
+            return len(self._pending.get(blob_id, []))
+        return sum(len(staged) for staged in self._pending.values())
+
+    def pending_bytes(self, blob_id: Optional[str] = None) -> int:
+        """Payload bytes sitting in the queue."""
+        if blob_id is not None:
+            return self._pending_bytes.get(blob_id, 0)
+        return sum(self._pending_bytes.values())
+
+    def _should_flush(self, blob_id: str) -> bool:
+        """True when the BLOB's queue crossed a configured batch bound."""
+        if self.max_batch_writes is not None \
+                and self.pending_writes(blob_id) >= self.max_batch_writes:
+            return True
+        return self.max_batch_bytes is not None \
+            and self.pending_bytes(blob_id) >= self.max_batch_bytes
+
+    # ------------------------------------------------------------------
+    def enqueue(self, blob_id: str, vector: IOVector):
+        """Queue one vectored write; auto-flush if a batch bound is crossed.
+
+        Generator method (validation may fetch the BLOB descriptor, an
+        auto-flush issues RPCs).  Returns the
+        :class:`~repro.blobseer.writepath.batch.StagedWrite` handle, whose
+        ``receipt`` is filled when the batch commits.
+        """
+        if not vector.is_write or len(vector) == 0:
+            raise StorageError("a vectored write needs at least one payload request")
+        # validate now, like an immediate write would: an out-of-range
+        # request must fail at its own call site, not poison the whole
+        # merged batch at some later flush point
+        blob = yield from self.client._descriptor(blob_id)
+        for request in vector:
+            if request.size:
+                blob.validate_access(request.offset, request.size)
+        staged = StagedWrite(blob_id=blob_id, vector=vector,
+                             index=self.stats.staged_writes)
+        self._pending.setdefault(blob_id, []).append(staged)
+        self._pending_bytes[blob_id] = \
+            self._pending_bytes.get(blob_id, 0) + vector.total_bytes()
+        self.stats.staged_writes += 1
+        if self._should_flush(blob_id):
+            self.stats.auto_flushes += 1
+            yield from self.flush(blob_id)
+        return staged
+
+    def flush(self, blob_id: Optional[str] = None):
+        """Commit the queued writes (of one BLOB, or all) as merged snapshots.
+
+        One batch per BLOB: one ``allocate``, one ticket, one merged metadata
+        build, one (deferred, when pipelining) ``complete``.  Returns the
+        commit receipts.  Publication may still be in flight afterwards —
+        use :meth:`barrier` for read-after-write.
+
+        A failed commit leaves its batch staged: the caller can recover
+        (e.g. after a provider comes back) and flush again without losing
+        queued data.
+        """
+        if blob_id is None:
+            blob_ids = [key for key, staged in self._pending.items() if staged]
+        else:
+            blob_ids = [blob_id]
+        receipts: List["WriteReceipt"] = []
+        for key in blob_ids:
+            staged = self._pending.get(key, [])
+            if not staged:
+                continue
+            batch = WriteBatch(key, tuple(staged))
+            receipt = yield from self.client.writepath.commit(
+                key, batch.merged_vector(),
+                logical_writes=len(batch), defer_complete=True)
+            # the commit succeeded: drop exactly the writes it covered (an
+            # enqueue racing with the commit stays queued for the next batch)
+            queue = self._pending.get(key, [])
+            del queue[:len(batch)]
+            self._pending_bytes[key] = \
+                self._pending_bytes.get(key, 0) - batch.total_bytes()
+            batch.resolve(receipt)
+            self._last_version[key] = max(
+                receipt.version, self._last_version.get(key, 0))
+            self.stats.batches += 1
+            self.stats.coalesced_writes += len(batch)
+            self.stats.coalesced_bytes += receipt.bytes_written
+            receipts.append(receipt)
+        return receipts
+
+    def barrier(self, blob_id: Optional[str] = None):
+        """Flush, join deferred completions, wait for publication.
+
+        After a barrier every write queued before it is visible to any
+        reader — the atomic barrier MPI ``sync``/``close`` map onto.
+        Returns the receipts of the batches this call flushed.
+        """
+        receipts = yield from self.flush(blob_id)
+        yield from self.client.writepath.drain(blob_id)
+        if blob_id is None:
+            targets = list(self._last_version)
+        else:
+            targets = [blob_id]
+        for key in targets:
+            version = self._last_version.get(key, 0)
+            # the deferred complete already told us the publication watermark
+            # in most cases; only lag behind it costs a wait round-trip
+            if version > self.client.version_hints.get(key, 0):
+                yield from self.client.wait_published(key, version)
+        return receipts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WriteCoalescer pending={self.pending_writes()} "
+                f"batches={self.stats.batches} "
+                f"factor={self.stats.coalescing_factor:.2f}>")

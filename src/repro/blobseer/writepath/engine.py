@@ -1,0 +1,317 @@
+"""The pipelined commit engine: one write batch → one published snapshot.
+
+The engine owns the commit protocol of a :class:`~repro.blobseer.client.
+BlobClient`.  In pipelined mode (the default) it overlaps everything the
+protocol allows:
+
+* the version ticket is requested *concurrently* with the chunk uploads —
+  the ticket round-trip disappears behind the (much heavier) data transfers;
+* the per-shard ``put_nodes`` RPCs are issued in parallel, mirroring the
+  batched read path, instead of one blocking round-trip per shard;
+* a batch commit may *defer* its ``complete`` RPC: the call is launched as a
+  background process and the next batch starts immediately, so back-to-back
+  writes pipeline ``assign_ticket``/``complete`` across snapshots.
+  :meth:`PipelinedCommitEngine.drain` joins the in-flight completions (the
+  coalescer's barrier does this before waiting for publication).
+
+Correctness does not move: metadata nodes are always stored *before*
+``complete`` is issued, and the version manager still publishes strictly in
+ticket order, so deferring a completion can delay publication but never
+reorder it.
+
+With ``write_pipelining=False`` on the client the engine reproduces the
+pre-subsystem write path exactly — sequential control round-trips and a
+sequential per-shard ``put_nodes`` loop — which is the baseline the
+``BENCH_writepath.json`` suite measures against.
+
+Write-through cache population rides on the commit: the writer just built
+every node of the new snapshot, so inserting them into its own
+:class:`~repro.blobseer.metadata.cache.MetadataNodeCache` costs no RPC and
+makes its read-after-write traversals start warm (the published root and all
+touched inner nodes hit on their exact-version keys).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.blobseer.metadata.segment_tree import (
+    build_leaf_segments,
+    build_write_metadata,
+    split_vector_into_pieces,
+)
+from repro.blobseer.metadata.store import PartitionedMetadataStore
+from repro.blobseer.writepath.batch import WriteReceipt
+from repro.core.listio import IOVector
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.blob import BlobDescriptor
+    from repro.blobseer.client import BlobClient
+    from repro.blobseer.metadata.nodes import MetadataNode
+    from repro.simengine.process import Process
+
+
+class PipelinedCommitEngine:
+    """Executes write commits for one client (see module docstring)."""
+
+    def __init__(self, client: "BlobClient"):
+        self.client = client
+        # blob_id -> completion processes still in flight (deferred commits)
+        self._inflight: Dict[str, List["Process"]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pipelining(self) -> bool:
+        """Whether commits overlap their control RPCs (client-configured)."""
+        return self.client.write_pipelining
+
+    def outstanding(self, blob_id: str = None) -> int:
+        """Deferred ``complete`` RPCs not yet joined by :meth:`drain`."""
+        if blob_id is not None:
+            return len(self._inflight.get(blob_id, []))
+        return sum(len(procs) for procs in self._inflight.values())
+
+    # ------------------------------------------------------------------
+    def _wcontrol(self, service, method, *args):
+        """A write-side control round-trip (counted on the client)."""
+        self.client.write_control_rpcs += 1
+        result = yield from self.client._control(service, method, *args)
+        return result
+
+    # ------------------------------------------------------------------
+    def commit(self, blob_id: str, vector: IOVector, *,
+               logical_writes: int = 1, defer_complete: bool = False):
+        """Commit one write vector (possibly a merged batch) as one snapshot.
+
+        ``logical_writes`` records how many queued application writes the
+        vector coalesces; ``defer_complete`` (pipelined mode only) launches
+        the ``complete`` RPC as a background process so the caller can start
+        its next batch immediately — callers must eventually :meth:`drain`.
+        """
+        client = self.client
+        sim = client.cluster.sim
+        deployment = client.deployment
+        if not vector.is_write or len(vector) == 0:
+            raise StorageError("a vectored write needs at least one payload request")
+        started_at = sim.now
+        blob = yield from client._descriptor(blob_id)
+
+        # 1. chunk-aligned decomposition
+        pieces = split_vector_into_pieces(blob, vector)
+
+        # 2. placement (control-plane RPC to the provider manager)
+        sizes = [piece.length for piece in pieces]
+        providers = yield from self._wcontrol(
+            deployment.provider_manager, "allocate", sizes)
+
+        # 3. fully parallel, uncoordinated chunk uploads — one batched RPC
+        #    per destination provider
+        per_provider: Dict[str, list] = {}
+        for piece, provider_id in zip(pieces, providers):
+            piece.chunk = client._chunk_keys.next_key()
+            piece.provider_id = provider_id
+            per_provider.setdefault(provider_id, []).append(piece)
+        upload_processes = []
+        for provider_id, provider_pieces in sorted(per_provider.items()):
+            service = deployment.data_provider(provider_id)
+            payload = [(piece.chunk, piece.data) for piece in provider_pieces]
+            payload_bytes = sum(piece.length for piece in provider_pieces)
+            upload_processes.append(sim.process(
+                client._rpc(service, "put_chunks", payload_bytes,
+                            client.cluster.config.control_message_size, payload),
+                name=f"{client.name}:put:{provider_id}"))
+
+        # 4. version ticket — overlapped with the uploads when pipelining
+        #    (the ticket is a tiny control message; the uploads dominate)
+        if self.pipelining:
+            ticket_process = sim.process(
+                self._wcontrol(deployment.version_manager, "assign_ticket", blob_id),
+                name=f"{client.name}:ticket")
+            try:
+                yield sim.all_of(upload_processes + [ticket_process])
+            except Exception:
+                # an upload failed while the ticket was (possibly already)
+                # assigned; release it or every later ticket's publication
+                # would stall behind a write that can never complete
+                yield from self._release_ticket(blob_id, ticket_process)
+                raise
+            version, base_version = ticket_process.value
+        else:
+            if upload_processes:
+                yield sim.all_of(upload_processes)
+            version, base_version = yield from self._wcontrol(
+                deployment.version_manager, "assign_ticket", blob_id)
+
+        # 5. copy-on-write metadata, batched per metadata shard.  Any
+        #    failure past this point holds an assigned ticket, so the error
+        #    paths must release it (after undoing partially stored nodes) or
+        #    publication would stall for every later writer.
+        try:
+            leaf_segments = build_leaf_segments(blob, pieces)
+            nodes = build_write_metadata(blob, version, base_version, leaf_segments)
+        except Exception:
+            # nothing was stored yet: releasing the ticket is always safe
+            yield from self._abort_version(blob_id, version)
+            raise
+        try:
+            yield from self._store_nodes(blob, nodes)
+        except Exception:
+            # a partially stored node set must never become reachable
+            # through later snapshots' at-or-before lookups: roll it back,
+            # then release the ticket.  If the rollback itself fails (a
+            # metadata shard is down) leave the ticket assigned — a stalled
+            # publication is recoverable, a torn snapshot is not.
+            rolled_back = yield from self._rollback_metadata(blob, nodes)
+            if rolled_back:
+                yield from self._abort_version(blob_id, version)
+            raise
+
+        # 5b. write-through cache population: the writer keeps what it built
+        if client.write_through_cache and client.metadata_cache is not None:
+            self._prime_cache(blob, nodes)
+
+        # 6. completion -> in-order publication at the version manager
+        if defer_complete and self.pipelining:
+            process = sim.process(self._complete(blob_id, version),
+                                  name=f"{client.name}:complete:v{version}")
+            self._inflight.setdefault(blob_id, []).append(process)
+        else:
+            yield from self._complete(blob_id, version)
+
+        client.bytes_written += vector.total_bytes()
+        client.writes += 1
+        client.logical_writes += logical_writes
+        return WriteReceipt(
+            blob_id=blob_id,
+            version=version,
+            bytes_written=vector.total_bytes(),
+            chunks=len(pieces),
+            metadata_nodes=len(nodes),
+            logical_writes=logical_writes,
+            started_at=started_at,
+            finished_at=sim.now,
+        )
+
+    def drain(self, blob_id: str = None):
+        """Join every deferred ``complete`` RPC (of one BLOB, or all of them).
+
+        Returns the number of completions joined.  Failures propagate to the
+        caller, exactly as a blocking ``complete`` would have.
+        """
+        if blob_id is None:
+            keys = list(self._inflight)
+        else:
+            keys = [blob_id]
+        processes: List["Process"] = []
+        for key in keys:
+            processes.extend(self._inflight.pop(key, []))
+        if processes:
+            yield self.client.cluster.sim.all_of(processes)
+        return len(processes)
+
+    # ------------------------------------------------------------------
+    def _release_ticket(self, blob_id: str, ticket_process):
+        """Abort the ticket of a commit whose uploads failed (if one exists).
+
+        The ticket RPC ran concurrently with the uploads, so it may be in
+        any state: still in flight (join it first), failed (nothing was
+        assigned, nothing to release) or assigned (abort it at the version
+        manager so publication can advance past the dead version).
+        """
+        if ticket_process.is_alive:
+            try:
+                yield ticket_process
+            except Exception:
+                return
+        if not ticket_process.ok:
+            return
+        version, _base_version = ticket_process.value
+        yield from self._abort_version(blob_id, version)
+
+    def _abort_version(self, blob_id: str, version: int):
+        """Release an assigned ticket at the version manager."""
+        latest = yield from self._wcontrol(
+            self.client.deployment.version_manager, "abort", blob_id, version)
+        self.client.note_published(blob_id, latest)
+
+    def _rollback_metadata(self, blob: "BlobDescriptor",
+                           nodes: List["MetadataNode"]):
+        """Best-effort removal of a failed write's nodes from every shard.
+
+        Returns True only when every shard confirmed the removal — the
+        precondition for safely aborting the ticket.
+        """
+        client = self.client
+        request_size = client.cluster.config.metadata_request_size
+        control_size = client.cluster.config.control_message_size
+        rolled_back = True
+        for index, shard_nodes in sorted(self._group_by_shard(nodes).items()):
+            keys = [node.key for node in shard_nodes]
+            try:
+                yield from client._rpc(
+                    client.deployment.metadata_providers[index], "remove_nodes",
+                    len(keys) * request_size, control_size, keys)
+            except Exception:
+                rolled_back = False
+        return rolled_back
+
+    def _group_by_shard(self, nodes: List["MetadataNode"]) -> Dict[int, list]:
+        """Group a write's nodes by the metadata shard that owns each key."""
+        by_shard: Dict[int, list] = {}
+        shard_count = len(self.client.deployment.metadata_providers)
+        for node in nodes:
+            index = PartitionedMetadataStore.partition_index(
+                node.key.blob_id, node.key.offset, node.key.size, shard_count)
+            by_shard.setdefault(index, []).append(node)
+        return by_shard
+
+    def _complete(self, blob_id: str, version: int):
+        """Report completion; remember the returned publication watermark."""
+        latest = yield from self._wcontrol(
+            self.client.deployment.version_manager, "complete", blob_id, version)
+        self.client.note_published(blob_id, latest)
+        return latest
+
+    def _store_nodes(self, blob: "BlobDescriptor", nodes: List["MetadataNode"]):
+        """Ship the new snapshot's nodes, one ``put_nodes`` RPC per shard.
+
+        Pipelined mode issues the per-shard RPCs in parallel (mirroring the
+        batched read path); baseline mode loops them sequentially, which is
+        what the write path did before this subsystem existed.
+        """
+        client = self.client
+        deployment = client.deployment
+        by_shard = self._group_by_shard(nodes)
+        node_size = client.cluster.config.metadata_node_size
+        control_size = client.cluster.config.control_message_size
+        client.metadata_put_rpcs += len(by_shard)
+        if self.pipelining:
+            store_processes = [
+                client.cluster.sim.process(
+                    client._rpc(deployment.metadata_providers[index], "put_nodes",
+                                len(shard_nodes) * node_size, control_size,
+                                shard_nodes),
+                    name=f"{client.name}:putmeta:{index}")
+                for index, shard_nodes in sorted(by_shard.items())
+            ]
+            yield client.cluster.sim.all_of(store_processes)
+        else:
+            for index, shard_nodes in sorted(by_shard.items()):
+                yield from client._rpc(
+                    deployment.metadata_providers[index], "put_nodes",
+                    len(shard_nodes) * node_size, control_size, shard_nodes)
+
+    def _prime_cache(self, blob: "BlobDescriptor",
+                     nodes: List["MetadataNode"]) -> None:
+        """Insert the just-published nodes under their exact-version keys.
+
+        Cached entries only become observable once the snapshot is published
+        (readers resolve a version before traversing), and published nodes
+        are immutable — so priming before ``complete`` is safe.
+        """
+        cache = self.client.metadata_cache
+        for node in nodes:
+            cache.put(blob.blob_id, node.key.offset, node.key.size,
+                      node.key.version, node)
+        self.client.cache_primed_nodes += len(nodes)

@@ -10,6 +10,7 @@ approaches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 MiB = 1024 * 1024
@@ -41,6 +42,10 @@ class ClusterConfig:
     #: (True charges disk time on the data path; False models memory-backed
     #: providers, as BlobSeer deployments on Grid'5000 often used)
     persist_to_disk: bool = True
+    #: default LRU capacity (entries) of the client-side metadata node
+    #: caches; ``None`` keeps them unbounded.  Individual clients can
+    #: override this per instance (``metadata_cache_capacity=``)
+    metadata_cache_capacity: Optional[int] = None
 
     def copy(self, **overrides) -> "ClusterConfig":
         """A copy of the config with selected fields replaced."""

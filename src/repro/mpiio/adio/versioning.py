@@ -4,6 +4,14 @@ MPI atomicity is *native* here: every (possibly non-contiguous) write vector
 becomes exactly one snapshot of the underlying BLOB, published in ticket
 order by the version manager, so the driver never needs to lock anything —
 which is the whole point of the paper.
+
+The driver can additionally route non-atomic writes through the write
+pipeline's coalescer (``write_coalescing=True``): MPI only requires
+non-atomic writes to be visible after ``MPI_File_sync`` / ``MPI_File_close``
+(or, here, any read or atomic-mode write on the same handle), so queued
+writes accumulate into one merged snapshot per flush point — one
+``allocate``, one version ticket, one metadata build for a whole train of
+small writes.
 """
 
 from __future__ import annotations
@@ -22,17 +30,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class VersioningDriver(ADIODriver):
-    """ROMIO-style ADIO module backed by :mod:`repro.vstore`."""
+    """ROMIO-style ADIO module backed by :mod:`repro.vstore`.
+
+    ``write_coalescing`` queues non-atomic writes in the client's
+    :class:`~repro.blobseer.writepath.coalescer.WriteCoalescer`; they are
+    committed as merged snapshot batches at ``sync``/``close``, before any
+    read, and before any atomic-mode write (which must serialize behind
+    them in ticket order).  Remaining keyword options forward to
+    :class:`~repro.vstore.client.VectoredClient` (e.g. ``write_pipelining``,
+    ``write_through_cache``, ``coalesce_max_writes``).
+    """
 
     name = "versioning"
     native_atomicity = True
 
     def __init__(self, deployment: "BlobSeerDeployment", node: "Node",
-                 rank_name: Optional[str] = None):
+                 rank_name: Optional[str] = None, *,
+                 write_coalescing: bool = False,
+                 **client_options):
         super().__init__()
         self.deployment = deployment
+        self.write_coalescing = write_coalescing
         self.client = VectoredClient(deployment, node,
-                                     name=rank_name or f"adio:{node.name}")
+                                     name=rank_name or f"adio:{node.name}",
+                                     **client_options)
 
     # ------------------------------------------------------------------
     def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
@@ -52,6 +73,12 @@ class VersioningDriver(ADIODriver):
                      rank: int = 0, comm: Optional["Communicator"] = None):
         """One vectored write = one atomic snapshot (locking-free)."""
         self._account_write(vector)
+        if self.write_coalescing and not atomic:
+            yield from self.client.vwrite_queued(path, vector)
+            return vector.total_bytes()
+        # an atomic write must take its ticket *after* every write queued
+        # before it; the client flushes the queue itself before any
+        # immediate commit, so program order is preserved here
         if atomic:
             receipt = yield from self.client.vwrite_and_wait(path, vector)
         else:
@@ -62,8 +89,23 @@ class VersioningDriver(ADIODriver):
                     rank: int = 0, comm: Optional["Communicator"] = None):
         """Reads always come from one published snapshot, so they are atomic."""
         self._account_read(vector)
+        if self.write_coalescing:
+            # read-your-writes: queued writes must be published first
+            yield from self.client.vbarrier(path)
         pieces = yield from self.client.vread(path, vector)
         return pieces
+
+    def sync(self, path: str):
+        """MPI_File_sync: commit and publish any queued writes."""
+        if self.write_coalescing:
+            yield from self.client.vbarrier(path)
+        return None
+
+    def close(self, path: str):
+        """Close flushes like a sync (MPI ties visibility to close as well)."""
+        if self.write_coalescing:
+            yield from self.client.vbarrier(path)
+        return None
 
     def file_size(self, path: str):
         """The requested size recorded in the BLOB descriptor."""

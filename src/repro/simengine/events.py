@@ -194,8 +194,15 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            if not event._ok and self._ok is False:
+                # the condition already propagated a failure; absorb sibling
+                # failures so they do not escalate past whoever handles ours
+                event._defused = True
             return
         if not event._ok:
+            # the failure is being delivered through the condition (and on to
+            # whatever process waits on it), so the child event is handled
+            event._defused = True
             self.fail(event._value)
             return
         self._count += 1

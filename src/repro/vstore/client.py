@@ -10,9 +10,10 @@ anywhere.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
-from repro.blobseer.client import BlobClient, WriteReceipt
+from repro.blobseer.client import BlobClient
+from repro.blobseer.writepath import WriteCoalescer
 from repro.core.listio import IOVector
 from repro.errors import StorageError
 
@@ -21,7 +22,22 @@ ReadPairs = Sequence[Tuple[int, int]]
 
 
 class VectoredClient(BlobClient):
-    """BlobSeer client extended with the paper's non-contiguous primitives."""
+    """BlobSeer client extended with the paper's non-contiguous primitives.
+
+    On top of the immediate :meth:`vwrite`/:meth:`vread` pair, the vectored
+    client exposes the write-pipeline subsystem's *queued* interface: writes
+    staged with :meth:`vwrite_queued` are coalesced into one snapshot batch
+    per BLOB when :meth:`vflush`/:meth:`vbarrier` runs.  ``coalesce_max_
+    writes`` / ``coalesce_max_bytes`` bound a batch (crossing either flushes
+    automatically); by default batches grow until an explicit flush.
+    """
+
+    def __init__(self, *args, coalesce_max_writes: Optional[int] = None,
+                 coalesce_max_bytes: Optional[int] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.coalescer = WriteCoalescer(
+            self, max_batch_writes=coalesce_max_writes,
+            max_batch_bytes=coalesce_max_bytes)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -73,3 +89,38 @@ class VectoredClient(BlobClient):
         receipt = yield from self.vwrite(blob_id, access)
         yield from self.wait_published(blob_id, receipt.version)
         return receipt
+
+    # ------------------------------------------------------------------
+    # queued writes (the write-pipeline subsystem's coalescing interface)
+    # ------------------------------------------------------------------
+    def vwrite_queued(self, blob_id: str, access: Union[IOVector, WritePairs]):
+        """Stage an atomic vectored write for a later coalesced commit.
+
+        The write stays invisible to every reader until :meth:`vflush` /
+        :meth:`vbarrier` commits its batch; queue order is preserved, so the
+        eventual snapshot equals applying the queued writes serially.
+        Returns the :class:`~repro.blobseer.writepath.batch.StagedWrite`
+        handle (its ``receipt`` is filled at flush time).
+        """
+        vector = self._as_write_vector(access)
+        staged = yield from self.coalescer.enqueue(blob_id, vector)
+        return staged
+
+    def vflush(self, blob_id: Optional[str] = None):
+        """Commit queued writes as merged snapshot batches (one per BLOB).
+
+        Returns the commit receipts.  Publication of the batches may still
+        be in flight; use :meth:`vbarrier` when subsequent reads must see
+        the queued writes.
+        """
+        receipts = yield from self.coalescer.flush(blob_id)
+        return receipts
+
+    def vbarrier(self, blob_id: Optional[str] = None):
+        """Flush queued writes and wait until they are published (readable).
+
+        The explicit atomic barrier of the write pipeline: after it returns,
+        every write queued before the call is visible to any reader.
+        """
+        receipts = yield from self.coalescer.barrier(blob_id)
+        return receipts

@@ -11,11 +11,15 @@
   borders);
 * :mod:`repro.workloads.ghost_cells` — a small iterative stencil simulation
   (2-D heat diffusion) whose ranks dump their overlapping subdomains every
-  iteration; used by the examples and the producer/consumer experiment.
+  iteration; used by the examples and the producer/consumer experiment;
+* :mod:`repro.workloads.queued_writes` — trains of small back-to-back
+  vectored writes per rank (checkpoint-style), the pattern the write-pipeline
+  benchmarks coalesce.
 """
 
 from repro.workloads.domain import DomainDecomposition, process_grid
 from repro.workloads.overlap_stress import OverlapStressWorkload
+from repro.workloads.queued_writes import QueuedWritesWorkload
 from repro.workloads.tile_io import TileIOWorkload
 from repro.workloads.ghost_cells import GhostCellSimulation
 
@@ -23,6 +27,7 @@ __all__ = [
     "DomainDecomposition",
     "process_grid",
     "OverlapStressWorkload",
+    "QueuedWritesWorkload",
     "TileIOWorkload",
     "GhostCellSimulation",
 ]

@@ -85,8 +85,9 @@ class TestEnvironment:
                                        config=QUICK)
         locking = build_environment("posix-locking", num_storage_nodes=4,
                                     config=QUICK)
-        storage_nodes = lambda env: [
-            node for node in env.cluster.nodes.values() if node.disk is not None]
+        def storage_nodes(env):
+            return [node for node in env.cluster.nodes.values()
+                    if node.disk is not None]
         assert len(storage_nodes(versioning)) == len(storage_nodes(locking)) == 4
 
 

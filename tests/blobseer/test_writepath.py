@@ -1,0 +1,394 @@
+"""Unit and integration tests of the write-pipeline subsystem."""
+
+import pytest
+
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.blobseer.writepath import (
+    StagedWrite,
+    WriteBatch,
+    merge_write_vectors,
+)
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.listio import IOVector
+from repro.errors import StorageError
+from repro.vstore.client import VectoredClient
+
+BLOB = "wp-test"
+BLOB_SIZE = 4096
+CHUNK = 256
+
+
+# ----------------------------------------------------------------------
+# pure batch algebra
+# ----------------------------------------------------------------------
+class TestBatchAlgebra:
+    def test_merge_concatenates_in_order(self):
+        first = IOVector.for_write([(0, b"aa"), (10, b"bb")])
+        second = IOVector.for_write([(20, b"cc")])
+        merged = merge_write_vectors([first, second])
+        assert [(r.offset, r.data) for r in merged] == [
+            (0, b"aa"), (10, b"bb"), (20, b"cc")]
+
+    def test_merge_rejects_empty_input(self):
+        with pytest.raises(StorageError):
+            merge_write_vectors([])
+        with pytest.raises(StorageError):
+            merge_write_vectors([IOVector()])
+        with pytest.raises(StorageError):
+            merge_write_vectors([IOVector.for_read([(0, 4)])])
+
+    def test_batch_rejects_mixed_blobs_and_resolves_receipts(self):
+        staged = [StagedWrite("a", IOVector.for_write([(0, b"x")]), index=0),
+                  StagedWrite("a", IOVector.for_write([(4, b"y")]), index=1)]
+        batch = WriteBatch("a", tuple(staged))
+        assert len(batch) == 2
+        assert batch.total_bytes() == 2
+        with pytest.raises(StorageError):
+            WriteBatch("b", tuple(staged))
+        with pytest.raises(StorageError):
+            WriteBatch("a", ())
+
+    def test_staged_write_version_requires_commit(self):
+        staged = StagedWrite("a", IOVector.for_write([(0, b"x")]), index=0)
+        assert not staged.committed
+        with pytest.raises(StorageError):
+            staged.version
+
+
+# ----------------------------------------------------------------------
+# simulated deployments
+# ----------------------------------------------------------------------
+def make_client(**options):
+    cluster = Cluster(config=options.pop("config", ClusterConfig()), seed=1)
+    deployment = BlobSeerDeployment(cluster, num_providers=3,
+                                    num_metadata_providers=2,
+                                    chunk_size=CHUNK)
+    client = VectoredClient(deployment, cluster.add_node("compute"),
+                            name="wp", **options)
+    run(cluster, client.create_blob(BLOB, BLOB_SIZE, chunk_size=CHUNK))
+    return cluster, deployment, client
+
+
+def run(cluster, generator):
+    process = cluster.sim.process(generator)
+    return cluster.sim.run(stop_event=process)
+
+
+class TestPipelinedCommit:
+    def test_pipelined_write_roundtrips(self):
+        cluster, _, client = make_client()
+        receipt = run(cluster, client.vwrite(BLOB, [(0, b"p" * 300), (900, b"q" * 50)]))
+        assert receipt.version == 1
+        assert receipt.logical_writes == 1
+        pieces = run(cluster, client.vread(BLOB, [(0, 300), (900, 50)]))
+        assert pieces == [b"p" * 300, b"q" * 50]
+
+    def test_pipelined_and_baseline_store_identical_bytes(self):
+        vectors = [[(0, b"a" * 100), (500, b"b" * 400)],
+                   [(50, b"c" * 200)],
+                   [(450, b"d" * 100), (3000, b"e" * 700)]]
+        contents = {}
+        for pipelining in (False, True):
+            cluster, _, client = make_client(write_pipelining=pipelining)
+            for pairs in vectors:
+                run(cluster, client.vwrite_and_wait(BLOB, pairs))
+            contents[pipelining] = run(
+                cluster, client.vread(BLOB, [(0, BLOB_SIZE)]))[0]
+        assert contents[False] == contents[True]
+
+    def test_pipelined_write_is_not_slower(self):
+        elapsed = {}
+        for pipelining in (False, True):
+            cluster, _, client = make_client(write_pipelining=pipelining)
+            receipt = run(cluster, client.vwrite(BLOB, [(0, b"z" * 1024)]))
+            elapsed[pipelining] = receipt.elapsed
+        assert elapsed[True] <= elapsed[False]
+
+    def test_write_control_rpc_counters(self):
+        cluster, _, client = make_client()
+        run(cluster, client.vwrite_and_wait(BLOB, [(0, b"x" * 64)]))
+        # allocate + ticket + complete + wait_published
+        assert client.write_control_rpcs == 4
+        assert client.metadata_put_rpcs >= 1
+        assert client.writes == 1
+        assert client.logical_writes == 1
+
+
+class TestWriteThroughCache:
+    def test_writer_cache_is_primed_with_published_nodes(self):
+        cluster, _, client = make_client()
+        receipt = run(cluster, client.vwrite_and_wait(BLOB, [(0, b"w" * 600)]))
+        assert client.cache_primed_nodes == receipt.metadata_nodes
+        assert len(client.metadata_cache) >= receipt.metadata_nodes
+
+    def test_read_after_write_hits_from_the_first_read(self):
+        cluster, _, client = make_client()
+        receipt = run(cluster, client.vwrite_and_wait(BLOB, [(0, b"w" * 600)]))
+        before = client.metadata_cache.stats.hits
+        run(cluster, client.vread(BLOB, [(0, 600)], version=receipt.version))
+        assert client.metadata_cache.stats.hits > before
+        # the whole snapshot was self-published: zero node fetches needed
+        assert client.metadata_read_rpcs == 0
+
+    def test_write_through_can_be_disabled(self):
+        cluster, _, client = make_client(write_through_cache=False)
+        run(cluster, client.vwrite_and_wait(BLOB, [(0, b"w" * 600)]))
+        assert client.cache_primed_nodes == 0
+        assert len(client.metadata_cache) == 0
+
+    def test_version_hint_table_tracks_publication(self):
+        cluster, _, client = make_client()
+        assert client.version_hints == {}
+        run(cluster, client.vwrite_and_wait(BLOB, [(0, b"w" * 10)]))
+        assert client.version_hints[BLOB] == 1
+        run(cluster, client.vwrite_and_wait(BLOB, [(64, b"v" * 10)]))
+        assert client.version_hints[BLOB] == 2
+
+
+class TestCoalescer:
+    def test_queued_writes_are_invisible_until_barrier(self):
+        cluster, deployment, client = make_client()
+        staged = run(cluster, client.vwrite_queued(BLOB, [(0, b"q" * 32)]))
+        assert not staged.committed
+        assert client.coalescer.pending_writes(BLOB) == 1
+        assert deployment.version_manager.manager.latest_published(BLOB) == 0
+        receipts = run(cluster, client.vbarrier(BLOB))
+        assert staged.committed and staged.version == receipts[0].version
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+        pieces = run(cluster, client.vread(BLOB, [(0, 32)]))
+        assert pieces == [b"q" * 32]
+
+    def test_coalesced_batch_is_one_snapshot_applied_in_queue_order(self):
+        cluster, deployment, client = make_client()
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"1" * 100)])
+            yield from client.vwrite_queued(BLOB, [(50, b"2" * 100)])
+            yield from client.vwrite_queued(BLOB, [(25, b"3" * 50)])
+            receipts = yield from client.vbarrier(BLOB)
+            return receipts
+
+        receipts = run(cluster, scenario())
+        assert len(receipts) == 1
+        assert receipts[0].logical_writes == 3
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+        data = run(cluster, client.vread(BLOB, [(0, 150)]))[0]
+        # later queued writes win on overlap: serial application order
+        expected = bytearray(150)
+        expected[0:100] = b"1" * 100
+        expected[50:150] = b"2" * 100
+        expected[25:75] = b"3" * 50
+        assert data == bytes(expected)
+        assert client.coalescer.stats.coalescing_factor == 3.0
+
+    def test_max_batch_writes_auto_flushes(self):
+        cluster, _, client = make_client()
+        client.coalescer.max_batch_writes = 2
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"a" * 10)])
+            assert client.coalescer.pending_writes(BLOB) == 1
+            yield from client.vwrite_queued(BLOB, [(20, b"b" * 10)])
+            # the second enqueue crossed the bound and flushed the batch
+            assert client.coalescer.pending_writes(BLOB) == 0
+            yield from client.vbarrier(BLOB)
+
+        run(cluster, scenario())
+        assert client.coalescer.stats.auto_flushes == 1
+        assert client.writes == 1
+        assert client.logical_writes == 2
+
+    def test_max_batch_bytes_auto_flushes(self):
+        cluster, _, client = make_client()
+        client.coalescer.max_batch_bytes = 64
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"a" * 40)])
+            assert client.coalescer.pending_writes(BLOB) == 1
+            yield from client.vwrite_queued(BLOB, [(100, b"b" * 40)])
+            assert client.coalescer.pending_writes(BLOB) == 0
+            yield from client.vbarrier(BLOB)
+
+        run(cluster, scenario())
+        assert client.writes == 1
+
+    def test_barrier_without_queued_writes_is_a_noop(self):
+        cluster, _, client = make_client()
+        receipts = run(cluster, client.vbarrier(BLOB))
+        assert receipts == []
+        assert client.writes == 0
+
+    def test_deferred_completes_are_drained_by_barrier(self):
+        cluster, _, client = make_client()
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"a" * 8)])
+            yield from client.vflush(BLOB)
+            yield from client.vwrite_queued(BLOB, [(16, b"b" * 8)])
+            yield from client.vflush(BLOB)
+            outstanding = client.writepath.outstanding(BLOB)
+            yield from client.vbarrier(BLOB)
+            return outstanding
+
+        outstanding = run(cluster, scenario())
+        assert outstanding >= 1  # at least one complete was still in flight
+        assert client.writepath.outstanding() == 0
+        assert client.version_hints[BLOB] == 2
+
+    def test_enqueue_rejects_empty_and_read_vectors(self):
+        cluster, _, client = make_client()
+        with pytest.raises(StorageError):
+            run(cluster, client.vwrite_queued(BLOB, []))
+
+    def test_immediate_write_flushes_queued_writes_first(self):
+        """Program order: a direct vwrite must not overtake queued writes."""
+        cluster, _, client = make_client()
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"old")])
+            yield from client.vwrite(BLOB, [(0, b"new")])
+            yield from client.vbarrier(BLOB)
+            piece = yield from client.vread(BLOB, [(0, 3)])
+            return piece[0]
+
+        data = run(cluster, scenario())
+        # the queued write took the earlier ticket; the later direct write wins
+        assert data == b"new"
+        assert client.writes == 2 and client.logical_writes == 2
+
+
+class TestCommitFailureRecovery:
+    def test_failed_flush_keeps_the_queue_staged(self):
+        """A commit failure must not discard queued writes (retryable)."""
+        cluster, deployment, client = make_client()
+        run(cluster, client.vwrite_queued(BLOB, [(0, b"keep" * 8)]))
+        for provider_id in list(deployment.data_providers):
+            deployment.fail_provider(provider_id)
+        with pytest.raises(Exception):
+            run(cluster, client.vflush(BLOB))
+        assert client.coalescer.pending_writes(BLOB) == 1
+        for provider_id in list(deployment.data_providers):
+            deployment.recover_provider(provider_id)
+        receipts = run(cluster, client.vbarrier(BLOB))
+        assert len(receipts) == 1
+        assert run(cluster, client.vread(BLOB, [(0, 32)])) == [b"keep" * 8]
+
+    def test_enqueue_validates_like_an_immediate_write(self):
+        """Out-of-range queued writes fail at their own call site."""
+        from repro.errors import OutOfBounds
+        cluster, _, client = make_client()
+        with pytest.raises(OutOfBounds):
+            run(cluster, client.vwrite_queued(BLOB, [(BLOB_SIZE, b"over")]))
+        assert client.coalescer.pending_writes(BLOB) == 0
+
+    def test_failed_pipelined_write_releases_its_ticket(self):
+        """An upload failure must not stall publication for other writers."""
+        from repro.errors import ProviderUnavailable
+        cluster = Cluster(config=ClusterConfig(), seed=1)
+        deployment = BlobSeerDeployment(cluster, num_providers=2,
+                                        num_metadata_providers=1,
+                                        chunk_size=64 * 1024)
+        writer_a = VectoredClient(deployment, cluster.add_node("a"), name="a")
+        writer_b = VectoredClient(deployment, cluster.add_node("b"), name="b")
+        run(cluster, writer_a.create_blob(BLOB, 256 * 1024))
+
+        def doomed_writer():
+            # two 64 KiB chunks spread over both providers; data1 dies while
+            # the uploads (and the overlapped ticket RPC) are in flight
+            try:
+                yield from writer_a.vwrite(BLOB, [(0, b"x" * (128 * 1024))])
+            except ProviderUnavailable:
+                return "failed"
+            return "ok"
+
+        def fail_mid_upload():
+            yield cluster.sim.timeout(3e-4)  # after allocate, before upload ends
+            deployment.fail_provider("bs-data1")
+
+        def scenario():
+            doomed = cluster.sim.process(doomed_writer())
+            cluster.sim.process(fail_mid_upload())
+            yield doomed
+            outcome = doomed.value
+            # the failed writer's ticket was released, so a later writer
+            # can still publish (this hangs forever without the abort)
+            receipt = yield from writer_b.vwrite_and_wait(
+                BLOB, [(0, b"y" * 100)])
+            return outcome, receipt.version
+
+        process = cluster.sim.process(scenario())
+        outcome, version = cluster.sim.run(stop_event=process)
+        assert outcome == "failed"
+        assert version == 2  # ticket 1 was assigned, aborted, and skipped
+        assert deployment.version_manager.manager.tickets_aborted == 1
+        data = run(cluster, writer_b.vread(BLOB, [(0, 100)]))
+        assert data == [b"y" * 100]
+
+    def test_metadata_store_failure_rolls_back_and_releases_the_ticket(self):
+        """A put_nodes failure must not leave torn nodes or a stuck ticket."""
+        from repro.errors import ProviderUnavailable
+        cluster, deployment, client = make_client()
+        other = VectoredClient(deployment, cluster.add_node("other"),
+                               name="other")
+        broken = deployment.metadata_providers[1]
+
+        def down(nodes):
+            raise ProviderUnavailable("metadata shard down")
+            yield  # pragma: no cover - generator handler shape
+
+        broken.put_nodes = down
+        with pytest.raises(ProviderUnavailable):
+            run(cluster, client.vwrite(BLOB, [(0, b"torn" * 200)]))
+        del broken.put_nodes  # shard comes back
+        # no partial nodes survived the rollback on the healthy shard
+        assert deployment.metadata_store.node_count() == 0
+        assert deployment.version_manager.manager.tickets_aborted == 1
+        # a later writer publishes and reads back normally (no stall)
+        receipt = run(cluster, other.vwrite_and_wait(BLOB, [(0, b"y" * 50)]))
+        assert receipt.version == 2
+        assert run(cluster, other.vread(BLOB, [(0, 50)])) == [b"y" * 50]
+        # the aborted version reads as its predecessor (all zeros)
+        assert run(cluster, other.vread(BLOB, [(0, 8)], version=1)) \
+            == [b"\x00" * 8]
+
+    def test_version_manager_abort_unit(self):
+        from repro.blobseer.blob import BlobDescriptor
+        from repro.blobseer.version_manager import VersionManager
+        from repro.errors import StorageError as SE, VersionNotFound as VNF
+        manager = VersionManager()
+        manager.create_blob(BlobDescriptor.create("b", 1024, 64))
+        v1, _ = manager.assign_ticket("b")
+        v2, _ = manager.assign_ticket("b")
+        with pytest.raises(VNF):
+            manager.abort("b", 99)
+        latest, newly = manager.abort("b", v1)
+        assert latest == 1 and newly == [1]
+        assert manager.snapshots_published == 0  # aborted versions don't count
+        latest, newly = manager.complete("b", v2)
+        assert latest == 2 and newly == [2]
+        assert manager.snapshots_published == 1
+        with pytest.raises(SE):
+            manager.abort("b", v2)  # already published
+
+
+class TestCacheCapacityConfig:
+    def test_cluster_config_default_capacity_applies(self):
+        config = ClusterConfig(metadata_cache_capacity=4)
+        cluster, _, client = make_client(config=config)
+        assert client.metadata_cache.capacity == 4
+        run(cluster, client.vwrite_and_wait(BLOB, [(0, b"w" * 1024)]))
+        assert len(client.metadata_cache) <= 4
+
+    def test_client_option_overrides_config(self):
+        config = ClusterConfig(metadata_cache_capacity=4)
+        cluster = Cluster(config=config, seed=1)
+        deployment = BlobSeerDeployment(cluster, num_providers=2,
+                                        num_metadata_providers=1,
+                                        chunk_size=CHUNK)
+        client = VectoredClient(deployment, cluster.add_node("compute"),
+                                metadata_cache_capacity=9)
+        assert client.metadata_cache.capacity == 9
+        # an explicit None forces unbounded even against a bounded default
+        unbounded = VectoredClient(deployment, cluster.add_node("compute2"),
+                                   metadata_cache_capacity=None)
+        assert unbounded.metadata_cache.capacity is None

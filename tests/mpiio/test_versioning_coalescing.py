@@ -1,0 +1,129 @@
+"""The versioning ADIO driver with write coalescing enabled.
+
+MPI only requires non-atomic writes to be visible after ``MPI_File_sync`` /
+``MPI_File_close`` (or an atomic-mode access on the same handle), so the
+driver may queue them in the write pipeline's coalescer and commit one
+merged snapshot per flush point.  These tests pin the visibility contract:
+queued data is readable after every flush trigger, atomic-mode traffic
+serializes behind the queue, and the coalesced file contents equal the
+uncoalesced ones.
+"""
+
+import pytest
+
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster import Cluster, ClusterConfig
+from repro.mpi.launcher import run_mpi_job
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.file import File
+
+QUICK = ClusterConfig(network_latency=1e-5, disk_overhead=1e-4)
+FILE_SIZE = 16 * 1024
+
+
+def make_environment(**driver_options):
+    cluster = Cluster(config=QUICK, seed=3)
+    deployment = BlobSeerDeployment(cluster, num_providers=3,
+                                    num_metadata_providers=2,
+                                    chunk_size=1024)
+
+    def driver_factory(ctx):
+        return VersioningDriver(deployment, ctx.node,
+                                rank_name=f"rank{ctx.rank}", **driver_options)
+
+    return cluster, deployment, driver_factory
+
+
+@pytest.mark.parametrize("flush_via", ["sync", "close_reopen", "read"])
+def test_queued_writes_become_visible_at_each_flush_point(flush_via):
+    cluster, deployment, driver_factory = make_environment(write_coalescing=True)
+
+    def rank_main(ctx):
+        driver = driver_factory(ctx)
+        handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        yield from handle.write_at(0, b"first")
+        yield from handle.write_at(100, b"second")
+        # nothing is committed yet: both writes sit in the coalescer queue
+        assert driver.client.coalescer.pending_writes("/f") == 2
+        assert deployment.version_manager.manager.latest_published("/f") == 0
+        if flush_via == "sync":
+            yield from handle.sync()
+        elif flush_via == "close_reopen":
+            yield from handle.close()
+            handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                          comm=ctx.comm, size_hint=FILE_SIZE)
+        # (the "read" variant flushes implicitly through read_at below)
+        data_a = yield from handle.read_at(0, 5)
+        data_b = yield from handle.read_at(100, 6)
+        return data_a, data_b
+
+    result = run_mpi_job(cluster, 1, rank_main)
+    assert result.results[0] == (b"first", b"second")
+    # both queued writes were folded into a single published snapshot
+    assert deployment.version_manager.manager.latest_published("/f") == 1
+
+
+def test_atomic_write_flushes_the_queue_first():
+    cluster, deployment, driver_factory = make_environment(write_coalescing=True)
+
+    def rank_main(ctx):
+        driver = driver_factory(ctx)
+        handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        yield from handle.write_at(0, b"queued")
+        handle.set_atomicity(True)
+        yield from handle.write_at(3, b"ATOMIC")
+        data = yield from handle.read_at(0, 9)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, 1, rank_main)
+    # the queued write got the earlier ticket; the atomic write overlays it
+    assert result.results[0] == b"que" + b"ATOMIC"
+    assert deployment.version_manager.manager.latest_published("/f") == 2
+
+
+def test_coalesced_contents_equal_uncoalesced_contents():
+    contents = {}
+    for coalescing in (False, True):
+        cluster, _, driver_factory = make_environment(
+            write_coalescing=coalescing)
+
+        def rank_main(ctx):
+            driver = driver_factory(ctx)
+            handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                          comm=ctx.comm, size_hint=FILE_SIZE)
+            for step in range(6):
+                payload = bytes([65 + step]) * 300
+                yield from handle.write_at(step * 250, payload)
+            yield from handle.sync()
+            data = yield from handle.read_at(0, 2000)
+            yield from handle.close()
+            return data
+
+        result = run_mpi_job(cluster, 1, rank_main)
+        contents[coalescing] = result.results[0]
+    assert contents[True] == contents[False]
+
+
+def test_coalescing_spends_fewer_control_rpcs_for_small_write_trains():
+    rpcs = {}
+    for coalescing in (False, True):
+        cluster, _, driver_factory = make_environment(
+            write_coalescing=coalescing)
+        drivers = []
+
+        def rank_main(ctx):
+            driver = driver_factory(ctx)
+            drivers.append(driver)
+            handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                          comm=ctx.comm, size_hint=FILE_SIZE)
+            for step in range(8):
+                yield from handle.write_at(step * 64, b"x" * 64)
+            yield from handle.close()
+
+        run_mpi_job(cluster, 1, rank_main)
+        client = drivers[0].client
+        rpcs[coalescing] = client.write_control_rpcs + client.metadata_put_rpcs
+    assert rpcs[True] * 2 <= rpcs[False], rpcs
