@@ -1,0 +1,216 @@
+"""Collective-write microbenchmark: control RPCs per write vs aggregation.
+
+A :class:`~repro.workloads.collective_checkpoint.CollectiveCheckpointWorkload`
+(per-round collective dumps of interleaved blocks, each round made durable
+with a ``sync``) runs as a real MPI job through the versioning ADIO driver
+in two families of modes:
+
+* ``independent`` — the per-rank coalesced baseline (PR 2): every rank's
+  ``write_at_all`` stages its own vector and the round's ``sync`` commits
+  one snapshot batch *per rank* — ``N`` version tickets, ``N`` metadata
+  builds per round;
+* ``collective-a<A>`` — two-phase collective buffering with ``A``
+  aggregators: the ranks exchange their blocks over the compute
+  interconnect and the round commits as ``A`` stripe batches, so the
+  control traffic per logical write drops by ~``N/A`` (the aggregation
+  factor) while non-aggregator ranks touch the storage control plane zero
+  times.
+
+Every point records control RPCs per logical write, snapshots, exchange
+traffic, simulated write-phase seconds and host wall-clock into
+``BENCH_collective.json`` (via ``benchmarks/test_perf_collective.py``);
+all modes of one rank count must read back byte-identical file contents,
+which the perf suite asserts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.metrics import CollectiveSample
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import BenchmarkError
+from repro.mpi.datatypes import BYTE, Indexed
+from repro.mpi.launcher import run_mpi_job
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.file import File
+from repro.vstore.client import VectoredClient
+from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
+
+PATH = "/checkpoint"
+
+
+@dataclass
+class CollectiveSettings:
+    """Workload and deployment knobs of the collective benchmark."""
+
+    rank_counts: Tuple[int, ...] = (4, 8)
+    #: aggregator counts tried per rank count (clamped to the rank count;
+    #: duplicates after clamping are dropped)
+    aggregator_counts: Tuple[int, ...] = (1, 2, 4)
+    rounds: int = 3
+    blocks_per_rank: int = 4
+    block_size: int = 8 * 1024
+    num_providers: int = 4
+    num_metadata_providers: int = 2
+    chunk_size: int = 16 * 1024
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    seed: int = 0
+
+    def scaled_down(self) -> "CollectiveSettings":
+        """Smoke-mode variant for CI: same shape, a fraction of the work."""
+        return replace(
+            self,
+            rank_counts=(4,),
+            aggregator_counts=(1, 2),
+            rounds=2,
+            blocks_per_rank=2,
+            block_size=2048,
+            num_providers=2,
+            chunk_size=4096,
+        )
+
+    def workload(self, num_ranks: int) -> CollectiveCheckpointWorkload:
+        """The checkpoint workload for one rank count."""
+        return CollectiveCheckpointWorkload(
+            num_ranks=num_ranks,
+            rounds=self.rounds,
+            blocks_per_rank=self.blocks_per_rank,
+            block_size=self.block_size,
+        )
+
+
+@dataclass
+class CollectiveResult:
+    """Sample plus the read-back bytes (for cross-mode equality checks)."""
+
+    sample: CollectiveSample
+    read_digest: bytes
+
+
+def _mode_name(num_aggregators: Optional[int]) -> str:
+    return ("independent" if num_aggregators is None
+            else f"collective-a{num_aggregators}")
+
+
+def run_collective_point(num_ranks: int,
+                         num_aggregators: Optional[int],
+                         settings: Optional[CollectiveSettings] = None,
+                         ) -> CollectiveResult:
+    """Run the checkpoint workload once: ``None`` aggregators = baseline."""
+    settings = settings or CollectiveSettings()
+    if num_ranks <= 0:
+        raise BenchmarkError("num_ranks must be positive")
+    if num_aggregators is not None \
+            and not 1 <= num_aggregators <= num_ranks:
+        raise BenchmarkError(
+            f"aggregators must be in 1..{num_ranks}, got {num_aggregators}")
+    wall_started = time.perf_counter()
+
+    cluster = Cluster(config=settings.config, seed=settings.seed)
+    deployment = BlobSeerDeployment(
+        cluster,
+        num_providers=settings.num_providers,
+        num_metadata_providers=settings.num_metadata_providers,
+        chunk_size=settings.chunk_size,
+        node_prefix="cb",
+    )
+    workload = settings.workload(num_ranks)
+    drivers: Dict[int, VersioningDriver] = {}
+    write_spans: Dict[int, Tuple[float, float]] = {}
+    comms = []
+
+    def rank_main(ctx):
+        driver = VersioningDriver(
+            deployment, ctx.node, rank_name=f"cb{ctx.rank}",
+            write_coalescing=True,
+            collective_buffering=num_aggregators is not None,
+            collective_aggregators=num_aggregators)
+        drivers[ctx.rank] = driver
+        if ctx.rank == 0:
+            comms.append(ctx.comm)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm,
+                                      size_hint=workload.file_size)
+        yield from ctx.comm.barrier(ctx.rank)
+        started = ctx.sim.now
+        for round_index in range(workload.rounds):
+            pairs = workload.write_pairs(ctx.rank, round_index)
+            blocklengths = [len(payload) for _offset, payload in pairs]
+            displacements = [offset for offset, _payload in pairs]
+            payload = b"".join(payload for _offset, payload in pairs)
+            handle.set_view(0, BYTE,
+                            Indexed(blocklengths, displacements, base=BYTE))
+            yield from handle.write_at_all(0, payload)
+            # a checkpoint round is durable before the next one starts
+            yield from handle.sync()
+        write_spans[ctx.rank] = (started, ctx.sim.now)
+        yield from ctx.comm.barrier(ctx.rank)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main, node_prefix="cb-rank")
+    starts = [span[0] for span in write_spans.values()]
+    ends = [span[1] for span in write_spans.values()]
+
+    # read-back for the cross-mode equality check (fresh client, latest)
+    verifier = VectoredClient(deployment, cluster.add_node("cb-verify"),
+                              name="cb-verify")
+
+    def verify():
+        pieces = yield from verifier.vread(PATH, [(0, workload.file_size)])
+        return pieces[0]
+
+    process = cluster.sim.process(verify())
+    digest = cluster.sim.run(stop_event=process)
+
+    clients = [driver.client for driver in drivers.values()]
+    sample = CollectiveSample(
+        mode=_mode_name(num_aggregators),
+        num_ranks=num_ranks,
+        num_aggregators=num_aggregators or 0,
+        rounds=workload.rounds,
+        logical_writes=sum(client.logical_writes for client in clients),
+        snapshots=sum(client.writes for client in clients),
+        control_rpcs=sum(client.write_control_rpcs for client in clients),
+        metadata_put_rpcs=sum(client.metadata_put_rpcs for client in clients),
+        exchange_bytes=sum(driver.aggregator.stats.bytes_sent
+                           for driver in drivers.values()),
+        collectives_completed=comms[0].collectives_completed,
+        latest_rpcs_elided=sum(client.latest_rpcs_elided
+                               for client in clients),
+        sim_write_s=max(ends) - min(starts) if starts else 0.0,
+        wall_clock_s=time.perf_counter() - wall_started,
+    )
+    return CollectiveResult(sample=sample, read_digest=digest)
+
+
+def run_collective_suite(settings: Optional[CollectiveSettings] = None,
+                         ) -> Dict[str, CollectiveResult]:
+    """Every (rank count, mode) point on identical settings.
+
+    Keys are ``"N<ranks>:<mode>"``; each rank count gets the independent
+    baseline plus one collective point per distinct clamped aggregator
+    count.
+    """
+    settings = settings or CollectiveSettings()
+    results: Dict[str, CollectiveResult] = {}
+    for num_ranks in settings.rank_counts:
+        results[f"N{num_ranks}:independent"] = run_collective_point(
+            num_ranks, None, settings)
+        seen = set()
+        for count in settings.aggregator_counts:
+            clamped = min(count, num_ranks)
+            if clamped in seen:
+                continue
+            seen.add(clamped)
+            results[f"N{num_ranks}:{_mode_name(clamped)}"] = \
+                run_collective_point(num_ranks, clamped, settings)
+    return results
+
+
+def suite_rows(results: Dict[str, CollectiveResult]) -> List[Dict[str, object]]:
+    """The suite's samples as artifact/table rows (insertion order)."""
+    return [result.sample.as_row() for result in results.values()]

@@ -95,8 +95,31 @@ def rpc_reduction(baseline: MetadataPathSample,
     return baseline.metadata_rpcs / optimized.metadata_rpcs
 
 
+class PerWriteRpcMetrics:
+    """Derived write-side metrics shared by the sample records.
+
+    One definition of the headline normalization for every suite that
+    counts snapshots and control round-trips against logical writes
+    (:class:`WritePathSample`, :class:`CollectiveSample`), so the artifacts
+    stay comparable.
+    """
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Average logical writes folded into one snapshot (1.0 = none)."""
+        if not self.snapshots:
+            return 0.0
+        return self.logical_writes / self.snapshots
+
+    @property
+    def control_rpcs_per_write(self) -> float:
+        """Control-plane round-trips (incl. put_nodes) per logical write."""
+        total = self.control_rpcs + self.metadata_put_rpcs
+        return total / max(1, self.logical_writes)
+
+
 @dataclass
-class WritePathSample:
+class WritePathSample(PerWriteRpcMetrics):
     """One measured run of the write-pipeline microbenchmark.
 
     ``control_rpcs`` counts the write-side control-plane round-trips
@@ -123,19 +146,6 @@ class WritePathSample:
     sim_read_s: float
     wall_clock_s: float
 
-    @property
-    def coalescing_factor(self) -> float:
-        """Average logical writes folded into one snapshot (1.0 = none)."""
-        if not self.snapshots:
-            return 0.0
-        return self.logical_writes / self.snapshots
-
-    @property
-    def control_rpcs_per_write(self) -> float:
-        """Control-plane round-trips (incl. put_nodes) per logical write."""
-        total = self.control_rpcs + self.metadata_put_rpcs
-        return total / max(1, self.logical_writes)
-
     def as_row(self) -> Dict[str, object]:
         """Plain-dict form for tables and the JSON benchmark artifact."""
         return {
@@ -157,12 +167,67 @@ class WritePathSample:
         }
 
 
-def control_rpc_reduction(baseline: WritePathSample,
-                          optimized: WritePathSample) -> float:
-    """How many times fewer control round-trips per logical write."""
+def control_rpc_reduction(baseline: PerWriteRpcMetrics,
+                          optimized: PerWriteRpcMetrics) -> float:
+    """How many times fewer control round-trips per logical write.
+
+    Works on any pair of :class:`PerWriteRpcMetrics` samples
+    (:class:`WritePathSample`, :class:`CollectiveSample`) — the write-path
+    and collective-buffering suites share one definition of the headline
+    ratio.
+    """
     if optimized.control_rpcs_per_write <= 0:
         return float("inf")
     return baseline.control_rpcs_per_write / optimized.control_rpcs_per_write
+
+
+@dataclass
+class CollectiveSample(PerWriteRpcMetrics):
+    """One measured run of the collective-write microbenchmark.
+
+    ``control_rpcs``/``metadata_put_rpcs`` aggregate the write-side control
+    traffic of *all* ranks' clients; ``logical_writes`` counts the
+    application-issued collective writes (one per rank per round), so
+    ``control_rpcs_per_write`` is directly comparable between the per-rank
+    baseline and the aggregated path.  ``exchange_bytes`` is the MPI-side
+    two-phase traffic the aggregation spends instead — it moves over the
+    compute interconnect, not the storage control plane, and is reported so
+    the trade is visible.
+    """
+
+    mode: str
+    num_ranks: int
+    num_aggregators: int
+    rounds: int
+    logical_writes: int
+    snapshots: int
+    control_rpcs: int
+    metadata_put_rpcs: int
+    exchange_bytes: int
+    collectives_completed: int
+    latest_rpcs_elided: int
+    sim_write_s: float
+    wall_clock_s: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "ranks": self.num_ranks,
+            "aggregators": self.num_aggregators,
+            "rounds": self.rounds,
+            "logical_writes": self.logical_writes,
+            "snapshots": self.snapshots,
+            "coalescing_factor": self.coalescing_factor,
+            "control_rpcs": self.control_rpcs,
+            "metadata_put_rpcs": self.metadata_put_rpcs,
+            "control_rpcs_per_write": self.control_rpcs_per_write,
+            "exchange_bytes": self.exchange_bytes,
+            "collectives_completed": self.collectives_completed,
+            "latest_rpcs_elided": self.latest_rpcs_elided,
+            "sim_write_s": self.sim_write_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
 
 
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:

@@ -121,6 +121,15 @@ class BlobClient:
         #: BLOB (fed by completion/publication responses; lets barriers and
         #: read-after-write paths skip redundant wait round-trips)
         self.version_hints: Dict[str, int] = {}
+        #: one-shot *read* hints: versions a default (``version=None``) read
+        #: may use instead of asking the version manager for ``latest``.
+        #: Only sources that just synchronized with publication plant one —
+        #: the coalescer's barrier after publishing this client's own writes,
+        #: and collective commits piggybacking the group watermark — so a
+        #: hinted read is read-your-writes-fresh by construction.  Consumed
+        #: on use and dropped at every barrier, so it can never mask another
+        #: writer's later synced data.
+        self._read_hints: Dict[str, int] = {}
         #: client-side counters (aggregated by the benchmark harness)
         self.bytes_written: int = 0
         self.bytes_read: int = 0
@@ -138,6 +147,8 @@ class BlobClient:
         self.write_control_rpcs: int = 0
         self.metadata_put_rpcs: int = 0
         self.cache_primed_nodes: int = 0
+        #: ``latest`` round-trips elided because a read consumed a hint
+        self.latest_rpcs_elided: int = 0
 
     # ------------------------------------------------------------------
     # small helpers
@@ -197,6 +208,58 @@ class BlobClient:
         if version > self.version_hints.get(blob_id, 0):
             self.version_hints[blob_id] = version
 
+    def note_collective_commit(self, blob_id: str, version: int) -> None:
+        """Absorb a collective write's published watermark.
+
+        The aggregators of a collective write share the group's highest
+        published version with every participating rank at no RPC cost (it
+        rides on the closing exchange), so each rank's next default read can
+        consume it instead of issuing a ``latest`` round-trip — and still
+        observe everything the collective wrote.
+        """
+        self.note_published(blob_id, version)
+        self.offer_read_hint(blob_id)
+
+    def offer_read_hint(self, blob_id: str) -> None:
+        """Let the next ``version=None`` read start from the known watermark.
+
+        Only callers that *just* synchronized with publication may offer a
+        hint (see ``_read_hints``); anything older must go through the
+        version manager so other writers' synced data is never missed.
+        """
+        version = self.version_hints.get(blob_id, 0)
+        if version > 0:
+            self._read_hints[blob_id] = version
+
+    def drop_read_hint(self, blob_id: str) -> None:
+        """Invalidate a pending read hint (visibility fences must call this)."""
+        self._read_hints.pop(blob_id, None)
+
+    def hinted_blobs(self) -> List[str]:
+        """BLOBs currently holding a pending one-shot read hint.
+
+        Global fences iterate this in addition to their own commit targets:
+        a hint may exist for a BLOB the fence's owner never committed to
+        (e.g. planted by a collective commit on a non-aggregator rank).
+        """
+        return list(self._read_hints)
+
+    def take_read_hint(self, blob_id: str) -> Optional[int]:
+        """Consume the pending read hint, if any (one-shot).
+
+        Resolved against the *current* publication watermark: the client may
+        have observed a newer published version since the hint was planted
+        (a deferred completion response, an explicit ``latest``/
+        ``wait_published`` round-trip), and a default read must never return
+        data older than a watermark this client already saw — monotonic
+        reads within one client.  Every watermark source is a published
+        version, so the resolved value is always safely readable.
+        """
+        hint = self._read_hints.pop(blob_id, None)
+        if hint is None:
+            return None
+        return max(hint, self.version_hints.get(blob_id, 0))
+
     # ------------------------------------------------------------------
     # the classic (contiguous) BlobSeer interface
     # ------------------------------------------------------------------
@@ -240,7 +303,16 @@ class BlobClient:
         """Read the vector's ranges from one published snapshot."""
         blob = yield from self._descriptor(blob_id)
         if version is None:
-            version = yield from self.latest_version(blob_id)
+            # a hint planted by this client's own barrier or a collective
+            # commit names a published snapshot at least as new as anything
+            # this client synchronized on — consuming it elides the
+            # ``latest`` round-trip without weakening read-your-writes
+            hint = self.take_read_hint(blob_id)
+            if hint is not None:
+                version = hint
+                self.latest_rpcs_elided += 1
+            else:
+                version = yield from self.latest_version(blob_id)
         elif not self.deployment.version_manager.manager.is_published(blob_id, version):
             raise VersionNotFound(
                 f"snapshot {version} of {blob_id!r} is not published")

@@ -81,6 +81,16 @@ class StagedWrite:
     vector: IOVector
     index: int
     receipt: Optional[WriteReceipt] = None
+    #: how many *application* writes this staged vector represents.  1 for a
+    #: plain queued write; a collective aggregator staging a merged stripe on
+    #: behalf of several MPI ranks attributes their logical writes here, so
+    #: per-write normalization stays honest across multi-rank batches.
+    logical_writes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.logical_writes < 0:
+            raise StorageError(
+                f"logical_writes must be non-negative, got {self.logical_writes}")
 
     @property
     def committed(self) -> bool:
@@ -114,6 +124,11 @@ class WriteBatch:
 
     def __len__(self) -> int:
         return len(self.staged)
+
+    @property
+    def logical_writes(self) -> int:
+        """Application writes the batch coalesces (>= its staged count)."""
+        return sum(write.logical_writes for write in self.staged)
 
     def merged_vector(self) -> IOVector:
         """The batch as one write vector (queue order, later writes win)."""

@@ -40,6 +40,9 @@ class CoalescerStats:
     coalesced_writes: int = 0
     coalesced_bytes: int = 0
     auto_flushes: int = 0
+    delay_flushes: int = 0
+    delay_flush_failures: int = 0
+    discarded_writes: int = 0
 
     @property
     def coalescing_factor(self) -> float:
@@ -56,6 +59,9 @@ class CoalescerStats:
             "coalesced_writes": self.coalesced_writes,
             "coalesced_bytes": self.coalesced_bytes,
             "auto_flushes": self.auto_flushes,
+            "delay_flushes": self.delay_flushes,
+            "delay_flush_failures": self.delay_flush_failures,
+            "discarded_writes": self.discarded_writes,
             "coalescing_factor": self.coalescing_factor,
         }
 
@@ -67,20 +73,40 @@ class WriteCoalescer:
     accumulate; crossing either threshold flushes the BLOB's queue
     automatically.  ``None`` (the default) means unbounded — flushing happens
     only at explicit :meth:`flush`/:meth:`barrier` calls.
+
+    ``flush_max_delay`` bounds *publication latency* instead of batch size:
+    when set, a write entering an empty queue arms a watchdog that flushes
+    whatever accumulated after that many simulated seconds — so a slow
+    producer's data reaches its consumers within a bounded delay even if the
+    producer never crosses a size bound or calls flush itself.  A failing
+    flush re-arms the timer with exponential backoff (doubling up to
+    :attr:`RETRY_BACKOFF_LIMIT` times the base delay): a permanently dead
+    backend is retried at a bounded, slowing rate instead of spinning
+    allocate/abort round-trips every period — and when the backend comes
+    back, the next retry publishes without anyone calling flush, so the
+    latency bound degrades under faults but always recovers.
     """
+
+    #: largest backoff multiplier a failing watchdog flush reaches
+    RETRY_BACKOFF_LIMIT = 64
 
     def __init__(self, client: "BlobClient", *,
                  max_batch_writes: Optional[int] = None,
-                 max_batch_bytes: Optional[int] = None):
+                 max_batch_bytes: Optional[int] = None,
+                 flush_max_delay: Optional[float] = None):
         if max_batch_writes is not None and max_batch_writes <= 0:
             raise StorageError(
                 f"max_batch_writes must be positive or None, got {max_batch_writes}")
         if max_batch_bytes is not None and max_batch_bytes <= 0:
             raise StorageError(
                 f"max_batch_bytes must be positive or None, got {max_batch_bytes}")
+        if flush_max_delay is not None and flush_max_delay <= 0:
+            raise StorageError(
+                f"flush_max_delay must be positive or None, got {flush_max_delay}")
         self.client = client
         self.max_batch_writes = max_batch_writes
         self.max_batch_bytes = max_batch_bytes
+        self.flush_max_delay = flush_max_delay
         self.stats = CoalescerStats()
         self._pending: Dict[str, List[StagedWrite]] = {}
         # running queued-payload byte counters (kept in sync with _pending
@@ -88,6 +114,21 @@ class WriteCoalescer:
         self._pending_bytes: Dict[str, int] = {}
         # highest snapshot version committed through this coalescer, per blob
         self._last_version: Dict[str, int] = {}
+        # per-blob watchdog generation: armed when a write enters an empty
+        # queue; a newer arm invalidates older timers so no batch is ever
+        # flushed by a timer that predates it
+        self._watchdog_generation: Dict[str, int] = {}
+        # per-blob flush-in-progress gate: a batch stays in ``_pending``
+        # until its commit's round-trips return, so a second flush entering
+        # that window (watchdog vs explicit, in either order) must wait for
+        # the first instead of committing the same batch twice
+        self._flush_gates: Dict[str, object] = {}
+        # (writes, bytes) of the batch currently committing, per blob —
+        # subtracted from the batch-bound checks so writes enqueued during
+        # the commit window don't trigger premature undersized auto-flushes
+        self._inflight_batch: Dict[str, tuple] = {}
+        # consecutive failed flush attempts per blob (bounds watchdog re-arms)
+        self._flush_failures: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def pending_writes(self, blob_id: Optional[str] = None) -> int:
@@ -102,22 +143,44 @@ class WriteCoalescer:
             return self._pending_bytes.get(blob_id, 0)
         return sum(self._pending_bytes.values())
 
+    def last_committed_version(self, blob_id: str) -> int:
+        """Highest snapshot version committed through this coalescer.
+
+        Committed is not published: until the client's publication watermark
+        reaches this version, read paths that promise read-your-writes must
+        fence through :meth:`barrier`.
+        """
+        return self._last_version.get(blob_id, 0)
+
     def _should_flush(self, blob_id: str) -> bool:
-        """True when the BLOB's queue crossed a configured batch bound."""
+        """True when the BLOB's queue crossed a configured batch bound.
+
+        Writes of a batch whose commit is still in flight remain queued but
+        are already spoken for — they don't count toward the *next* batch's
+        bound.
+        """
+        committing_writes, committing_bytes = \
+            self._inflight_batch.get(blob_id, (0, 0))
         if self.max_batch_writes is not None \
-                and self.pending_writes(blob_id) >= self.max_batch_writes:
+                and self.pending_writes(blob_id) - committing_writes \
+                >= self.max_batch_writes:
             return True
         return self.max_batch_bytes is not None \
-            and self.pending_bytes(blob_id) >= self.max_batch_bytes
+            and self.pending_bytes(blob_id) - committing_bytes \
+            >= self.max_batch_bytes
 
     # ------------------------------------------------------------------
-    def enqueue(self, blob_id: str, vector: IOVector):
+    def enqueue(self, blob_id: str, vector: IOVector, *,
+                logical_writes: int = 1):
         """Queue one vectored write; auto-flush if a batch bound is crossed.
 
         Generator method (validation may fetch the BLOB descriptor, an
         auto-flush issues RPCs).  Returns the
         :class:`~repro.blobseer.writepath.batch.StagedWrite` handle, whose
-        ``receipt`` is filled when the batch commits.
+        ``receipt`` is filled when the batch commits.  ``logical_writes``
+        attributes how many application writes the vector represents (a
+        collective aggregator stages merged stripes on behalf of whole rank
+        groups).
         """
         if not vector.is_write or len(vector) == 0:
             raise StorageError("a vectored write needs at least one payload request")
@@ -129,7 +192,9 @@ class WriteCoalescer:
             if request.size:
                 blob.validate_access(request.offset, request.size)
         staged = StagedWrite(blob_id=blob_id, vector=vector,
-                             index=self.stats.staged_writes)
+                             index=self.stats.staged_writes,
+                             logical_writes=logical_writes)
+        queue_was_empty = not self._pending.get(blob_id)
         self._pending.setdefault(blob_id, []).append(staged)
         self._pending_bytes[blob_id] = \
             self._pending_bytes.get(blob_id, 0) + vector.total_bytes()
@@ -137,7 +202,46 @@ class WriteCoalescer:
         if self._should_flush(blob_id):
             self.stats.auto_flushes += 1
             yield from self.flush(blob_id)
+        elif queue_was_empty and self.flush_max_delay is not None:
+            self._arm_watchdog(blob_id)
         return staged
+
+    def _arm_watchdog(self, blob_id: str,
+                      delay: Optional[float] = None) -> None:
+        """Start the max-delay timer (``delay`` overrides for retry backoff)."""
+        generation = self._invalidate_watchdog(blob_id)
+        sim = self.client.cluster.sim
+        sim.process(self._watchdog(blob_id, generation,
+                                   delay if delay is not None
+                                   else self.flush_max_delay),
+                    name=f"{self.client.name}:flush-timer:{blob_id}")
+
+    def _invalidate_watchdog(self, blob_id: str) -> int:
+        """Cancel any armed timer of the BLOB; returns the new generation."""
+        generation = self._watchdog_generation.get(blob_id, 0) + 1
+        self._watchdog_generation[blob_id] = generation
+        return generation
+
+    def _watchdog(self, blob_id: str, generation: int, delay: float):
+        """Flush the queue once its oldest write has waited ``delay``.
+
+        The generation check makes an explicit/auto flush in the meantime
+        cancel the timer: a fresh batch started after the flush gets its own
+        timer, so no batch is ever cut short.
+        """
+        yield self.client.cluster.sim.timeout(delay)
+        if self._watchdog_generation.get(blob_id) != generation \
+                or not self._pending.get(blob_id):
+            return
+        self.stats.delay_flushes += 1
+        try:
+            yield from self.flush(blob_id)
+        except Exception:
+            # a background flush has nobody to raise to; the queue stays
+            # staged (flush keeps failed batches and re-arms the timer, so
+            # the bound survives transient failures and the next explicit
+            # flush/barrier surfaces a persistent one)
+            self.stats.delay_flush_failures += 1
 
     def flush(self, blob_id: Optional[str] = None):
         """Commit the queued writes (of one BLOB, or all) as merged snapshots.
@@ -157,27 +261,82 @@ class WriteCoalescer:
             blob_ids = [blob_id]
         receipts: List["WriteReceipt"] = []
         for key in blob_ids:
+            # another flush of this BLOB (a watchdog's, or another process's)
+            # may be mid-commit; wait it out, then commit whatever remains
+            while key in self._flush_gates:
+                yield self._flush_gates[key]
             staged = self._pending.get(key, [])
             if not staged:
                 continue
+            # cancel armed timers before committing: the staged writes stay
+            # queued until the commit's round-trips finish, and a watchdog
+            # firing in that window would commit the same batch twice
+            self._invalidate_watchdog(key)
             batch = WriteBatch(key, tuple(staged))
-            receipt = yield from self.client.writepath.commit(
-                key, batch.merged_vector(),
-                logical_writes=len(batch), defer_complete=True)
+            gate = self.client.cluster.sim.event()
+            self._flush_gates[key] = gate
+            self._inflight_batch[key] = (len(batch), batch.total_bytes())
+            try:
+                receipt = yield from self.client.writepath.commit(
+                    key, batch.merged_vector(),
+                    logical_writes=batch.logical_writes, defer_complete=True)
+            except Exception:
+                # the batch stays staged (retryable); keep its latency bound
+                # with backed-off retries — slowing under a persistent fault,
+                # still guaranteed to publish once the backend recovers
+                failures = self._flush_failures.get(key, 0) + 1
+                self._flush_failures[key] = failures
+                if self.flush_max_delay is not None and self._pending.get(key):
+                    # first retry at the base delay, then doubling to the cap
+                    backoff = min(2 ** (failures - 1), self.RETRY_BACKOFF_LIMIT)
+                    self._arm_watchdog(key, self.flush_max_delay * backoff)
+                raise
+            finally:
+                del self._flush_gates[key]
+                del self._inflight_batch[key]
+                gate.succeed()
+            self._flush_failures.pop(key, None)
             # the commit succeeded: drop exactly the writes it covered (an
-            # enqueue racing with the commit stays queued for the next batch)
+            # enqueue racing with the commit stays queued for the next batch,
+            # and gets its own delay window)
             queue = self._pending.get(key, [])
             del queue[:len(batch)]
             self._pending_bytes[key] = \
                 self._pending_bytes.get(key, 0) - batch.total_bytes()
+            if queue and self.flush_max_delay is not None:
+                self._arm_watchdog(key)
             batch.resolve(receipt)
             self._last_version[key] = max(
                 receipt.version, self._last_version.get(key, 0))
             self.stats.batches += 1
-            self.stats.coalesced_writes += len(batch)
+            self.stats.coalesced_writes += batch.logical_writes
             self.stats.coalesced_bytes += receipt.bytes_written
             receipts.append(receipt)
         return receipts
+
+    def discard(self, blob_id: str):
+        """Drop a BLOB's queued-but-uncommitted writes without committing them.
+
+        The hook for callers that *own* the staged data and know it must not
+        be retried — e.g. a collective aggregator whose stripe commit failed
+        after the group already reported the collective as failed.
+
+        Generator method: a flush of the BLOB may have its commit round-trips
+        in flight (the batch stays in the queue until they return), and
+        popping the queue under it would corrupt the byte accounting and
+        mislabel committed writes as dropped — so discard waits that flush
+        out and only drops what genuinely never committed.  Returns the
+        dropped staged writes.
+        """
+        while blob_id in self._flush_gates:
+            yield self._flush_gates[blob_id]
+        dropped = self._pending.pop(blob_id, [])
+        self._pending_bytes.pop(blob_id, None)
+        self._invalidate_watchdog(blob_id)
+        # a fresh batch after the discard starts with a clean retry budget
+        self._flush_failures.pop(blob_id, None)
+        self.stats.discarded_writes += len(dropped)
+        return dropped
 
     def barrier(self, blob_id: Optional[str] = None):
         """Flush, join deferred completions, wait for publication.
@@ -189,15 +348,28 @@ class WriteCoalescer:
         receipts = yield from self.flush(blob_id)
         yield from self.client.writepath.drain(blob_id)
         if blob_id is None:
-            targets = list(self._last_version)
+            # a global fence covers hint-only BLOBs too: a hint may exist
+            # for a BLOB this coalescer never committed to (planted by a
+            # collective commit on a non-aggregator client)
+            targets = sorted(set(self._last_version)
+                             | set(self.client.hinted_blobs()))
         else:
             targets = [blob_id]
+        flushed = {receipt.blob_id for receipt in receipts}
         for key in targets:
+            # a barrier is a visibility fence: any read hint taken before it
+            # must not survive (it could hide another writer's synced data)
+            self.client.drop_read_hint(key)
             version = self._last_version.get(key, 0)
             # the deferred complete already told us the publication watermark
             # in most cases; only lag behind it costs a wait round-trip
             if version > self.client.version_hints.get(key, 0):
                 yield from self.client.wait_published(key, version)
+            if key in flushed:
+                # this barrier just published this client's own writes: its
+                # next read may start from the known watermark without asking
+                # the version manager again (read-your-writes for free)
+                self.client.offer_read_hint(key)
         return receipts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -182,6 +182,11 @@ class PipelinedCommitEngine:
         client.bytes_written += vector.total_bytes()
         client.writes += 1
         client.logical_writes += logical_writes
+        # this commit outdates any read hint planted earlier: a default read
+        # served from it would miss the snapshot just produced.  Whoever
+        # synchronizes with the new publication (the coalescer's barrier, a
+        # collective's closing exchange) plants a fresh one afterwards.
+        client.drop_read_hint(blob_id)
         return WriteReceipt(
             blob_id=blob_id,
             version=version,

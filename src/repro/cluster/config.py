@@ -46,6 +46,11 @@ class ClusterConfig:
     #: caches; ``None`` keeps them unbounded.  Individual clients can
     #: override this per instance (``metadata_cache_capacity=``)
     metadata_cache_capacity: Optional[int] = None
+    #: default aggregator count for two-phase collective buffering (ROMIO's
+    #: ``cb_nodes``).  ``None`` picks one aggregator per four ranks; drivers
+    #: can override per instance (``collective_aggregators=``).  The count is
+    #: always clamped to the communicator size
+    collective_aggregators: Optional[int] = None
 
     def copy(self, **overrides) -> "ClusterConfig":
         """A copy of the config with selected fields replaced."""

@@ -63,8 +63,14 @@ class Communicator:
                 + payload_bytes / config.network_bandwidth)
 
     def _enter(self, op: str, rank: int, contribution: Any,
-               payload_bytes: int, finalize: Callable[[Dict[int, Any]], Any]):
-        """Common rendezvous logic of every collective."""
+               payload_bytes, finalize: Callable[[Dict[int, Any]], Any]):
+        """Common rendezvous logic of every collective.
+
+        ``payload_bytes`` is either a byte count or a callable evaluated on
+        the collected contributions by the last arrival — the hook operations
+        whose traffic depends on what every rank brought (alltoallv) use to
+        charge their true cost.
+        """
         self._check_rank(rank)
         counts = self._rank_counts.setdefault(op, {})
         generation = counts.get(rank, 0)
@@ -88,6 +94,8 @@ class Communicator:
 
         # last arrival: perform the operation, charge its cost, wake the others
         collective.result = finalize(collective.contributions)
+        if callable(payload_bytes):
+            payload_bytes = payload_bytes(collective.contributions)
         if self.size > 1:
             yield self.cluster.sim.timeout(self._cost(payload_bytes))
         self.collectives_completed += 1
@@ -120,10 +128,17 @@ class Communicator:
             lambda contributions: [contributions[index] for index in range(self.size)])
         return gathered if rank == root else None
 
-    def allgather(self, rank: int, value: Any):
-        """Gather one value per rank at every rank."""
+    def allgather(self, rank: int, value: Any, payload_bytes=None):
+        """Gather one value per rank at every rank.
+
+        ``payload_bytes`` overrides the default 64-bytes-per-rank estimate —
+        either a byte count or a callable over the collected contributions
+        (for values whose wire size depends on what every rank brought).
+        """
+        if payload_bytes is None:
+            payload_bytes = 64 * self.size
         gathered = yield from self._enter(
-            "allgather", rank, value, 64 * self.size,
+            "allgather", rank, value, payload_bytes,
             lambda contributions: [contributions[index] for index in range(self.size)])
         return gathered
 
@@ -140,6 +155,44 @@ class Communicator:
 
         reduced = yield from self._enter("allreduce", rank, value, 64, finalize)
         return reduced
+
+    def alltoallv(self, rank: int, send_items: List[Any],
+                  sizeof: Optional[Callable[[Any], int]] = None):
+        """Personalized all-to-all: element ``j`` of ``send_items`` goes to rank ``j``.
+
+        Every rank supplies one item per destination (lists of pieces, for
+        the two-phase collective-buffering exchange) and receives the list
+        ``[item from rank 0, item from rank 1, ...]`` addressed to it.
+
+        ``sizeof`` prices one item (bytes on the wire); the charged cost uses
+        the *bottleneck* rank — the largest sent-plus-received volume over
+        any single NIC — rather than the total volume, since the pairwise
+        transfers proceed in parallel.  A rank's item addressed to itself is
+        a local copy and moves over no NIC, so it costs nothing.
+        """
+        if len(send_items) != self.size:
+            raise MPIError(
+                f"alltoallv needs one item per rank ({self.size}), "
+                f"got {len(send_items)}")
+        measure = sizeof or (lambda item: 64)
+
+        def finalize(contributions: Dict[int, Any]) -> List[List[Any]]:
+            return [[contributions[src][dst] for src in range(self.size)]
+                    for dst in range(self.size)]
+
+        def bottleneck_bytes(contributions: Dict[int, Any]) -> int:
+            sent = [sum(measure(item)
+                        for dst, item in enumerate(contributions[src])
+                        if dst != src)
+                    for src in range(self.size)]
+            received = [sum(measure(contributions[src][dst])
+                            for src in range(self.size) if src != dst)
+                        for dst in range(self.size)]
+            return max(s + r for s, r in zip(sent, received))
+
+        matrix = yield from self._enter(
+            "alltoallv", rank, send_items, bottleneck_bytes, finalize)
+        return matrix[rank]
 
     def scatter(self, rank: int, values: Optional[List[Any]] = None, root: int = 0):
         """Scatter one element of ``values`` (given at ``root``) to each rank."""

@@ -1,6 +1,7 @@
 """ADIO drivers: the storage-specific back-ends of the MPI-I/O layer."""
 
 from repro.mpiio.adio.base import ADIODriver
+from repro.mpiio.adio.collective import CollectiveAggregator
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.adio.posix_locking import PosixLockingDriver
 from repro.mpiio.adio.posix_listlock import PosixListLockDriver
@@ -17,6 +18,7 @@ DRIVERS = {
 
 __all__ = [
     "ADIODriver",
+    "CollectiveAggregator",
     "VersioningDriver",
     "PosixLockingDriver",
     "PosixListLockDriver",

@@ -49,6 +49,32 @@ class ADIODriver:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    def write_vector_all(self, path: str, vector: IOVector, atomic: bool,
+                         rank: int = 0, comm: Optional["Communicator"] = None):
+        """Collective write entry point (``MPI_File_write_at_all``).
+
+        The default treats a collective write as ``size`` independent writes
+        (what every driver did before collective buffering existed); drivers
+        that coordinate ranks — exchange phases, aggregation — override it.
+        All ranks of ``comm`` call it, including ranks with empty vectors.
+        """
+        if len(vector) == 0:
+            return 0
+        written = yield from self.write_vector(path, vector, atomic,
+                                               rank=rank, comm=comm)
+        return written
+
+    def write_all_synchronizes(self, atomic: bool,
+                               comm: Optional["Communicator"]) -> bool:
+        """Whether :meth:`write_vector_all` already rendezvouses the ranks.
+
+        The File layer closes a collective write with a barrier only when
+        the driver's path did not — a coordinating driver's final exchange
+        is already a full rendezvous, and a second one would just be charged
+        on top.  Must return the same value on every rank of a job.
+        """
+        return False
+
     def read_vector(self, path: str, vector: IOVector, atomic: bool,
                     rank: int = 0, comm: Optional["Communicator"] = None):
         """Read a flattened access; returns one ``bytes`` per request."""

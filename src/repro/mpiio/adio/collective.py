@@ -1,0 +1,371 @@
+"""Two-phase collective buffering over the write coalescer.
+
+Thakur, Gropp & Lusk's classic optimization, transplanted onto the paper's
+versioning backend: on a collective write every rank holds a (possibly
+non-contiguous) piece of a shared access, and committing each piece
+separately costs one version ticket plus one copy-on-write metadata build
+*per rank*.  Two-phase collective buffering instead
+
+1. exchanges the ranks' access *descriptions* (one ``allgather`` of region
+   lists) so everyone can compute the same partition of the file domain into
+   ``num_aggregators`` contiguous, chunk-aligned stripes;
+2. exchanges the *data* (one ``alltoallv``) so each stripe's pieces land on
+   the one aggregator rank that owns it;
+3. has each aggregator merge its pieces — sorted by source rank, so overlaps
+   resolve exactly as a serial application of the ranks' writes in rank
+   order — and stage the merged stripe in its
+   :class:`~repro.blobseer.writepath.coalescer.WriteCoalescer`, committing
+   the whole group's collective as ``num_aggregators`` snapshot batches (one
+   ``allocate``, one ticket, one metadata build each) instead of ``N``;
+4. shares the published watermark back with every rank in the closing
+   ``allgather``, so each participant's client learns — at zero RPC cost —
+   a published version containing its own data (read-your-writes without a
+   ``latest`` round-trip, and write-through warmth on the aggregators).
+
+The aggregators talk to the version manager; the other ranks spend *zero*
+control-plane round-trips on the collective — the traffic that remains is
+MPI-internal exchange, which moves over the compute interconnect instead of
+hammering the storage control plane.
+
+Failure containment: any phase that fails on one rank (a dead provider under
+an aggregator's commit, a validation error while merging) is reported
+through the closing exchange instead of being raised mid-protocol, so the
+surviving ranks never hang in a half-entered collective.  A failed
+aggregator discards its staged stripe (the group already observed the
+failure; silently retrying it at the next flush point would resurrect a
+write the application saw fail), releases its ticket through the commit
+engine's abort/rollback path, and every rank raises — with no torn snapshot
+left behind and publication never stalled for bystanders.  Like MPI itself,
+a *failed* collective leaves the file state undefined within the access
+range: stripes whose aggregators succeeded are durably published (each one
+a complete, internally consistent snapshot), only the failed parts are
+absent — the guarantees are snapshot integrity and group progress, not
+all-or-nothing application of the collective.
+
+In MPI *atomic* mode the collective path is bypassed: splitting one rank's
+access across several stripe snapshots could let a concurrent reader observe
+half of that rank's write, so atomic collectives keep the native
+one-rank-one-snapshot guarantee of the versioning backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.listio import IOVector
+from repro.errors import MPIIOError
+from repro.mpi.simcomm import Communicator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.client import BlobClient
+
+#: heuristic used when neither the driver nor the cluster config names an
+#: aggregator count: one aggregator per this many ranks (ROMIO defaults its
+#: ``cb_nodes`` to the node count; with one rank per node this is a stand-in
+#: that still demonstrates the aggregation win)
+DEFAULT_RANKS_PER_AGGREGATOR = 4
+
+#: wire size of one serialized ``(offset, size)`` access description entry
+EXTENT_DESCRIPTION_BYTES = 16
+
+
+def resolve_aggregator_count(size: int, configured: Optional[int] = None) -> int:
+    """Number of aggregator ranks for a communicator of ``size`` ranks."""
+    if size <= 0:
+        raise MPIIOError(f"communicator size must be positive, got {size}")
+    if configured is None:
+        return max(1, size // DEFAULT_RANKS_PER_AGGREGATOR)
+    if configured <= 0:
+        raise MPIIOError(
+            f"collective aggregator count must be positive, got {configured}")
+    return min(size, configured)
+
+
+def aggregator_ranks(size: int, count: int) -> List[int]:
+    """The ``count`` ranks that act as aggregators, spread over the job.
+
+    Evenly spaced (``[0, size/count, 2*size/count, ...]``) so aggregation
+    load lands on different nodes rather than piling onto the first ones.
+    """
+    if not 1 <= count <= size:
+        raise MPIIOError(f"need 1..{size} aggregators, got {count}")
+    return [(index * size) // count for index in range(count)]
+
+
+def partition_file_domain(lo: int, hi: int, count: int,
+                          align: int) -> List[Tuple[int, int]]:
+    """Split ``[lo, hi)`` into ``count`` contiguous half-open stripes.
+
+    Stripe boundaries sit on *absolute* multiples of ``align`` (the BLOB
+    chunk size) — the grid is anchored at the aligned floor of ``lo``, not
+    at ``lo`` itself — so one chunk is never written by two aggregators and
+    each chunk's copy-on-write cost is paid exactly once even when the
+    collective's extent starts mid-chunk.  Trailing stripes may be empty
+    when the extent is smaller than ``count`` aligned stripes.
+    """
+    if hi <= lo:
+        raise MPIIOError(f"empty file domain [{lo}, {hi})")
+    base = lo - (lo % align) if align > 0 else lo
+    span = hi - base
+    stripe = -(-span // count)  # ceil
+    if align > 0:
+        stripe = -(-stripe // align) * align
+    domains: List[Tuple[int, int]] = []
+    for index in range(count):
+        start = max(lo, min(base + index * stripe, hi))
+        end = min(base + (index + 1) * stripe, hi)
+        domains.append((start, max(start, end)))
+    return domains
+
+
+def _domain_index(offset: int, domains: List[Tuple[int, int]]) -> int:
+    """Index of the stripe containing ``offset``."""
+    for index, (start, end) in enumerate(domains):
+        if start <= offset < end:
+            return index
+    raise MPIIOError(f"offset {offset} outside the partitioned file domain")
+
+
+@dataclass
+class CollectiveStats:
+    """Per-rank counters of the collective-buffering path."""
+
+    #: collective writes this rank participated in
+    collectives: int = 0
+    #: exchange bytes this rank contributed: access descriptions (phase 1)
+    #: plus data pieces shipped to other ranks' aggregators (phase 2)
+    bytes_sent: int = 0
+    #: payload bytes this rank received as an aggregator
+    bytes_received: int = 0
+    #: merged stripe batches this rank committed as an aggregator
+    stripes_committed: int = 0
+    #: application writes attributed to this rank's stripe commits
+    attributed_writes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict form for benchmark artifacts."""
+        return {
+            "collectives": self.collectives,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "stripes_committed": self.stripes_committed,
+            "attributed_writes": self.attributed_writes,
+        }
+
+
+def _piece_bytes(piece: Tuple[int, int, bytes]) -> int:
+    """Wire size of one exchanged piece (payload plus a small header)."""
+    return len(piece[2]) + 16
+
+
+class CollectiveAggregator:
+    """One rank's side of the two-phase collective write protocol.
+
+    Every rank of a job owns one instance (wrapping that rank's client);
+    the instances coordinate purely through the shared
+    :class:`~repro.mpi.simcomm.Communicator`, so there is no shared object —
+    exactly like real MPI ranks in separate address spaces.
+    """
+
+    def __init__(self, client: "BlobClient",
+                 num_aggregators: Optional[int] = None):
+        if client.coalescer is None:
+            # fail fast: stripe commits stage through the coalescer, and a
+            # missing one surfacing mid-protocol (in a failure handler, no
+            # less) would strand the peer ranks in a half-entered collective
+            raise MPIIOError(
+                "CollectiveAggregator needs a client with a write coalescer "
+                "(e.g. VectoredClient)")
+        if num_aggregators is not None and num_aggregators <= 0:
+            # fail at construction, not mid-collective: a bad setting that
+            # only surfaced inside the protocol would fail one rank's call
+            # while its peers are already committed to the exchange
+            raise MPIIOError(
+                f"collective aggregator count must be positive, "
+                f"got {num_aggregators}")
+        self.client = client
+        #: explicit per-driver override; ``None`` falls back to
+        #: ``ClusterConfig.collective_aggregators``, then the heuristic.
+        #: Like ROMIO hints, the value must agree across the ranks of a job.
+        self.num_aggregators = num_aggregators
+        self.stats = CollectiveStats()
+
+    # ------------------------------------------------------------------
+    def resolved_count(self, size: int) -> int:
+        """Aggregator count for a ``size``-rank communicator."""
+        configured = self.num_aggregators
+        if configured is None:
+            configured = self.client.cluster.config.collective_aggregators
+        return resolve_aggregator_count(size, configured)
+
+    # ------------------------------------------------------------------
+    def collective_write(self, blob_id: str, vector: IOVector, rank: int,
+                         comm: Communicator):
+        """Execute one collective write; every rank of ``comm`` must call it.
+
+        ``vector`` may be empty (a rank with nothing to write still
+        participates in the exchange, as MPI requires).  Returns the bytes
+        this rank contributed.  Raises :class:`~repro.errors.MPIIOError` on
+        every rank when any rank's part of the protocol failed.
+        """
+        client = self.client
+        failure: Optional[BaseException] = None
+
+        # phase 0 (local): writes this rank queued earlier in program order
+        # must take their tickets before the group's stripe commits do
+        try:
+            if client.coalescer.pending_writes(blob_id):
+                yield from client.coalescer.flush(blob_id)
+            opening = ("ok", [(request.offset, request.size)
+                              for request in vector])
+        except Exception as exc:
+            failure = exc
+            opening = ("err", f"rank {rank}: {exc!r}")
+
+        # phase 1: exchange access descriptions; everyone derives the same
+        # file-domain partition (or learns that the collective already died).
+        # The descriptions are real exchange traffic too — priced by their
+        # actual entry count, not a flat guess, and counted into the stats
+        def description_bytes(contributions):
+            return sum(EXTENT_DESCRIPTION_BYTES * len(entry[1])
+                       if entry[0] == "ok" else 64
+                       for entry in contributions.values())
+
+        if opening[0] == "ok":
+            self.stats.bytes_sent += \
+                EXTENT_DESCRIPTION_BYTES * len(opening[1])
+        gathered = yield from comm.allgather(rank, opening,
+                                             payload_bytes=description_bytes)
+        early_errors = [entry[1] for entry in gathered if entry[0] == "err"]
+        if early_errors:
+            if failure is not None:
+                raise failure
+            raise MPIIOError(
+                "collective write aborted before the exchange: "
+                + "; ".join(early_errors))
+        extents_by_rank = [entry[1] for entry in gathered]
+        data_extents = [(offset, size) for extents in extents_by_rank
+                        for offset, size in extents if size]
+        if not data_extents:
+            # collectively zero bytes (empty vectors, or only zero-size
+            # requests): nothing to exchange or commit anywhere
+            self.stats.collectives += 1
+            return 0
+
+        # partition + piece splitting must not raise mid-protocol either: a
+        # rank failing here (a descriptor fetch against a dead manager, a
+        # bad aggregator setting) still enters the exchange empty-handed and
+        # reports through the closing phase, so its peers never hang
+        owners: List[int] = []
+        send: List[List[Tuple[int, int, bytes]]] = [[] for _ in range(comm.size)]
+        try:
+            blob = yield from client._descriptor(blob_id)
+            lo = min(offset for offset, _size in data_extents)
+            hi = max(offset + size for offset, size in data_extents)
+            count = self.resolved_count(comm.size)
+            owners = aggregator_ranks(comm.size, count)
+            domains = partition_file_domain(lo, hi, count, blob.chunk_size)
+
+            # each rank's one logical write is attributed to the aggregator
+            # owning its first data byte, so the attributions sum to the
+            # number of data-bearing ranks however the stripes slice them
+            attributed = [0] * count
+            for extents in extents_by_rank:
+                first = next((offset for offset, size in extents if size),
+                             None)
+                if first is not None:
+                    attributed[_domain_index(first, domains)] += 1
+
+            # phase 2: ship every piece to the aggregator owning its stripe
+            for sequence, request in enumerate(vector):
+                if request.size == 0:
+                    continue
+                start, end = request.offset, request.offset + request.size
+                index = _domain_index(start, domains)
+                while start < end:
+                    cut = min(end, domains[index][1])
+                    data = request.data[start - request.offset:
+                                        cut - request.offset]
+                    send[owners[index]].append((sequence, start, data))
+                    start = cut
+                    index += 1
+        except Exception as exc:
+            failure = exc
+            owners = []
+            send = [[] for _ in range(comm.size)]
+        # pieces addressed to this rank itself are a local copy, not traffic
+        self.stats.bytes_sent += sum(_piece_bytes(piece)
+                                     for destination, pieces in enumerate(send)
+                                     for piece in pieces
+                                     if destination != rank)
+        received = yield from comm.alltoallv(
+            rank, send,
+            sizeof=lambda pieces: sum(_piece_bytes(piece) for piece in pieces))
+
+        # phase 3 (aggregators): merge in (source rank, sequence) order —
+        # the serial rank-order application — and commit via the coalescer
+        closing = ("ok", 0)
+        if failure is not None:
+            closing = ("err", f"rank {rank}: {failure!r}")
+        elif rank in owners:
+            try:
+                version = yield from self._commit_stripe(
+                    blob_id, received, attributed[owners.index(rank)], rank)
+                closing = ("ok", version)
+            except Exception as exc:
+                failure = exc
+                # the group will observe this failure; keeping the stripe
+                # staged would resurrect it at an unrelated later flush
+                yield from client.coalescer.discard(blob_id)
+                closing = ("err", f"aggregator rank {rank}: {exc!r}")
+
+        # phase 4: share outcomes and the published watermark
+        outcomes = yield from comm.allgather(rank, closing)
+        errors = [entry[1] for entry in outcomes if entry[0] == "err"]
+        if errors:
+            if failure is not None:
+                raise failure
+            raise MPIIOError("collective write failed: " + "; ".join(errors))
+        watermark = max(entry[1] for entry in outcomes)
+        if watermark:
+            client.note_collective_commit(blob_id, watermark)
+        self.stats.collectives += 1
+        return vector.total_bytes()
+
+    # ------------------------------------------------------------------
+    def _commit_stripe(self, blob_id: str,
+                       received: List[List[Tuple[int, int, bytes]]],
+                       attributed_writes: int, self_rank: int):
+        """Merge the received pieces and publish them as one snapshot batch.
+
+        Pieces are ordered by (source rank, sequence): within one
+        :class:`~repro.core.listio.IOVector` later requests win on
+        overlapping bytes, so the merged stripe equals applying the ranks'
+        accesses serially in rank order — the resolution the conformance
+        suite pins.  Returns the published version (0 if the stripe was
+        empty).
+        """
+        pieces = [(source, sequence, offset, data)
+                  for source, items in enumerate(received)
+                  for sequence, offset, data in items
+                  if data]
+        if not pieces:
+            return 0
+        pieces.sort(key=lambda piece: (piece[0], piece[1], piece[2]))
+        self.stats.bytes_received += sum(
+            _piece_bytes((sequence, offset, data))
+            for source, sequence, offset, data in pieces
+            if source != self_rank)
+        stripe_vector = IOVector.for_write(
+            [(offset, data) for _source, _sequence, offset, data in pieces])
+        coalescer = self.client.coalescer
+        staged = yield from coalescer.enqueue(blob_id, stripe_vector,
+                                              logical_writes=attributed_writes)
+        yield from coalescer.barrier(blob_id)
+        self.stats.stripes_committed += 1
+        self.stats.attributed_writes += attributed_writes
+        # the version comes from the staged write's own receipt: a client
+        # batch bound may have auto-flushed the stripe already, in which
+        # case the barrier commits nothing new and returns no receipts
+        return staged.version

@@ -21,6 +21,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.core.listio import IOVector
 from repro.errors import MPIIOError
 from repro.mpiio.adio.base import ADIODriver
+from repro.mpiio.adio.collective import CollectiveAggregator
 from repro.vstore.client import VectoredClient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -36,9 +37,21 @@ class VersioningDriver(ADIODriver):
     :class:`~repro.blobseer.writepath.coalescer.WriteCoalescer`; they are
     committed as merged snapshot batches at ``sync``/``close``, before any
     read, and before any atomic-mode write (which must serialize behind
-    them in ticket order).  Remaining keyword options forward to
+    them in ticket order).
+
+    ``collective_buffering`` routes non-atomic ``write_at_all`` calls
+    through two-phase collective buffering
+    (:class:`~repro.mpiio.adio.collective.CollectiveAggregator`): the ranks
+    exchange their pieces so ``collective_aggregators`` ranks commit the
+    whole group's access as that many merged stripe batches — one version
+    ticket and one metadata build each — instead of one commit per rank.
+    The aggregator count falls back to
+    ``ClusterConfig.collective_aggregators``, then to one per four ranks.
+
+    Remaining keyword options forward to
     :class:`~repro.vstore.client.VectoredClient` (e.g. ``write_pipelining``,
-    ``write_through_cache``, ``coalesce_max_writes``).
+    ``write_through_cache``, ``coalesce_max_writes``,
+    ``coalesce_max_delay``).
     """
 
     name = "versioning"
@@ -47,13 +60,20 @@ class VersioningDriver(ADIODriver):
     def __init__(self, deployment: "BlobSeerDeployment", node: "Node",
                  rank_name: Optional[str] = None, *,
                  write_coalescing: bool = False,
+                 collective_buffering: bool = False,
+                 collective_aggregators: Optional[int] = None,
                  **client_options):
         super().__init__()
         self.deployment = deployment
         self.write_coalescing = write_coalescing
+        self.collective_buffering = collective_buffering
         self.client = VectoredClient(deployment, node,
                                      name=rank_name or f"adio:{node.name}",
                                      **client_options)
+        #: two-phase exchange engine for ``write_at_all`` (always built; it
+        #: only acts when ``collective_buffering`` routes a call through it)
+        self.aggregator = CollectiveAggregator(
+            self.client, num_aggregators=collective_aggregators)
 
     # ------------------------------------------------------------------
     def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
@@ -85,25 +105,82 @@ class VersioningDriver(ADIODriver):
             receipt = yield from self.client.vwrite(path, vector)
         return receipt.bytes_written
 
+    def write_vector_all(self, path: str, vector: IOVector, atomic: bool,
+                         rank: int = 0, comm: Optional["Communicator"] = None):
+        """Collective write: two-phase aggregation when it is worth doing.
+
+        Atomic-mode collectives bypass the aggregator (splitting one rank's
+        access across stripe snapshots could expose a torn rank-write to a
+        concurrent reader, which atomic mode forbids) and so do jobs of one
+        rank — both keep the native one-write-one-snapshot path.
+        """
+        if not self.write_all_synchronizes(atomic, comm):
+            written = yield from super().write_vector_all(
+                path, vector, atomic, rank=rank, comm=comm)
+            return written
+        if len(vector) > 0:
+            self._account_write(vector)
+        written = yield from self.aggregator.collective_write(
+            path, vector, rank, comm)
+        return written
+
+    def write_all_synchronizes(self, atomic: bool,
+                               comm: Optional["Communicator"]) -> bool:
+        """True exactly when the aggregated path handles the collective.
+
+        Every exit of :meth:`~repro.mpiio.adio.collective.
+        CollectiveAggregator.collective_write` passes through a group-wide
+        exchange, so the File layer's closing barrier would be a second,
+        redundant rendezvous.
+        """
+        return self.collective_buffering and not atomic \
+            and comm is not None and comm.size > 1
+
     def read_vector(self, path: str, vector: IOVector, atomic: bool,
                     rank: int = 0, comm: Optional["Communicator"] = None):
         """Reads always come from one published snapshot, so they are atomic."""
         self._account_read(vector)
-        if self.write_coalescing:
+        if self._needs_flush_barrier(path):
             # read-your-writes: queued writes must be published first
             yield from self.client.vbarrier(path)
+        if atomic:
+            # atomic mode promises visibility of every other rank's
+            # completed atomic write: the read must ask the version manager
+            # for the true latest, never serve from a hint — dropped *after*
+            # the fence, because the barrier re-plants one when it flushes
+            self.client.drop_read_hint(path)
         pieces = yield from self.client.vread(path, vector)
         return pieces
 
+    def _needs_flush_barrier(self, path: str) -> bool:
+        """Whether a read must fence the write pipeline first.
+
+        Only when this client actually has unpublished state of its own:
+        queued writes, unjoined deferred completions, or a committed batch
+        whose publication still lags the known watermark (an earlier ticket
+        held by another writer delays it — the inline ``complete`` then
+        returns a watermark below our own version).  A collective write
+        leaves none of these behind (its stripes were committed and the
+        watermark shared), so the read hint it planted survives to the read
+        and elides the ``latest`` round-trip.
+        """
+        if not (self.write_coalescing or self.collective_buffering):
+            return False
+        client = self.client
+        return bool(client.coalescer.pending_writes(path)
+                    or client.writepath.outstanding(path)
+                    or client.coalescer.last_committed_version(path)
+                    > client.version_hints.get(path, 0))
+
     def sync(self, path: str):
         """MPI_File_sync: commit and publish any queued writes."""
-        if self.write_coalescing:
+        if self.write_coalescing or self.collective_buffering:
             yield from self.client.vbarrier(path)
         return None
 
     def close(self, path: str):
         """Close flushes like a sync (MPI ties visibility to close as well)."""
-        if self.write_coalescing:
+        if self.write_coalescing or self.collective_buffering:
             yield from self.client.vbarrier(path)
         return None
 

@@ -127,16 +127,23 @@ class File:
         return written
 
     def write_at_all(self, offset: int, data: bytes):
-        """Collective explicit-offset write (all ranks must call it)."""
+        """Collective explicit-offset write (all ranks must call it).
+
+        Routed through the driver's collective entry point: drivers with
+        collective buffering coordinate the ranks (exchange + aggregated
+        commit), every other driver falls back to independent writes.  Ranks
+        whose view maps to an empty access still participate, as MPI
+        requires of a collective call.
+        """
         self._ensure_open()
         self._ensure_writable()
         vector = build_write_vector(self.view, offset, bytes(data))
-        written = 0
-        if len(vector) > 0:
-            written = yield from self.driver.write_vector(
-                self.path, vector, atomic=self._atomic, rank=self.rank,
-                comm=self.comm)
-        if self.comm is not None:
+        written = yield from self.driver.write_vector_all(
+            self.path, vector, atomic=self._atomic, rank=self.rank,
+            comm=self.comm)
+        if self.comm is not None \
+                and not self.driver.write_all_synchronizes(self._atomic,
+                                                           self.comm):
             yield from self.comm.barrier(self.rank)
         return written
 

@@ -29,15 +29,19 @@ class VectoredClient(BlobClient):
     staged with :meth:`vwrite_queued` are coalesced into one snapshot batch
     per BLOB when :meth:`vflush`/:meth:`vbarrier` runs.  ``coalesce_max_
     writes`` / ``coalesce_max_bytes`` bound a batch (crossing either flushes
-    automatically); by default batches grow until an explicit flush.
+    automatically) and ``coalesce_max_delay`` bounds how long a queued write
+    may wait before a watchdog flushes it (simulated seconds); by default
+    batches grow until an explicit flush.
     """
 
     def __init__(self, *args, coalesce_max_writes: Optional[int] = None,
-                 coalesce_max_bytes: Optional[int] = None, **kwargs):
+                 coalesce_max_bytes: Optional[int] = None,
+                 coalesce_max_delay: Optional[float] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.coalescer = WriteCoalescer(
             self, max_batch_writes=coalesce_max_writes,
-            max_batch_bytes=coalesce_max_bytes)
+            max_batch_bytes=coalesce_max_bytes,
+            flush_max_delay=coalesce_max_delay)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -75,6 +79,15 @@ class VectoredClient(BlobClient):
 
         Returns one ``bytes`` object per requested range, all taken from the
         same consistent snapshot (the latest published one by default).
+
+        A default read may consume a one-shot hint planted at this client's
+        own last barrier or collective commit instead of asking the version
+        manager for ``latest`` — it then observes everything this client
+        synchronized on, but not writes another client published *after*
+        that fence.  When cross-client freshness beyond the last fence
+        matters, pass an explicit version (e.g. from
+        :meth:`~repro.blobseer.client.BlobClient.latest_version` or
+        ``wait_published``) — those paths always round-trip.
         """
         vector = self._as_read_vector(access)
         pieces = yield from self._vectored_read(blob_id, vector, version)

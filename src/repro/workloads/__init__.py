@@ -14,12 +14,16 @@
   iteration; used by the examples and the producer/consumer experiment;
 * :mod:`repro.workloads.queued_writes` — trains of small back-to-back
   vectored writes per rank (checkpoint-style), the pattern the write-pipeline
-  benchmarks coalesce.
+  benchmarks coalesce;
+* :mod:`repro.workloads.collective_checkpoint` — per-round collective dumps
+  of interleaved blocks (each rank a stride, the union dense), the pattern
+  two-phase collective buffering aggregates.
 """
 
 from repro.workloads.domain import DomainDecomposition, process_grid
 from repro.workloads.overlap_stress import OverlapStressWorkload
 from repro.workloads.queued_writes import QueuedWritesWorkload
+from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
 from repro.workloads.tile_io import TileIOWorkload
 from repro.workloads.ghost_cells import GhostCellSimulation
 
@@ -28,6 +32,7 @@ __all__ = [
     "process_grid",
     "OverlapStressWorkload",
     "QueuedWritesWorkload",
+    "CollectiveCheckpointWorkload",
     "TileIOWorkload",
     "GhostCellSimulation",
 ]

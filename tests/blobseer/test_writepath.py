@@ -392,3 +392,338 @@ class TestCacheCapacityConfig:
         unbounded = VectoredClient(deployment, cluster.add_node("compute2"),
                                    metadata_cache_capacity=None)
         assert unbounded.metadata_cache.capacity is None
+
+
+class TestFlushMaxDelay:
+    """The coalescer's time-based flush bound (publication-latency SLO)."""
+
+    def test_slow_producer_batch_publishes_within_the_bound(self):
+        """A queued write flushes after flush_max_delay with no explicit
+        flush — the bound FUT1's producer/consumer pattern needs."""
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+        observations = {}
+
+        def producer():
+            yield from client.vwrite_queued(BLOB, [(0, b"tick")])
+            # the producer goes quiet: no flush, no barrier, no size bound
+            yield cluster.sim.timeout(10.0)
+
+        def checker():
+            manager = deployment.version_manager.manager
+            yield cluster.sim.timeout(0.049)
+            observations["before_deadline"] = manager.latest_published(BLOB)
+            yield cluster.sim.timeout(0.151)  # deadline + commit round-trips
+            observations["after_deadline"] = manager.latest_published(BLOB)
+
+        check = cluster.sim.process(checker())
+        cluster.sim.process(producer())
+        cluster.sim.run(stop_event=check)
+        assert observations["before_deadline"] == 0  # no early flush
+        assert observations["after_deadline"] == 1   # published within bound
+        assert client.coalescer.stats.delay_flushes == 1
+        assert client.coalescer.pending_writes(BLOB) == 0
+
+    def test_delay_flush_commits_the_whole_accumulated_batch(self):
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+
+        def producer():
+            # three writes inside one delay window -> one merged snapshot
+            for step in range(3):
+                yield from client.vwrite_queued(
+                    BLOB, [(step * 16, bytes([65 + step]) * 16)])
+                yield cluster.sim.timeout(0.01)
+            yield cluster.sim.timeout(0.3)
+
+        run(cluster, producer())
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+        assert client.coalescer.stats.delay_flushes == 1
+        assert client.coalescer.stats.batches == 1
+        assert client.coalescer.stats.coalesced_writes == 3
+        assert run(cluster, client.vread(BLOB, [(0, 48)])) \
+            == [b"A" * 16 + b"B" * 16 + b"C" * 16]
+
+    def test_explicit_flush_cancels_the_timer_and_rearms_for_the_next_batch(self):
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+        observations = {}
+
+        def producer():
+            yield from client.vwrite_queued(BLOB, [(0, b"one")])
+            yield cluster.sim.timeout(0.01)
+            yield from client.vflush(BLOB)          # beats the timer
+            yield from client.vwrite_queued(BLOB, [(16, b"two")])
+            # the second batch gets its own full window measured from its
+            # first write (t=0.01+commit), not from the stale first timer
+            yield cluster.sim.timeout(10.0)
+
+        def checker():
+            manager = deployment.version_manager.manager
+            yield cluster.sim.timeout(0.055)
+            # the first timer (armed at t=0) must not cut batch 2 short
+            observations["after_stale_deadline"] = client.coalescer.pending_writes(BLOB)
+            yield cluster.sim.timeout(0.2)
+            observations["published"] = manager.latest_published(BLOB)
+
+        check = cluster.sim.process(checker())
+        cluster.sim.process(producer())
+        cluster.sim.run(stop_event=check)
+        assert observations["after_stale_deadline"] == 1
+        assert observations["published"] == 2
+        assert client.coalescer.stats.delay_flushes == 1
+
+    def test_rejects_non_positive_delay(self):
+        with pytest.raises(StorageError):
+            make_client(coalesce_max_delay=0.0)
+
+
+class TestReadHints:
+    """vread(version=None) consumes piggybacked watermarks (elided latest RPC)."""
+
+    def test_barrier_plants_a_hint_that_elides_the_latest_rpc(self):
+        cluster, _, client = make_client()
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"data")])
+            yield from client.vbarrier(BLOB)
+            piece = yield from client.vread(BLOB, [(0, 4)])
+            return piece[0]
+
+        assert run(cluster, scenario()) == b"data"
+        assert client.latest_rpcs_elided == 1
+        # one-shot: the next read goes back to the version manager
+        assert run(cluster, client.vread(BLOB, [(0, 4)])) == [b"data"]
+        assert client.latest_rpcs_elided == 1
+
+    def test_a_barrier_drops_stale_hints_so_other_writers_stay_visible(self):
+        """sync->barrier->sync visibility: a hint planted before the fence
+        must not hide data another client published in between."""
+        cluster, deployment, client = make_client()
+        other = VectoredClient(deployment, cluster.add_node("other"),
+                               name="other")
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"AAAA")])
+            yield from client.vbarrier(BLOB)       # plants hint at v1
+            yield from other.vwrite_and_wait(BLOB, [(0, b"BBBB")])  # v2
+            yield from client.vbarrier(BLOB)       # fence: flushes nothing,
+                                                   # drops the stale hint
+            piece = yield from client.vread(BLOB, [(0, 4)])
+            return piece[0]
+
+        assert run(cluster, scenario()) == b"BBBB"
+        # only the fenced read went to the version manager
+        assert client.latest_rpcs_elided == 0
+
+    def test_note_collective_commit_plants_a_consumable_hint(self):
+        cluster, _, client = make_client()
+        run(cluster, client.vwrite_and_wait(BLOB, [(0, b"coll")]))
+        # simulate the watermark share that closes a collective write
+        client.note_collective_commit(BLOB, 1)
+        assert run(cluster, client.vread(BLOB, [(0, 4)])) == [b"coll"]
+        assert client.latest_rpcs_elided == 1
+
+    def test_own_immediate_write_invalidates_a_stale_hint(self):
+        """Read-your-writes: a commit after a planted hint must not let the
+        next default read serve the pre-commit snapshot."""
+        cluster, _, client = make_client()
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"AAAA")])
+            yield from client.vbarrier(BLOB)           # plants hint at v1
+            yield from client.vwrite_and_wait(BLOB, [(0, b"BBBB")])  # v2
+            piece = yield from client.vread(BLOB, [(0, 4)])
+            return piece[0]
+
+        assert run(cluster, scenario()) == b"BBBB"
+        assert client.latest_rpcs_elided == 0
+
+
+class TestFlushWatchdogRaces:
+    def test_watchdog_firing_during_an_explicit_flush_does_not_double_commit(self):
+        """The staged batch stays queued while its commit's RPCs are in
+        flight; a timer expiring in that window must not flush it again."""
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"once" * 4)])
+            # start the explicit flush just before the deadline: its commit
+            # round-trips span t=0.05, where the armed timer fires
+            yield cluster.sim.timeout(0.049)
+            yield from client.vflush(BLOB)
+            yield cluster.sim.timeout(0.3)
+
+        run(cluster, scenario())
+        assert client.writes == 1
+        assert client.coalescer.stats.batches == 1
+        assert client.coalescer.pending_bytes(BLOB) == 0
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+
+    def test_failed_explicit_flush_rearms_the_latency_bound(self):
+        """A failed flush keeps the batch staged *and* keeps its max-delay
+        bound: once the fault clears, the watchdog publishes it."""
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+        run(cluster, client.vwrite_queued(BLOB, [(0, b"bounce")]))
+        for provider_id in list(deployment.data_providers):
+            deployment.fail_provider(provider_id)
+        with pytest.raises(Exception):
+            run(cluster, client.vflush(BLOB))
+        for provider_id in list(deployment.data_providers):
+            deployment.recover_provider(provider_id)
+
+        def wait_out():
+            yield cluster.sim.timeout(0.3)
+
+        run(cluster, wait_out())
+        assert deployment.version_manager.manager.latest_published(BLOB) >= 1
+        assert client.coalescer.pending_writes(BLOB) == 0
+
+    def test_explicit_flush_during_a_watchdog_commit_does_not_double_commit(self):
+        """The reverse race: the watchdog's commit is in flight when an
+        explicit flush arrives — it must wait, not re-commit the batch."""
+        cluster, deployment, client = make_client(coalesce_max_delay=0.05)
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"once" * 4)])
+            # the watchdog fires at t=0.05 and starts its commit; this
+            # explicit flush lands inside the commit's round-trips
+            yield cluster.sim.timeout(0.051)
+            receipts = yield from client.vflush(BLOB)
+            yield cluster.sim.timeout(0.3)
+            return receipts
+
+        receipts = run(cluster, scenario())
+        assert receipts == []  # nothing left for the explicit flush
+        assert client.writes == 1
+        assert client.coalescer.stats.batches == 1
+        assert client.coalescer.pending_bytes(BLOB) == 0
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+
+    def test_discard_waits_out_an_inflight_flush(self):
+        """discard() must not pop a batch whose commit round-trips are in
+        flight — those writes are about to publish, not to be dropped."""
+        cluster, deployment, client = make_client()
+        outcome = {}
+
+        def flusher():
+            yield from client.vwrite_queued(BLOB, [(0, b"keep" * 4)])
+            yield from client.vflush(BLOB)
+
+        def discarder():
+            yield cluster.sim.timeout(1e-4)  # inside the commit's RPC window
+            dropped = yield from client.coalescer.discard(BLOB)
+            outcome["dropped"] = dropped
+
+        processes = [cluster.sim.process(flusher()),
+                     cluster.sim.process(discarder())]
+
+        def driver():
+            yield cluster.sim.all_of(processes)
+            yield cluster.sim.timeout(0.1)  # let the deferred complete land
+
+        cluster.sim.run(stop_event=cluster.sim.process(driver()))
+        # the discard waited for the commit, then found nothing to drop
+        assert outcome["dropped"] == []
+        assert client.coalescer.stats.discarded_writes == 0
+        assert client.coalescer.pending_bytes(BLOB) == 0
+        assert client.writes == 1
+        assert deployment.version_manager.manager.latest_published(BLOB) == 1
+
+    def test_watchdog_retries_back_off_and_recover_on_their_own(self):
+        """Persistent failure slows the retry rate (no fixed-period RPC
+        spam), but the queue still publishes by itself once the backend
+        recovers — no explicit flush needed."""
+        cluster, deployment, client = make_client(coalesce_max_delay=0.01)
+        run(cluster, client.vwrite_queued(BLOB, [(0, b"stuck")]))
+        for provider_id in list(deployment.data_providers):
+            deployment.fail_provider(provider_id)
+
+        def wait_through_outage():
+            yield cluster.sim.timeout(2.0)  # room for ~200 naive retries
+
+        run(cluster, wait_through_outage())
+        # exponential backoff: far fewer attempts than one per base period
+        assert 2 <= client.coalescer.stats.delay_flushes <= 12
+        assert client.coalescer.stats.delay_flush_failures \
+            == client.coalescer.stats.delay_flushes
+        assert client.coalescer.pending_writes(BLOB) == 1  # still staged
+
+        for provider_id in list(deployment.data_providers):
+            deployment.recover_provider(provider_id)
+
+        def wait_for_retry():
+            # the next backed-off retry (at most 64x the base delay away)
+            # publishes without any explicit flush
+            yield cluster.sim.timeout(1.0)
+
+        run(cluster, wait_for_retry())
+        assert client.coalescer.pending_writes(BLOB) == 0
+        assert deployment.version_manager.manager.latest_published(BLOB) >= 1
+        assert run(cluster, client.vread(BLOB, [(0, 5)])) == [b"stuck"]
+
+    def test_batch_bound_ignores_a_batch_already_committing(self):
+        """Writes staged in an in-flight commit must not count toward the
+        next batch's size bound (no premature undersized snapshots)."""
+        cluster, deployment, client = make_client(coalesce_max_writes=4)
+
+        def first_batch():
+            for index in range(3):
+                yield from client.vwrite_queued(
+                    BLOB, [(index * 16, bytes([65 + index]) * 16)])
+            yield from client.vflush(BLOB)
+
+        def late_write():
+            yield cluster.sim.timeout(1e-4)  # inside the commit's RPC window
+            yield from client.vwrite_queued(BLOB, [(256, b"late" * 4)])
+
+        processes = [cluster.sim.process(first_batch()),
+                     cluster.sim.process(late_write())]
+
+        def driver():
+            yield cluster.sim.all_of(processes)
+            yield cluster.sim.timeout(0.1)
+
+        cluster.sim.run(stop_event=cluster.sim.process(driver()))
+        # the late write alone (1 < 4) must not have auto-flushed
+        assert client.coalescer.stats.auto_flushes == 0
+        assert client.coalescer.pending_writes(BLOB) == 1
+        assert client.writes == 1
+
+    def test_hint_never_serves_older_than_an_observed_watermark(self):
+        """Monotonic reads: after this client observes a newer published
+        version, a consumed hint must resolve to at least that version."""
+        cluster, deployment, client = make_client()
+        other = VectoredClient(deployment, cluster.add_node("other2"),
+                               name="other2")
+
+        def scenario():
+            yield from client.vwrite_queued(BLOB, [(0, b"OLD!")])
+            yield from client.vbarrier(BLOB)        # plants hint at v1
+            yield from other.vwrite_and_wait(BLOB, [(0, b"NEW!")])  # v2
+            latest = yield from client.latest_version(BLOB)  # observes 2
+            piece = yield from client.vread(BLOB, [(0, 4)])
+            return latest, piece[0]
+
+        latest, data = run(cluster, scenario())
+        assert latest == 2
+        assert data == b"NEW!"  # the stale v1 hint resolved up to v2
+        assert client.latest_rpcs_elided == 1  # still elided, now safely
+
+    def test_global_barrier_drops_hints_for_blobs_it_never_committed(self):
+        """vbarrier() with no blob argument is a global visibility fence: it
+        must clear hints planted by collective commits even on clients whose
+        own coalescer never committed to that BLOB."""
+        cluster, deployment, client = make_client()
+        other = VectoredClient(deployment, cluster.add_node("other3"),
+                               name="other3")
+
+        def scenario():
+            yield from other.vwrite_and_wait(BLOB, [(0, b"v1v1")])
+            # simulate a collective watermark share on a non-aggregator
+            # client: a hint exists although this client never committed
+            client.note_collective_commit(BLOB, 1)
+            yield from other.vwrite_and_wait(BLOB, [(0, b"v2v2")])
+            yield from client.vbarrier()           # global fence, no args
+            piece = yield from client.vread(BLOB, [(0, 4)])
+            return piece[0]
+
+        assert run(cluster, scenario()) == b"v2v2"
+        assert client.latest_rpcs_elided == 0

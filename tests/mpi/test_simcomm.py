@@ -89,6 +89,47 @@ class TestCollectives:
         assert len(log) == 3
         assert log[0][1] < log[1][1] < log[2][1]
 
+    def test_alltoallv_delivers_personalized_items(self):
+        cluster = make_cluster()
+
+        def rank_main(ctx):
+            send = [f"{ctx.rank}->{dst}" for dst in range(ctx.size)]
+            received = yield from ctx.comm.alltoallv(ctx.rank, send)
+            return received
+
+        result = run_mpi_job(cluster, 3, rank_main)
+        for dst, received in enumerate(result.results):
+            assert received == [f"{src}->{dst}" for src in range(3)]
+
+    def test_alltoallv_charges_the_bottleneck_rank(self):
+        cluster = make_cluster()
+        config = cluster.config
+
+        def rank_main(ctx):
+            # rank 0 sends one big payload to rank 1; everything else is empty
+            send = [b"" for _ in range(ctx.size)]
+            if ctx.rank == 0:
+                send[1] = b"x" * (1024 * 1024)
+            started = ctx.sim.now
+            yield from ctx.comm.alltoallv(ctx.rank, send, sizeof=len)
+            return ctx.sim.now - started
+
+        result = run_mpi_job(cluster, 2, rank_main)
+        # the bottleneck is the 1 MiB pairwise transfer, charged once
+        expected = config.network_latency + (1024 * 1024) / config.network_bandwidth
+        assert max(result.results) == pytest.approx(expected, rel=1e-6)
+
+    def test_alltoallv_rejects_wrong_item_count(self):
+        cluster = make_cluster()
+        comm = Communicator(cluster, 2)
+
+        def proc():
+            yield from comm.alltoallv(0, [1, 2, 3])
+
+        cluster.sim.process(proc())
+        with pytest.raises(MPIError):
+            cluster.run()
+
     def test_single_rank_collectives_are_trivial(self):
         cluster = make_cluster()
 
@@ -159,3 +200,39 @@ class TestLauncher:
     def test_zero_ranks_rejected(self):
         with pytest.raises(MPIError):
             run_mpi_job(make_cluster(), 0, lambda ctx: iter(()))
+
+
+class TestAlltoallvSelfTraffic:
+    def test_self_addressed_items_cost_nothing(self):
+        from repro.cluster import Cluster, ClusterConfig
+        cluster = Cluster(config=ClusterConfig(network_latency=1e-4))
+
+        def rank_main(ctx):
+            # everything stays local: rank r only "sends" to itself
+            send = [b"" for _ in range(ctx.size)]
+            send[ctx.rank] = b"x" * (1024 * 1024)
+            started = ctx.sim.now
+            received = yield from ctx.comm.alltoallv(ctx.rank, send, sizeof=len)
+            assert received[ctx.rank] == send[ctx.rank]
+            return ctx.sim.now - started
+
+        result = run_mpi_job(cluster, 2, rank_main)
+        # only the rendezvous latency is charged, no bandwidth term
+        expected = cluster.config.network_latency
+        assert max(result.results) == pytest.approx(expected, rel=1e-6)
+
+    def test_allgather_accepts_a_payload_estimate(self):
+        from repro.cluster import Cluster, ClusterConfig
+        cluster = Cluster(config=ClusterConfig(network_latency=1e-4))
+        payload = 1024 * 1024
+
+        def rank_main(ctx):
+            started = ctx.sim.now
+            yield from ctx.comm.allgather(ctx.rank, ctx.rank,
+                                          payload_bytes=payload)
+            return ctx.sim.now - started
+
+        result = run_mpi_job(cluster, 2, rank_main)
+        expected = (cluster.config.network_latency
+                    + payload / cluster.config.network_bandwidth)
+        assert max(result.results) == pytest.approx(expected, rel=1e-6)

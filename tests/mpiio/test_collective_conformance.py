@@ -1,0 +1,481 @@
+"""Collective-I/O conformance suite: three write modes, one byte result.
+
+The acceptance gate of the collective-buffering subsystem.  The same
+randomized noncontiguous access pattern — per-rank region sets that overlap
+*across* ranks — is written through three independent paths:
+
+* ``serial``      — one client applies every rank's vector immediately, in
+                    rank order (the reference the backend itself provides);
+* ``per-rank``    — an MPI job where each rank queues its regions in its own
+                    :class:`~repro.blobseer.writepath.coalescer.WriteCoalescer`
+                    and the ranks flush in rank order (PR 2's path, ordered
+                    so cross-rank overlaps resolve deterministically);
+* ``collective``  — an MPI job issuing one ``write_at_all`` through two-phase
+                    collective buffering (aggregator exchange + stripe
+                    commits).
+
+All three must produce byte-identical file contents, which must also equal
+the pure in-memory serial application of the pattern in rank order — the
+semantics :mod:`repro.mpiio.adio.collective` promises.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import MPIIOError
+from repro.mpi.datatypes import BYTE, Indexed
+from repro.mpi.launcher import run_mpi_job
+from repro.mpiio.adio.collective import (
+    aggregator_ranks,
+    partition_file_domain,
+    resolve_aggregator_count,
+)
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.file import File
+from repro.vstore.client import VectoredClient
+from tests.mpiio._collective_testlib import make_quick_deployment, read_back_latest
+
+FILE_SIZE = 16 * 1024
+CHUNK = 1024
+PATH = "/conformance"
+
+
+# ----------------------------------------------------------------------
+# pattern generation and the in-memory oracle
+# ----------------------------------------------------------------------
+def random_pattern(seed, num_ranks, file_size=FILE_SIZE, max_regions=4,
+                   max_region_size=1500, empty_rank_chance=0.2):
+    """Per-rank ``(offset, payload)`` lists: disjoint within a rank, freely
+    overlapping across ranks, with occasional empty-handed ranks."""
+    rng = random.Random(seed)
+    pattern = []
+    for rank in range(num_ranks):
+        if num_ranks > 1 and rng.random() < empty_rank_chance:
+            pattern.append([])
+            continue
+        count = rng.randint(1, max_regions)
+        starts = sorted(rng.sample(range(file_size - max_region_size),
+                                   count))
+        regions = []
+        for index, offset in enumerate(starts):
+            limit = (starts[index + 1] - offset if index + 1 < count
+                     else max_region_size)
+            size = rng.randint(1, max(1, min(max_region_size, limit)))
+            fill = bytes([1 + (rank * 41 + index * 13) % 255])
+            regions.append((offset, fill * size))
+        pattern.append(regions)
+    return pattern
+
+
+def serial_oracle(pattern, file_size=FILE_SIZE):
+    """The pattern applied in rank order (within a rank: region order)."""
+    content = bytearray(file_size)
+    for regions in pattern:
+        for offset, payload in regions:
+            content[offset:offset + len(payload)] = payload
+    return bytes(content)
+
+
+def make_deployment(seed=3):
+    return make_quick_deployment(seed=seed, chunk_size=CHUNK)
+
+
+def read_back(cluster, deployment, file_size=FILE_SIZE):
+    return read_back_latest(cluster, deployment, PATH, file_size)
+
+
+def rank_view(pairs):
+    """Indexed filetype + flat payload for one rank's disjoint regions."""
+    blocklengths = [len(payload) for _offset, payload in pairs]
+    displacements = [offset for offset, _payload in pairs]
+    payload = b"".join(payload for _offset, payload in pairs)
+    return Indexed(blocklengths, displacements, base=BYTE), payload
+
+
+# ----------------------------------------------------------------------
+# the three write modes
+# ----------------------------------------------------------------------
+def write_serial(pattern):
+    """Reference mode: immediate vectored writes in rank order, one client."""
+    cluster, deployment = make_deployment()
+    client = VectoredClient(deployment, cluster.add_node("serial"),
+                            name="serial")
+
+    def scenario():
+        yield from client.create_blob(PATH, FILE_SIZE, chunk_size=CHUNK)
+        for regions in pattern:
+            if regions:
+                yield from client.vwrite_and_wait(PATH, regions)
+
+    process = cluster.sim.process(scenario())
+    cluster.sim.run(stop_event=process)
+    return read_back(cluster, deployment)
+
+
+def write_per_rank_coalesced(pattern):
+    """PR-2 mode: per-rank queues, flushed in rank order for determinism."""
+    cluster, deployment = make_deployment()
+    num_ranks = len(pattern)
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        for offset, payload in pattern[ctx.rank]:
+            yield from handle.write_at(offset, payload)
+        # rank-order publication: rank r syncs only after r-1 published, so
+        # cross-rank overlaps resolve exactly as the serial reference
+        for turn in range(ctx.size):
+            if turn == ctx.rank:
+                yield from handle.sync()
+            yield from ctx.comm.barrier(ctx.rank)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    return read_back(cluster, deployment)
+
+
+def write_collective(pattern, num_aggregators):
+    """Tentpole mode: one ``write_at_all`` through two-phase buffering."""
+    cluster, deployment = make_deployment()
+    num_ranks = len(pattern)
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=num_aggregators)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        pairs = pattern[ctx.rank]
+        if pairs:
+            filetype, payload = rank_view(pairs)
+            handle.set_view(0, BYTE, filetype)
+            yield from handle.write_at_all(0, payload)
+        else:
+            yield from handle.write_at_all(0, b"")
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    return read_back(cluster, deployment), deployment, drivers
+
+
+# ----------------------------------------------------------------------
+# the conformance gate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+@pytest.mark.parametrize("num_ranks,num_aggregators", [
+    (2, 1), (3, 2), (4, 2), (5, 3), (4, 4),
+])
+def test_three_write_modes_produce_identical_bytes(seed, num_ranks,
+                                                   num_aggregators):
+    pattern = random_pattern(seed * 101 + num_ranks, num_ranks)
+    expected = serial_oracle(pattern)
+
+    serial = write_serial(pattern)
+    per_rank = write_per_rank_coalesced(pattern)
+    collective, _deployment, _drivers = write_collective(
+        pattern, num_aggregators)
+
+    assert serial == expected, "serial backend mode diverged from the oracle"
+    assert per_rank == expected, "per-rank coalesced mode diverged"
+    assert collective == expected, "collective-buffered mode diverged"
+
+
+def test_collective_commits_one_batch_per_active_aggregator():
+    """N ranks, A aggregators -> at most A snapshots for the collective,
+    attributed with all N logical writes."""
+    num_ranks, num_aggregators = 6, 2
+    pattern = random_pattern(7, num_ranks, empty_rank_chance=0.0)
+    collective, deployment, drivers = write_collective(
+        pattern, num_aggregators)
+    assert collective == serial_oracle(pattern)
+
+    manager = deployment.version_manager.manager
+    assert manager.latest_published(PATH) <= num_aggregators
+    assert manager.pending_versions(PATH) == []
+    committed = [driver.aggregator.stats.stripes_committed
+                 for driver in drivers.values()]
+    assert sum(committed) == manager.latest_published(PATH)
+    attributed = sum(driver.aggregator.stats.attributed_writes
+                     for driver in drivers.values())
+    assert attributed == num_ranks
+    # aggregation concentrates the control plane on the aggregators
+    owners = set(aggregator_ranks(num_ranks, num_aggregators))
+    for rank, driver in drivers.items():
+        if rank not in owners:
+            assert driver.client.write_control_rpcs == 0
+            assert driver.client.metadata_put_rpcs == 0
+
+
+def test_collective_write_then_read_elides_the_latest_rpc():
+    """The watermark piggybacked on the closing exchange serves every rank's
+    read-back without a ``latest`` round-trip (version-hint satellite)."""
+    num_ranks = 4
+    pattern = random_pattern(11, num_ranks, empty_rank_chance=0.0)
+    cluster, deployment = make_deployment()
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=2)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        filetype, payload = rank_view(pattern[ctx.rank])
+        handle.set_view(0, BYTE, filetype)
+        yield from handle.write_at_all(0, payload)
+        handle.set_view(0, BYTE, BYTE)
+        data = yield from handle.read_at(0, FILE_SIZE)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    expected = serial_oracle(pattern)
+    assert all(data == expected for data in result.results)
+    for driver in drivers.values():
+        assert driver.client.latest_rpcs_elided == 1
+
+
+def test_publication_stays_in_ticket_order_under_collectives():
+    """Several collective rounds: every ticket publishes, in order, with no
+    gaps and no stalls (the backend's serialization invariant)."""
+    num_ranks = 4
+    cluster, deployment = make_deployment()
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=2)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        for round_index in range(3):
+            pattern = random_pattern(round_index, num_ranks,
+                                     empty_rank_chance=0.0)
+            filetype, payload = rank_view(pattern[ctx.rank])
+            handle.set_view(0, BYTE, filetype)
+            yield from handle.write_at_all(0, payload)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    manager = deployment.version_manager.manager
+    assert manager.pending_versions(PATH) == []
+    assert manager.latest_published(PATH) == manager.tickets_assigned
+    assert manager.tickets_aborted == 0
+
+
+def test_atomic_mode_collectives_bypass_aggregation():
+    """Atomic collectives keep one-rank-one-snapshot (no torn rank writes)."""
+    num_ranks = 3
+    pattern = random_pattern(13, num_ranks, empty_rank_chance=0.0)
+    cluster, deployment = make_deployment()
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True,
+                                  collective_aggregators=1)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        handle.set_atomicity(True)
+        filetype, payload = rank_view(pattern[ctx.rank])
+        handle.set_view(0, BYTE, filetype)
+        yield from handle.write_at_all(0, payload)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    # one snapshot per rank, none through the aggregator
+    manager = deployment.version_manager.manager
+    assert manager.latest_published(PATH) == num_ranks
+    for driver in drivers.values():
+        assert driver.aggregator.stats.collectives == 0
+
+
+def test_collectively_empty_write_is_a_no_op():
+    cluster, deployment = make_deployment()
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        written = yield from handle.write_at_all(0, b"")
+        yield from handle.close()
+        return written
+
+    result = run_mpi_job(cluster, 3, rank_main)
+    assert result.results == [0, 0, 0]
+    assert deployment.version_manager.manager.latest_published(PATH) == 0
+
+
+# ----------------------------------------------------------------------
+# pure partition/placement algebra
+# ----------------------------------------------------------------------
+class TestPartitionAlgebra:
+    def test_resolve_aggregator_count_defaults_and_clamps(self):
+        assert resolve_aggregator_count(1) == 1
+        assert resolve_aggregator_count(4) == 1
+        assert resolve_aggregator_count(8) == 2
+        assert resolve_aggregator_count(8, configured=3) == 3
+        assert resolve_aggregator_count(2, configured=16) == 2
+        with pytest.raises(MPIIOError):
+            resolve_aggregator_count(4, configured=0)
+        with pytest.raises(MPIIOError):
+            resolve_aggregator_count(0)
+
+    def test_aggregator_ranks_are_unique_and_spread(self):
+        assert aggregator_ranks(8, 2) == [0, 4]
+        assert aggregator_ranks(8, 3) == [0, 2, 5]
+        assert aggregator_ranks(5, 5) == [0, 1, 2, 3, 4]
+        for size in range(1, 12):
+            for count in range(1, size + 1):
+                owners = aggregator_ranks(size, count)
+                assert len(owners) == len(set(owners))
+                assert all(0 <= owner < size for owner in owners)
+        with pytest.raises(MPIIOError):
+            aggregator_ranks(4, 5)
+
+    def test_partition_covers_the_domain_with_aligned_stripes(self):
+        domains = partition_file_domain(0, 10_000, 3, align=1024)
+        assert domains[0][0] == 0 and domains[-1][1] == 10_000
+        for (_, end), (start, _) in zip(domains, domains[1:]):
+            assert end == start
+        for start, end in domains[:-1]:
+            if end < 10_000:
+                assert (end - start) % 1024 == 0
+
+    def test_partition_small_extents_leave_trailing_stripes_empty(self):
+        # a 100-byte span aligned to 64 needs two stripes; the rest are empty
+        domains = partition_file_domain(0, 100, 4, align=64)
+        assert domains[:2] == [(0, 64), (64, 100)]
+        assert all(start == end == 100 for start, end in domains[2:])
+
+    def test_partition_rejects_empty_domain(self):
+        with pytest.raises(MPIIOError):
+            partition_file_domain(10, 10, 2, align=64)
+
+
+def test_collective_survives_client_batch_bounds():
+    """A client-side auto-flush bound (coalesce_max_writes=1) must not break
+    the stripe commit: the collective still succeeds, publishes once, and
+    reports the auto-flushed stripe's version in its watermark."""
+    num_ranks = 4
+    pattern = random_pattern(17, num_ranks, empty_rank_chance=0.0)
+    cluster, deployment = make_deployment()
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=2,
+                                  coalesce_max_writes=1)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        filetype, payload = rank_view(pattern[ctx.rank])
+        handle.set_view(0, BYTE, filetype)
+        yield from handle.write_at_all(0, payload)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    assert read_back(cluster, deployment) == serial_oracle(pattern)
+    manager = deployment.version_manager.manager
+    assert manager.pending_versions(PATH) == []
+    assert manager.latest_published(PATH) <= 2
+    # every rank learned the watermark through the closing exchange
+    for driver in drivers.values():
+        assert driver.client.version_hints.get(PATH) \
+            == manager.latest_published(PATH)
+
+
+def test_atomic_reads_bypass_hints_planted_by_earlier_collectives():
+    """MPI atomic mode: a read must observe another rank's completed atomic
+    write even if a collective write planted a hint before it."""
+    num_ranks = 2
+    cluster, deployment = make_deployment()
+    pattern = random_pattern(23, num_ranks, empty_rank_chance=0.0)
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=1)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        filetype, payload = rank_view(pattern[ctx.rank])
+        handle.set_view(0, BYTE, filetype)
+        yield from handle.write_at_all(0, payload)  # plants hints everywhere
+        handle.set_view(0, BYTE, BYTE)
+        handle.set_atomicity(True)
+        if ctx.rank == 1:
+            yield from handle.write_at(0, b"ATOMIC!!")
+        yield from ctx.comm.barrier(ctx.rank)
+        data = yield from handle.read_at(0, 8)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    # rank 0 must see rank 1's atomic write despite its stale hint
+    assert result.results[0] == b"ATOMIC!!"
+    assert result.results[1] == b"ATOMIC!!"
+
+
+def test_partition_boundaries_stay_chunk_aligned_for_misaligned_extents():
+    """The stripe grid is anchored at the aligned floor of the extent, so a
+    collective starting mid-chunk still never splits one chunk between two
+    aggregators (each chunk's copy-on-write cost is paid once)."""
+    domains = partition_file_domain(5, 2053, 2, align=1024)
+    assert domains[0][0] == 5 and domains[-1][1] == 2053
+    for _start, end in domains[:-1]:
+        if end < 2053:
+            assert end % 1024 == 0, domains
+    # and the domains still tile the extent
+    for (_, end), (start, _) in zip(domains, domains[1:]):
+        assert end == start
+
+
+def test_collective_write_skips_the_redundant_closing_barrier():
+    """The aggregator protocol ends in a group-wide exchange; the File
+    layer must not charge a second rendezvous on top of it."""
+    num_ranks = 2
+    pattern = random_pattern(29, num_ranks, empty_rank_chance=0.0)
+    cluster, deployment = make_deployment()
+    comms = []
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=1)
+        if ctx.rank == 0:
+            comms.append(ctx.comm)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        filetype, payload = rank_view(pattern[ctx.rank])
+        handle.set_view(0, BYTE, filetype)
+        yield from handle.write_at_all(0, payload)
+        yield from handle.close()
+
+    run_mpi_job(cluster, num_ranks, rank_main)
+    # open barrier (1) + describe allgather + data alltoallv + closing
+    # allgather (3) — and nothing else
+    assert comms[0].collectives_completed == 4
+    assert read_back(cluster, deployment) == serial_oracle(pattern)

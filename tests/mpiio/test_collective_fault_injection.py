@@ -1,0 +1,339 @@
+"""Fault injection on the collective write path.
+
+An aggregator is the one rank of a collective that talks to the storage
+control plane, so its death is the interesting failure.  Two windows:
+
+* *mid-commit* — the aggregator took its version ticket and fails while
+  storing the stripe's metadata.  The commit engine must roll the partial
+  nodes back and release the ticket (``VersionManager.abort``), the
+  aggregator must discard the staged stripe (the group saw the failure;
+  silently retrying it later would resurrect a write the application
+  believes failed), the surviving aggregator's stripe must still publish,
+  and no reader may ever observe a torn snapshot.
+
+* *mid-exchange* — the aggregator dies before any ticket exists (its local
+  flush ahead of the exchange fails).  The protocol must report the failure
+  on every rank instead of hanging in a half-entered collective, and must
+  leave the version manager completely clean.
+
+In both cases the surviving ranks' own queued writes must still flush and
+publish afterwards — one dead aggregator never stalls the group's progress
+at the storage layer.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mpi.launcher import run_mpi_job
+from repro.mpiio.adio.collective import aggregator_ranks
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.file import File
+from tests.mpiio._collective_testlib import make_quick_deployment, read_back_latest
+
+FILE_SIZE = 16 * 1024
+CHUNK = 1024
+PATH = "/faulty"
+NUM_RANKS = 4
+NUM_AGGREGATORS = 2
+#: with 4 ranks and 2 aggregators the owners are ranks 0 and 2
+DOOMED_RANK = aggregator_ranks(NUM_RANKS, NUM_AGGREGATORS)[1]
+
+
+def make_deployment():
+    return make_quick_deployment(seed=9, chunk_size=CHUNK)
+
+
+def block_pairs(rank, fill_base=65):
+    """Interleaved 512-byte blocks: rank r owns blocks b with b % N == r.
+
+    The global extent spans the whole file, so with two aggregators the
+    lower half is stripe 0 (rank 0) and the upper half stripe 1 (rank 2).
+    """
+    return [(b * 512, bytes([fill_base + rank]) * 512)
+            for b in range(rank, FILE_SIZE // 512, NUM_RANKS)]
+
+
+def expected_surviving_content(dead_stripe_start):
+    """All ranks' blocks below the dead stripe, zeros above it."""
+    content = bytearray(FILE_SIZE)
+    for rank in range(NUM_RANKS):
+        for offset, payload in block_pairs(rank):
+            if offset + len(payload) <= dead_stripe_start:
+                content[offset:offset + len(payload)] = payload
+    return bytes(content)
+
+
+def read_back(cluster, deployment):
+    return read_back_latest(cluster, deployment, PATH, FILE_SIZE)
+
+
+def run_collective_with_sabotage(sabotage):
+    """Run one collective write; ``sabotage(rank, driver)`` may break ranks.
+
+    Each rank catches the collective's failure, then (to prove the group
+    survives) queues an independent write of its first block's first 16
+    bytes at a recognizable fill and syncs it.
+    """
+    cluster, deployment = make_deployment()
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=NUM_AGGREGATORS)
+        drivers[ctx.rank] = driver
+        sabotage(ctx.rank, driver)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        outcome = "ok"
+        try:
+            yield from driver.write_vector_all(
+                PATH, _vector(ctx.rank), atomic=False, rank=ctx.rank,
+                comm=ctx.comm)
+        except Exception as exc:
+            outcome = type(exc).__name__
+        # the group must still make progress: every rank publishes an
+        # independent write after the failed collective
+        yield from ctx.comm.barrier(ctx.rank)
+        yield from handle.write_at(ctx.rank * 16, bytes([97 + ctx.rank]) * 16)
+        yield from handle.sync()
+        yield from handle.close()
+        return outcome
+
+    result = run_mpi_job(cluster, NUM_RANKS, rank_main)
+    return cluster, deployment, drivers, result
+
+
+def _vector(rank):
+    from repro.core.listio import IOVector
+    return IOVector.for_write(block_pairs(rank))
+
+
+class TestAggregatorDiesMidCommit:
+    def _sabotage(self, rank, driver):
+        if rank != DOOMED_RANK:
+            return
+        engine = driver.client.writepath
+
+        def broken_store_nodes(blob, nodes):
+            # one-shot: deleting the instance attribute restores the class
+            # method, so the node "recovers" after killing the stripe commit
+            del engine._store_nodes
+            raise StorageError("aggregator node lost mid-commit")
+            yield  # pragma: no cover - generator shape
+
+        # fails after the ticket is assigned, before metadata is complete —
+        # the exact window where a torn snapshot could be left behind
+        engine._store_nodes = broken_store_nodes
+
+    def test_rollback_publishes_survivors_and_leaves_no_torn_snapshot(self):
+        cluster, deployment, drivers, result = \
+            run_collective_with_sabotage(self._sabotage)
+
+        # every rank observed the failure (the doomed one with the original
+        # error, the others with the collective failure report)
+        assert result.results[DOOMED_RANK] == "StorageError"
+        assert all(outcome != "ok" for outcome in result.results)
+
+        manager = deployment.version_manager.manager
+        # the dead aggregator's ticket was released; nothing is pending,
+        # publication never stalled for the survivors
+        assert manager.tickets_aborted == 1
+        assert manager.pending_versions(PATH) == []
+
+        # the staged stripe was discarded, not left for a silent retry
+        doomed = drivers[DOOMED_RANK]
+        assert doomed.client.coalescer.pending_writes(PATH) == 0
+        assert doomed.client.coalescer.stats.discarded_writes == 1
+
+        # no torn snapshot: the surviving stripe is fully there, the dead
+        # stripe reads as never written (its predecessor's zeros), and the
+        # post-failure independent writes all published
+        content = read_back(cluster, deployment)
+        survivors = bytearray(expected_surviving_content(FILE_SIZE // 2))
+        for rank in range(NUM_RANKS):
+            survivors[rank * 16:(rank + 1) * 16] = bytes([97 + rank]) * 16
+        assert content == bytes(survivors)
+
+
+class TestAggregatorDiesMidExchange:
+    def _sabotage(self, rank, driver):
+        if rank != DOOMED_RANK:
+            return
+        coalescer = driver.client.coalescer
+        original_flush = coalescer.flush
+
+        def dying_flush(blob_id=None):
+            if coalescer.pending_writes(PATH):
+                raise StorageError("aggregator died before the exchange")
+            result = yield from original_flush(blob_id)
+            return result
+
+        coalescer.flush = dying_flush
+
+    def test_pre_ticket_death_aborts_cleanly_on_every_rank(self):
+        # give the doomed rank queued state so its phase-0 flush runs (and
+        # dies) before any exchange or ticket
+        def sabotage(rank, driver):
+            self._sabotage(rank, driver)
+
+        cluster, deployment = make_deployment()
+        drivers = {}
+
+        def rank_main(ctx):
+            driver = VersioningDriver(deployment, ctx.node,
+                                      rank_name=f"rank{ctx.rank}",
+                                      write_coalescing=True,
+                                      collective_buffering=True,
+                                      collective_aggregators=NUM_AGGREGATORS)
+            drivers[ctx.rank] = driver
+            handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                          comm=ctx.comm, size_hint=FILE_SIZE)
+            # every rank queues an independent write first; the doomed
+            # rank's pre-exchange flush of it is what dies
+            yield from handle.write_at(FILE_SIZE - (ctx.rank + 1) * 32,
+                                       bytes([49 + ctx.rank]) * 32)
+            sabotage(ctx.rank, driver)
+            outcome = "ok"
+            try:
+                yield from driver.write_vector_all(
+                    PATH, _vector(ctx.rank), atomic=False, rank=ctx.rank,
+                    comm=ctx.comm)
+            except Exception as exc:
+                outcome = type(exc).__name__
+            yield from ctx.comm.barrier(ctx.rank)
+            # restore the doomed rank so its close() can flush its queue
+            if ctx.rank == DOOMED_RANK:
+                del driver.client.coalescer.flush
+            yield from handle.close()
+            return outcome
+
+        result = run_mpi_job(cluster, NUM_RANKS, rank_main)
+
+        assert result.results[DOOMED_RANK] == "StorageError"
+        assert all(outcome != "ok" for outcome in result.results)
+
+        # the collective died before any ticket: only the ranks' own queued
+        # writes ever committed, all published, nothing aborted or pending
+        manager = deployment.version_manager.manager
+        assert manager.tickets_aborted == 0
+        assert manager.pending_versions(PATH) == []
+        assert manager.latest_published(PATH) == NUM_RANKS
+
+        # surviving ranks' flushes published their queued writes; the file
+        # holds exactly those (no stripe data ever committed)
+        content = read_back(cluster, deployment)
+        expected = bytearray(FILE_SIZE)
+        for rank in range(NUM_RANKS):
+            start = FILE_SIZE - (rank + 1) * 32
+            expected[start:start + 32] = bytes([49 + rank]) * 32
+        assert content == bytes(expected)
+
+
+def test_failed_collective_does_not_block_later_collectives():
+    """After a mid-commit failure the same group can run a fresh collective
+    (the monkeypatched engine is healed first) and it publishes normally."""
+    cluster, deployment = make_deployment()
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=NUM_AGGREGATORS)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        if ctx.rank == DOOMED_RANK:
+            def broken_store_nodes(blob, nodes):
+                raise StorageError("transient shard failure")
+                yield  # pragma: no cover - generator shape
+            driver.client.writepath._store_nodes = broken_store_nodes
+        with pytest.raises(Exception):
+            yield from driver.write_vector_all(
+                PATH, _vector(ctx.rank), atomic=False, rank=ctx.rank,
+                comm=ctx.comm)
+        yield from ctx.comm.barrier(ctx.rank)
+        if ctx.rank == DOOMED_RANK:
+            del driver.client.writepath._store_nodes  # the fault heals
+        yield from driver.write_vector_all(
+            PATH, _vector(ctx.rank), atomic=False, rank=ctx.rank,
+            comm=ctx.comm)
+        yield from handle.close()
+
+    run_mpi_job(cluster, NUM_RANKS, rank_main)
+    manager = deployment.version_manager.manager
+    assert manager.pending_versions(PATH) == []
+    assert manager.tickets_aborted == 1
+    # the retried collective produced the full expected contents
+    content = read_back(cluster, deployment)
+    expected = bytearray(FILE_SIZE)
+    for rank in range(NUM_RANKS):
+        for offset, payload in block_pairs(rank):
+            expected[offset:offset + len(payload)] = payload
+    assert content == bytes(expected)
+
+
+class TestPartitionPhaseFailure:
+    """Failures between the opening exchange and the data exchange."""
+
+    def test_invalid_aggregator_count_fails_at_construction(self):
+        """A bad setting must die before any collective is entered — one
+        rank failing mid-protocol would strand its peers."""
+        from repro.errors import MPIIOError
+        cluster, deployment = make_deployment()
+        with pytest.raises(MPIIOError):
+            VersioningDriver(deployment, cluster.add_node("bad"),
+                             collective_buffering=True,
+                             collective_aggregators=0)
+
+    def test_partition_failure_reports_on_every_rank_instead_of_hanging(self):
+        """A rank that dies computing the file-domain partition still enters
+        the data exchange empty-handed and reports through the closing
+        phase; its peers raise instead of blocking forever."""
+        cluster, deployment = make_deployment()
+
+        def rank_main(ctx):
+            driver = VersioningDriver(deployment, ctx.node,
+                                      rank_name=f"rank{ctx.rank}",
+                                      write_coalescing=True,
+                                      collective_buffering=True,
+                                      collective_aggregators=NUM_AGGREGATORS)
+            if ctx.rank == DOOMED_RANK:
+                def dying_count(size):
+                    raise StorageError("partition phase died")
+                driver.aggregator.resolved_count = dying_count
+            handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                          comm=ctx.comm, size_hint=FILE_SIZE)
+            outcome = "ok"
+            try:
+                yield from driver.write_vector_all(
+                    PATH, _vector(ctx.rank), atomic=False, rank=ctx.rank,
+                    comm=ctx.comm)
+            except Exception as exc:
+                outcome = type(exc).__name__
+            yield from handle.close()
+            return outcome
+
+        result = run_mpi_job(cluster, NUM_RANKS, rank_main)
+        assert result.results[DOOMED_RANK] == "StorageError"
+        assert all(outcome != "ok" for outcome in result.results)
+        # the healthy aggregator's stripe published; nothing stalled or tore
+        manager = deployment.version_manager.manager
+        assert manager.pending_versions(PATH) == []
+        assert manager.tickets_aborted == 0
+
+
+def test_aggregator_requires_a_coalescer_client():
+    """The exported CollectiveAggregator fails fast on a client without a
+    write coalescer instead of stranding peers mid-protocol later."""
+    from repro.blobseer.client import BlobClient
+    from repro.errors import MPIIOError
+    from repro.mpiio.adio.collective import CollectiveAggregator
+    cluster, deployment = make_deployment()
+    bare = BlobClient(deployment, cluster.add_node("bare"))
+    with pytest.raises(MPIIOError):
+        CollectiveAggregator(bare)

@@ -127,3 +127,38 @@ def test_coalescing_spends_fewer_control_rpcs_for_small_write_trains():
         client = drivers[0].client
         rpcs[coalescing] = client.write_control_rpcs + client.metadata_put_rpcs
     assert rpcs[True] * 2 <= rpcs[False], rpcs
+
+
+def test_read_fences_when_publication_lags_behind_own_commit():
+    """Read-your-writes when another writer holds an earlier ticket: the
+    client's committed batch is unpublished (its inline ``complete`` saw a
+    lagging watermark), so the read must fence and wait — never serve a
+    snapshot older than the client's own flushed write."""
+    cluster, deployment, driver_factory = make_environment(
+        write_coalescing=True, write_pipelining=False, coalesce_max_writes=1)
+    blocker = deployment.client(cluster.add_node("blocker"), name="blocker")
+
+    def staller():
+        # grab the next ticket and sit on it for a while before completing
+        version, _base = yield from blocker._control(
+            deployment.version_manager, "assign_ticket", "/f")
+        yield cluster.sim.timeout(0.05)
+        yield from blocker._control(
+            deployment.version_manager, "complete", "/f", version)
+
+    def rank_main(ctx):
+        driver = driver_factory(ctx)
+        handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        cluster.sim.process(staller())
+        yield ctx.sim.timeout(0.001)  # let the staller take its ticket
+        # coalesce_max_writes=1 auto-flushes immediately: our write commits
+        # with the later ticket but cannot publish until the staller does
+        yield from handle.write_at(0, b"hello!")
+        data = yield from handle.read_at(0, 6)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, 1, rank_main)
+    assert result.results[0] == b"hello!"
+    assert deployment.version_manager.manager.latest_published("/f") == 2
