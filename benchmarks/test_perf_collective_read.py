@@ -1,0 +1,198 @@
+"""PERF — collective-read microbenchmarks (aggregated metadata resolution).
+
+Runs the collective scan workload through the per-rank independent baseline
+and aggregated resolution at several rank counts and resolver factors with
+one shared harness, asserts the acceptance shape (metadata control RPCs per
+logical collective read reduced by ~the resolver factor ``N/R`` versus the
+per-rank baseline, non-resolver ranks at exactly zero, byte-identical data
+in every mode, warm caches after the plan broadcast), and records every row
+— metadata RPCs, ``latest`` RPCs, exchange traffic, simulated and
+wall-clock seconds — into ``BENCH_collective_read.json`` at the repository
+root so future PRs can track the perf trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the same shapes on a fraction of the
+work (what CI does on every push).
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.bench.collective_read import (
+    CollectiveReadSettings,
+    run_collective_read_suite,
+    suite_rows,
+)
+from repro.bench.metrics import read_rpc_reduction
+from repro.bench.reporting import format_table
+from repro.mpiio.adio.collective import aggregator_ranks
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_collective_read.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: acceptance slack: measured reduction vs the ideal resolver factor N/R
+#: (the union walk can beat the ideal — resolver stripes dedup shared
+#: extents and hints elide whole ``latest`` rounds — so the slack only
+#: guards against harmless bookkeeping shifts below it)
+MIN_FRACTION_OF_IDEAL = 0.8
+
+
+def bench_settings() -> CollectiveReadSettings:
+    settings = CollectiveReadSettings()
+    return settings.scaled_down() if SMOKE else settings
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Run every point on identical settings; emit the JSON artifact."""
+    settings = bench_settings()
+    results = run_collective_read_suite(settings)
+    rows = suite_rows(results)
+
+    reductions = {}
+    for key, result in results.items():
+        sample = result.sample
+        if sample.num_resolvers:
+            baseline = results[f"N{sample.num_ranks}:independent"]
+            reductions[key] = {
+                "reduction": read_rpc_reduction(baseline.sample, sample),
+                "ideal": sample.num_ranks / sample.num_resolvers,
+            }
+
+    artifact = {
+        "suite": "collective-read",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "settings": {
+            "rank_counts": list(settings.rank_counts),
+            "resolver_counts": list(settings.resolver_counts),
+            "rounds": settings.rounds,
+            "blocks_per_rank": settings.blocks_per_rank,
+            "block_size": settings.block_size,
+            "halo_blocks": settings.halo_blocks,
+            "num_providers": settings.num_providers,
+            "num_metadata_providers": settings.num_metadata_providers,
+            "chunk_size": settings.chunk_size,
+        },
+        "metadata_rpc_reduction_vs_independent": reductions,
+        "rows": rows,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print()
+    print(format_table(rows, title="collective-read microbenchmark"))
+    return results
+
+
+def test_all_modes_read_identical_bytes(suite):
+    """The conformance core, repeated at benchmark scale: every mode of one
+    rank count returns byte-identical scan data."""
+    settings = bench_settings()
+    for num_ranks in settings.rank_counts:
+        digests = {key: result.read_digest for key, result in suite.items()
+                   if key.startswith(f"N{num_ranks}:")}
+        reference = digests[f"N{num_ranks}:independent"]
+        workload = settings.workload(num_ranks)
+        content = workload.expected_contents()
+        expected_parts = []
+        for rank in range(num_ranks):
+            for round_index in range(workload.rounds):
+                expected_parts.append(
+                    workload.expected_pieces(rank, round_index))
+            # the post-phase probe re-reads the rank's first round-0 range
+            first_offset, first_size = workload.read_pairs(rank, 0)[0]
+            expected_parts.append(
+                content[first_offset:first_offset + first_size])
+        expected = b"".join(expected_parts)
+        assert reference == expected, f"N{num_ranks}: baseline diverged"
+        for key, digest in digests.items():
+            assert digest == reference, key
+
+
+def test_metadata_rpcs_drop_by_the_resolver_factor(suite):
+    """The acceptance criterion: reduction >~ N/R at every collective point."""
+    for key, result in suite.items():
+        sample = result.sample
+        if not sample.num_resolvers:
+            continue
+        baseline = suite[f"N{sample.num_ranks}:independent"]
+        reduction = read_rpc_reduction(baseline.sample, sample)
+        ideal = sample.num_ranks / sample.num_resolvers
+        assert reduction >= MIN_FRACTION_OF_IDEAL * ideal, (
+            f"{key}: only {reduction:.2f}x fewer metadata RPCs per read "
+            f"(resolver factor {ideal:.2f})")
+
+
+def test_one_latest_rpc_per_cold_collective_at_most(suite):
+    """The version pin concentrates ``latest`` on the lead resolver: at most
+    one round-trip per collective round (and zero once hints are planted),
+    against one per rank per round for the baseline."""
+    for key, result in suite.items():
+        sample = result.sample
+        if sample.num_resolvers:
+            assert sample.latest_rpcs <= sample.rounds, key
+        else:
+            assert sample.latest_rpcs \
+                == sample.num_ranks * sample.rounds, key
+
+
+def test_exchange_traffic_is_reported_for_collective_modes(suite):
+    """The aggregation trade — MPI exchange instead of control RPCs — must
+    be visible in the artifact, not hidden."""
+    for key, result in suite.items():
+        sample = result.sample
+        if sample.num_resolvers:
+            assert sample.exchange_bytes > 0, key
+            assert sample.plan_nodes_absorbed > 0, key
+        else:
+            assert sample.exchange_bytes == 0, key
+            assert sample.plan_nodes_absorbed == 0, key
+
+
+def test_plan_broadcast_makes_the_post_collective_read_free(suite):
+    """After the collective rounds, one independent re-read per rank costs
+    zero metadata RPCs in the collective modes (absorbed plan + refreshed
+    hint) — while the baseline still pays a ``latest`` per rank."""
+    for key, result in suite.items():
+        sample = result.sample
+        if sample.num_resolvers:
+            assert sample.post_metadata_rpcs == 0, key
+            assert sample.post_latest_rpcs == 0, key
+        else:
+            assert sample.post_latest_rpcs == sample.num_ranks, key
+
+
+def test_non_resolver_ranks_touch_the_control_plane_zero_times(suite):
+    """The criterion's per-rank half: outside the resolver set, every rank's
+    collective-phase metadata and ``latest`` counters are exactly zero."""
+    for key, result in suite.items():
+        sample = result.sample
+        if not sample.num_resolvers:
+            continue
+        owners = set(aggregator_ranks(sample.num_ranks,
+                                      sample.num_resolvers))
+        for rank, (metadata, latest) in result.per_rank_rpcs.items():
+            if rank not in owners:
+                assert metadata == 0, f"{key}: rank {rank} walked the tree"
+                assert latest == 0, f"{key}: rank {rank} asked for latest"
+        assert sample.metadata_rpcs > 0, key
+
+
+def test_artifact_written_with_populated_columns(suite):
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["suite"] == "collective-read"
+    assert artifact["rows"]
+    modes = {row["mode"] for row in artifact["rows"]}
+    assert "independent" in modes
+    assert any(mode.startswith("collective-r") for mode in modes)
+    for row in artifact["rows"]:
+        assert row["logical_reads"] > 0
+        assert row["metadata_rpcs"] > 0
+        assert row["wall_clock_s"] > 0
+        assert "metadata_rpcs_per_read" in row and "sim_read_s" in row
+    reductions = artifact["metadata_rpc_reduction_vs_independent"]
+    assert reductions
+    for entry in reductions.values():
+        assert entry["reduction"] >= MIN_FRACTION_OF_IDEAL * entry["ideal"]

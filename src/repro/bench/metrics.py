@@ -230,6 +230,73 @@ class CollectiveSample(PerWriteRpcMetrics):
         }
 
 
+@dataclass
+class CollectiveReadSample:
+    """One measured run of the collective-read microbenchmark.
+
+    ``metadata_rpcs`` aggregates every rank's segment-tree round-trips and
+    ``latest_rpcs`` the version-manager ``latest`` round-trips; both are
+    normalized per *logical* read — one per rank per round, however many of
+    them one resolver's stripe walk served.  ``exchange_bytes`` is the
+    MPI-side scatter/plan traffic the aggregation spends instead (compute
+    interconnect, not the storage control plane), ``plan_nodes_absorbed``
+    counts cache entries the ranks warmed from broadcast plans, and the
+    ``post_*`` columns measure one independent re-read per rank after the
+    collective phase — the cache-warming signal.
+    """
+
+    mode: str
+    num_ranks: int
+    num_resolvers: int
+    rounds: int
+    logical_reads: int
+    metadata_rpcs: int
+    latest_rpcs: int
+    nodes_fetched: int
+    plan_nodes_absorbed: int
+    exchange_bytes: int
+    collectives_completed: int
+    post_metadata_rpcs: int
+    post_latest_rpcs: int
+    sim_read_s: float
+    wall_clock_s: float
+
+    @property
+    def metadata_rpcs_per_read(self) -> float:
+        """Control-plane round-trips (tree walk + ``latest``) per read."""
+        total = self.metadata_rpcs + self.latest_rpcs
+        return total / max(1, self.logical_reads)
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "ranks": self.num_ranks,
+            "resolvers": self.num_resolvers,
+            "rounds": self.rounds,
+            "logical_reads": self.logical_reads,
+            "metadata_rpcs": self.metadata_rpcs,
+            "latest_rpcs": self.latest_rpcs,
+            "metadata_rpcs_per_read": self.metadata_rpcs_per_read,
+            "nodes_fetched": self.nodes_fetched,
+            "plan_nodes_absorbed": self.plan_nodes_absorbed,
+            "exchange_bytes": self.exchange_bytes,
+            "collectives_completed": self.collectives_completed,
+            "post_metadata_rpcs": self.post_metadata_rpcs,
+            "post_latest_rpcs": self.post_latest_rpcs,
+            "sim_read_s": self.sim_read_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def read_rpc_reduction(baseline: CollectiveReadSample,
+                       optimized: CollectiveReadSample) -> float:
+    """How many times fewer metadata round-trips per logical read."""
+    if optimized.metadata_rpcs_per_read <= 0:
+        return float("inf")
+    return baseline.metadata_rpcs_per_read / optimized.metadata_rpcs_per_read
+
+
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:
     """Throughput ratio of our approach over the baseline (paper's headline)."""
     base = baseline.throughput

@@ -141,6 +141,11 @@ class BlobClient:
         #: metadata read-path counters (RPC round-trips and nodes used)
         self.metadata_read_rpcs: int = 0
         self.metadata_nodes_fetched: int = 0
+        #: ``latest`` round-trips actually issued to the version manager
+        self.latest_rpcs: int = 0
+        #: metadata nodes absorbed from a collective read's shipped plan
+        #: (cache entries that cost MPI exchange bytes instead of RPCs)
+        self.plan_nodes_absorbed: int = 0
         #: write-path counters: control-plane round-trips (allocate, ticket,
         #: complete, publication waits), per-shard put_nodes round-trips and
         #: nodes self-inserted into the cache by write-through population
@@ -190,6 +195,7 @@ class BlobClient:
 
     def latest_version(self, blob_id: str):
         """Newest published snapshot version."""
+        self.latest_rpcs += 1
         version = yield from self._control(
             self.deployment.version_manager, "latest", blob_id)
         self.note_published(blob_id, version)
@@ -220,6 +226,34 @@ class BlobClient:
         self.note_published(blob_id, version)
         self.offer_read_hint(blob_id)
 
+    def note_collective_read(self, blob_id: str, version: int) -> None:
+        """Absorb a collective read's pinned snapshot version.
+
+        Same contract as :meth:`note_collective_commit`: the group just
+        synchronized on a published version (the pin every rank read from),
+        so each rank may start its next default read there without asking
+        the version manager — the one-shot hint the collective consumed in
+        its opening phase is refreshed here, never silently lost.
+        """
+        self.note_collective_commit(blob_id, version)
+
+    def absorb_plan_nodes(self, blob_id: str, entries) -> int:
+        """Insert metadata nodes shipped by a collective read's resolver.
+
+        ``entries`` are ``((offset, size, hint), node-or-None)`` pairs from a
+        resolver's :class:`~repro.blobseer.metadata.segment_tree.ReadPlanner`
+        trace — resolved lookups of a *published* snapshot, so they are
+        permanently valid and inserting them is as safe as fetching them
+        ourselves would have been.  Costs zero RPCs; returns how many entries
+        were absorbed.
+        """
+        if self.metadata_cache is None:
+            return 0
+        for (offset, size, hint), node in entries:
+            self.metadata_cache.put(blob_id, offset, size, hint, node)
+        self.plan_nodes_absorbed += len(entries)
+        return len(entries)
+
     def offer_read_hint(self, blob_id: str) -> None:
         """Let the next ``version=None`` read start from the known watermark.
 
@@ -234,6 +268,26 @@ class BlobClient:
     def drop_read_hint(self, blob_id: str) -> None:
         """Invalidate a pending read hint (visibility fences must call this)."""
         self._read_hints.pop(blob_id, None)
+
+    def has_unpublished_state(self, blob_id: str) -> bool:
+        """Whether a read of ``blob_id`` could miss this client's own writes.
+
+        True when the client holds write state publication has not caught up
+        with: queued (uncommitted) writes, unjoined deferred completions, or
+        a committed batch whose publication still lags the known watermark
+        (an earlier ticket held by another writer delays it — the inline
+        ``complete`` then returns a watermark below our own version).
+        Read-your-writes paths — the driver's independent read fence and a
+        collective read's phase 0 — must fence through the coalescer's
+        barrier exactly when this is true.
+        """
+        if self.writepath.outstanding(blob_id):
+            return True
+        if self.coalescer is None:
+            return False
+        return bool(self.coalescer.pending_writes(blob_id)
+                    or self.coalescer.last_committed_version(blob_id)
+                    > self.version_hints.get(blob_id, 0))
 
     def hinted_blobs(self) -> List[str]:
         """BLOBs currently holding a pending one-shot read hint.
@@ -299,8 +353,14 @@ class BlobClient:
         return receipt
 
     def _vectored_read(self, blob_id: str, vector: IOVector,
-                       version: Optional[int] = None):
-        """Read the vector's ranges from one published snapshot."""
+                       version: Optional[int] = None, *,
+                       trace: Optional[Dict] = None):
+        """Read the vector's ranges from one published snapshot.
+
+        ``trace`` (optional) collects the metadata lookups the read resolved
+        — the hook collective-read resolvers use to ship their traversal to
+        peer ranks for cache warming.
+        """
         blob = yield from self._descriptor(blob_id)
         if version is None:
             # a hint planted by this client's own barrier or a collective
@@ -318,7 +378,8 @@ class BlobClient:
                 f"snapshot {version} of {blob_id!r} is not published")
 
         regions = vector.region_list()
-        plan = yield from self._resolve_metadata(blob, version, regions)
+        plan = yield from self._resolve_metadata(blob, version, regions,
+                                                 trace=trace)
 
         # parallel chunk-range fetches — one batched RPC per data provider
         fetched: List[Tuple[int, int, bytes]] = []
@@ -355,7 +416,8 @@ class BlobClient:
         return results
 
     # ------------------------------------------------------------------
-    def _resolve_metadata(self, blob: BlobDescriptor, version: int, regions):
+    def _resolve_metadata(self, blob: BlobDescriptor, version: int, regions,
+                          trace: Optional[Dict] = None):
         """Resolve a read's segment-tree traversal against the metadata shards.
 
         The traversal advances one tree level at a time.  On the optimized
@@ -366,7 +428,8 @@ class BlobClient:
         (the pre-optimization baseline the perf suite measures against).
         Cache hits skip the wire entirely.
         """
-        planner = ReadPlanner(blob, version, regions, cache=self.metadata_cache)
+        planner = ReadPlanner(blob, version, regions,
+                              cache=self.metadata_cache, trace=trace)
         config = self.cluster.config
         node_size = config.metadata_node_size
         request_size = config.metadata_request_size

@@ -268,16 +268,24 @@ class ReadPlanner:
             results = ... fetch them somehow ...  # {request: node-or-None}
             planner.advance(results)
         plan = planner.plan()
+
+    ``trace`` (optional) collects every resolved lookup the traversal
+    consumed — ``{(offset, size, hint): node-or-None}``, cache hits
+    included.  The collective read path ships a resolver's trace to its peer
+    ranks so their caches warm up without ever touching the metadata shards.
     """
 
     def __init__(self, blob: BlobDescriptor, version: int, regions: RegionList,
-                 cache: Optional["MetadataNodeCache"] = None):
+                 cache: Optional["MetadataNodeCache"] = None,
+                 trace: Optional[Dict[NodeRequest,
+                                      Optional[MetadataNode]]] = None):
         wanted = regions.normalized()
         for region in wanted:
             blob.validate_access(region.offset, region.size)
         self.blob = blob
         self.version = version
         self.cache = cache
+        self.trace = trace
         self.extents: List[ReadExtent] = []
         self.nodes_fetched = 0
         self.levels = 0
@@ -323,6 +331,8 @@ class ReadPlanner:
                 node = self._cached_level[request]
             else:
                 node = fetched[request]
+            if self.trace is not None:
+                self.trace[request] = node
             if node is None:
                 for region in sub_wanted:
                     self.extents.append(ReadExtent(region.offset, region.size))

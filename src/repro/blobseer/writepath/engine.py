@@ -239,6 +239,11 @@ class PipelinedCommitEngine:
         latest = yield from self._wcontrol(
             self.client.deployment.version_manager, "abort", blob_id, version)
         self.client.note_published(blob_id, latest)
+        # a pending read hint predates this failed commit; by the time the
+        # abort returns, versions *after* the hint may have published (e.g.
+        # a peer aggregator's stripe of the same failed collective), so the
+        # next default read must ask the version manager, not the hint
+        self.client.drop_read_hint(blob_id)
 
     def _rollback_metadata(self, blob: "BlobDescriptor",
                            nodes: List["MetadataNode"]):

@@ -49,6 +49,10 @@ class Communicator:
         self._rank_counts: Dict[str, Dict[int, int]] = {}
         #: total collectives completed (benchmark metric)
         self.collectives_completed: int = 0
+        #: total payload bytes charged across completed collectives — the
+        #: compute-interconnect side of every two-phase trade (benchmark
+        #: metric; zero on single-rank communicators, which move no bytes)
+        self.bytes_moved: int = 0
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -97,6 +101,7 @@ class Communicator:
         if callable(payload_bytes):
             payload_bytes = payload_bytes(collective.contributions)
         if self.size > 1:
+            self.bytes_moved += payload_bytes
             yield self.cluster.sim.timeout(self._cost(payload_bytes))
         self.collectives_completed += 1
         if collective.event is not None:

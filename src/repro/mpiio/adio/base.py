@@ -81,6 +81,32 @@ class ADIODriver:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    def read_vector_all(self, path: str, vector: IOVector, atomic: bool,
+                        rank: int = 0, comm: Optional["Communicator"] = None):
+        """Collective read entry point (``MPI_File_read_at_all``).
+
+        The default treats a collective read as ``size`` independent reads
+        (what every driver did before collective reads existed); drivers
+        that coordinate ranks — aggregated metadata resolution, data
+        scatter — override it.  All ranks of ``comm`` call it, including
+        ranks with empty vectors.
+        """
+        if len(vector) == 0:
+            return []
+        pieces = yield from self.read_vector(path, vector, atomic,
+                                             rank=rank, comm=comm)
+        return pieces
+
+    def read_all_synchronizes(self, atomic: bool,
+                              comm: Optional["Communicator"]) -> bool:
+        """Whether :meth:`read_vector_all` already rendezvouses the ranks.
+
+        The File layer closes a collective read with a barrier only when
+        the driver's path did not — mirror of :meth:`write_all_synchronizes`.
+        Must return the same value on every rank of a job.
+        """
+        return False
+
     def file_size(self, path: str):
         """Current size of the file as known by the backend."""
         raise NotImplementedError

@@ -46,6 +46,33 @@ In MPI *atomic* mode the collective path is bypassed: splitting one rank's
 access across several stripe snapshots could let a concurrent reader observe
 half of that rank's write, so atomic collectives keep the native
 one-rank-one-snapshot guarantee of the versioning backend.
+
+The read side (:class:`CollectiveReader`) is the mirror image: on a
+``read_at_all`` every rank would otherwise resolve the *same* shared extent
+against the segment tree independently — ``N`` ``latest`` round-trips and
+``N`` tree walks for one logical access.  The collective read instead
+
+1. allgathers the ranks' access descriptions plus their publication
+   watermarks, pinning ONE snapshot version for the whole group: the maximum
+   of every rank's watermark and consumed one-shot read hint, topped by a
+   single ``latest`` RPC issued by the lead resolver only when it held no
+   hint — so no rank can ever be served a version older than its own
+   published commits, and the group observes one consistent snapshot;
+2. partitions the union extent into chunk-aligned stripes owned by
+   ``num_aggregators`` *resolver* ranks (same config/heuristic as the write
+   side); each resolver runs one batched
+   :class:`~repro.blobseer.metadata.segment_tree.ReadPlanner` walk through
+   its warm :class:`~repro.blobseer.metadata.cache.MetadataNodeCache` and
+   fetches its stripe's chunks — non-resolver ranks spend *zero* metadata
+   control RPCs;
+3. scatters the fetched pieces back over ``alltoallv``, piggybacking each
+   resolver's traversal trace so every rank's node cache warms up from the
+   broadcast plan (subsequent independent reads start warm, again at zero
+   RPC cost);
+4. shares outcomes in a closing ``allgather``: failures anywhere raise on
+   every rank (nobody hangs in a half-entered collective), caches are only
+   populated from complete, group-approved plans, and on success every rank
+   refreshes its one-shot read hint at the pinned version.
 """
 
 from __future__ import annotations
@@ -54,6 +81,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.listio import IOVector
+from repro.core.regions import Region, RegionList
 from repro.errors import MPIIOError
 from repro.mpi.simcomm import Communicator
 
@@ -159,7 +187,53 @@ def _piece_bytes(piece: Tuple[int, int, bytes]) -> int:
     return len(piece[2]) + 16
 
 
-class CollectiveAggregator:
+def _description_bytes(contributions: Dict[int, Tuple],
+                       per_entry_extra: int = 0) -> int:
+    """Wire size of one opening allgather's access descriptions.
+
+    Healthy entries cost one :data:`EXTENT_DESCRIPTION_BYTES` per extent
+    (plus ``per_entry_extra`` fixed bytes per rank — the read side's
+    watermark), failure reports a flat 64.
+    """
+    return sum(EXTENT_DESCRIPTION_BYTES * len(entry[1]) + per_entry_extra
+               if entry[0] == "ok" else 64
+               for entry in contributions.values())
+
+
+class _CollectiveParticipant:
+    """Shared owner-count plumbing of both collective protocol sides.
+
+    The write aggregators and the read resolvers of one job must pick the
+    *same* owner ranks from the same override/fallback chain (driver
+    override → ``ClusterConfig.collective_aggregators`` → the 1-per-4
+    heuristic) — the partition math assumes it — so the chain lives here
+    exactly once.
+    """
+
+    def __init__(self, client: "BlobClient",
+                 num_aggregators: Optional[int] = None):
+        if num_aggregators is not None and num_aggregators <= 0:
+            # fail at construction, not mid-collective: a bad setting that
+            # only surfaced inside the protocol would fail one rank's call
+            # while its peers are already committed to the exchange
+            raise MPIIOError(
+                f"collective aggregator count must be positive, "
+                f"got {num_aggregators}")
+        self.client = client
+        #: explicit per-driver override; ``None`` falls back to
+        #: ``ClusterConfig.collective_aggregators``, then the heuristic.
+        #: Like ROMIO hints, the value must agree across the ranks of a job.
+        self.num_aggregators = num_aggregators
+
+    def resolved_count(self, size: int) -> int:
+        """Owner (aggregator/resolver) count for a ``size``-rank job."""
+        configured = self.num_aggregators
+        if configured is None:
+            configured = self.client.cluster.config.collective_aggregators
+        return resolve_aggregator_count(size, configured)
+
+
+class CollectiveAggregator(_CollectiveParticipant):
     """One rank's side of the two-phase collective write protocol.
 
     Every rank of a job owns one instance (wrapping that rank's client);
@@ -177,27 +251,8 @@ class CollectiveAggregator:
             raise MPIIOError(
                 "CollectiveAggregator needs a client with a write coalescer "
                 "(e.g. VectoredClient)")
-        if num_aggregators is not None and num_aggregators <= 0:
-            # fail at construction, not mid-collective: a bad setting that
-            # only surfaced inside the protocol would fail one rank's call
-            # while its peers are already committed to the exchange
-            raise MPIIOError(
-                f"collective aggregator count must be positive, "
-                f"got {num_aggregators}")
-        self.client = client
-        #: explicit per-driver override; ``None`` falls back to
-        #: ``ClusterConfig.collective_aggregators``, then the heuristic.
-        #: Like ROMIO hints, the value must agree across the ranks of a job.
-        self.num_aggregators = num_aggregators
+        super().__init__(client, num_aggregators)
         self.stats = CollectiveStats()
-
-    # ------------------------------------------------------------------
-    def resolved_count(self, size: int) -> int:
-        """Aggregator count for a ``size``-rank communicator."""
-        configured = self.num_aggregators
-        if configured is None:
-            configured = self.client.cluster.config.collective_aggregators
-        return resolve_aggregator_count(size, configured)
 
     # ------------------------------------------------------------------
     def collective_write(self, blob_id: str, vector: IOVector, rank: int,
@@ -227,18 +282,17 @@ class CollectiveAggregator:
         # file-domain partition (or learns that the collective already died).
         # The descriptions are real exchange traffic too — priced by their
         # actual entry count, not a flat guess, and counted into the stats
-        def description_bytes(contributions):
-            return sum(EXTENT_DESCRIPTION_BYTES * len(entry[1])
-                       if entry[0] == "ok" else 64
-                       for entry in contributions.values())
-
         if opening[0] == "ok":
             self.stats.bytes_sent += \
                 EXTENT_DESCRIPTION_BYTES * len(opening[1])
         gathered = yield from comm.allgather(rank, opening,
-                                             payload_bytes=description_bytes)
+                                             payload_bytes=_description_bytes)
         early_errors = [entry[1] for entry in gathered if entry[0] == "err"]
         if early_errors:
+            # another rank's phase-0 flush may have published while ours
+            # failed; a pre-collective hint is not trustworthy after a
+            # failed collective, so the next default read must round-trip
+            client.drop_read_hint(blob_id)
             if failure is not None:
                 raise failure
             raise MPIIOError(
@@ -324,6 +378,11 @@ class CollectiveAggregator:
         outcomes = yield from comm.allgather(rank, closing)
         errors = [entry[1] for entry in outcomes if entry[0] == "err"]
         if errors:
+            # surviving aggregators' stripes are durably published, so any
+            # hint planted before this collective now names a version that
+            # may hide them — drop it on every rank (the aborting
+            # aggregator's engine already dropped its own in the abort path)
+            client.drop_read_hint(blob_id)
             if failure is not None:
                 raise failure
             raise MPIIOError("collective write failed: " + "; ".join(errors))
@@ -369,3 +428,263 @@ class CollectiveAggregator:
         # batch bound may have auto-flushed the stripe already, in which
         # case the barrier commits nothing new and returns no receipts
         return staged.version
+
+
+# ----------------------------------------------------------------------
+# the read side: aggregated metadata resolution for read_at_all
+# ----------------------------------------------------------------------
+@dataclass
+class CollectiveReadStats:
+    """Per-rank counters of the collective-read path."""
+
+    #: collective reads this rank participated in
+    collectives: int = 0
+    #: exchange bytes this rank contributed: access descriptions (phase 1)
+    #: plus data pieces and plan nodes shipped to other ranks (phase 3)
+    bytes_sent: int = 0
+    #: payload bytes this rank received from other ranks
+    bytes_received: int = 0
+    #: stripe resolutions this rank executed as a resolver
+    stripes_resolved: int = 0
+    #: ``latest`` round-trips this rank issued as the lead resolver
+    version_rpcs: int = 0
+    #: lead-resolver version resolutions served by a consumed read hint
+    version_rpcs_elided: int = 0
+    #: metadata plan entries this rank shipped to its peers
+    plan_nodes_shipped: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict form for benchmark artifacts."""
+        return {
+            "collectives": self.collectives,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "stripes_resolved": self.stripes_resolved,
+            "version_rpcs": self.version_rpcs,
+            "version_rpcs_elided": self.version_rpcs_elided,
+            "plan_nodes_shipped": self.plan_nodes_shipped,
+        }
+
+
+class CollectiveReader(_CollectiveParticipant):
+    """One rank's side of the aggregated collective-read protocol.
+
+    Every rank of a job owns one instance (wrapping that rank's client); the
+    instances coordinate purely through the shared
+    :class:`~repro.mpi.simcomm.Communicator` — no shared object, exactly
+    like the write-side :class:`CollectiveAggregator`.  The resolver set is
+    the aggregator set (same count chain, same spread): placement wants the
+    same properties on both sides, and one knob keeps the two in agreement.
+    """
+
+    def __init__(self, client: "BlobClient",
+                 num_resolvers: Optional[int] = None):
+        super().__init__(client, num_resolvers)
+        self.stats = CollectiveReadStats()
+
+    # ------------------------------------------------------------------
+    def collective_read(self, blob_id: str, vector: IOVector, rank: int,
+                        comm: Communicator):
+        """Execute one collective read; every rank of ``comm`` must call it.
+
+        ``vector`` may be empty (a rank with nothing to read still
+        participates, as MPI requires).  Returns one ``bytes`` per request,
+        all taken from the one snapshot version the group pinned.  Raises
+        :class:`~repro.errors.MPIIOError` on every rank when any rank's part
+        of the protocol failed.
+        """
+        client = self.client
+        node_size = client.cluster.config.metadata_node_size
+        failure: Optional[BaseException] = None
+        owners: List[int] = []
+        floor = 0
+
+        # phase 0 (local): this rank's own unpublished writes must be
+        # readable (read-your-writes), and its one-shot hint is consumed
+        # here so the group's version pin can absorb it.  The lead resolver
+        # is the only rank that may round-trip for ``latest`` — and only
+        # when it held no hint.
+        try:
+            count = self.resolved_count(comm.size)
+            owners = aggregator_ranks(comm.size, count)
+            if client.coalescer is not None \
+                    and client.has_unpublished_state(blob_id):
+                yield from client.coalescer.barrier(blob_id)
+            hint = client.take_read_hint(blob_id)
+            floor = max(hint or 0, client.version_hints.get(blob_id, 0))
+            if rank == owners[0]:
+                if hint is None:
+                    latest = yield from client.latest_version(blob_id)
+                    floor = max(floor, latest)
+                    self.stats.version_rpcs += 1
+                else:
+                    client.latest_rpcs_elided += 1
+                    self.stats.version_rpcs_elided += 1
+            opening = ("ok",
+                       [(request.offset, request.size) for request in vector],
+                       floor)
+        except Exception as exc:
+            failure = exc
+            opening = ("err", f"rank {rank}: {exc!r}")
+
+        # phase 1: exchange access descriptions and watermarks; everyone
+        # derives the same pinned version and file-domain partition (or
+        # learns that the collective already died)
+        if opening[0] == "ok":
+            self.stats.bytes_sent += \
+                EXTENT_DESCRIPTION_BYTES * len(opening[1]) + 8
+        gathered = yield from comm.allgather(
+            rank, opening,
+            payload_bytes=lambda contributions:
+                _description_bytes(contributions, per_entry_extra=8))
+        early_errors = [entry[1] for entry in gathered if entry[0] == "err"]
+        if early_errors:
+            # a rank that failed before consuming its hint must not keep it:
+            # a peer's phase-0 barrier may have published in the meantime
+            client.drop_read_hint(blob_id)
+            if failure is not None:
+                raise failure
+            raise MPIIOError(
+                "collective read aborted before the exchange: "
+                + "; ".join(early_errors))
+        extents_by_rank = [entry[1] for entry in gathered]
+        #: the group's pinned snapshot: every contribution is a *published*
+        #: version (watermarks and hints only ever record published ones),
+        #: so the maximum is published too — and at least as new as every
+        #: rank's own commits
+        pinned = max(entry[2] for entry in gathered)
+        data_extents = [(offset, size) for extents in extents_by_rank
+                        for offset, size in extents if size]
+        if not data_extents:
+            # collectively zero bytes: nothing to resolve or ship anywhere,
+            # but the group still synchronized on the pinned version
+            self.stats.collectives += 1
+            if pinned:
+                client.note_collective_read(blob_id, pinned)
+            return [b"" for _request in vector]
+
+        # phase 2 (resolvers): resolve + fetch this rank's stripe of the
+        # union extent.  A rank failing here still enters the data exchange
+        # empty-handed and reports through the closing phase, so its peers
+        # never hang mid-collective.
+        send: List[Tuple[List[Tuple[int, bytes]], list]] = \
+            [([], []) for _ in range(comm.size)]
+        if failure is None:
+            try:
+                blob = yield from client._descriptor(blob_id)
+                lo = min(offset for offset, _size in data_extents)
+                hi = max(offset + size for offset, size in data_extents)
+                domains = partition_file_domain(lo, hi, len(owners),
+                                                blob.chunk_size)
+                if rank in owners:
+                    send = yield from self._resolve_stripe(
+                        blob_id, pinned, domains[owners.index(rank)],
+                        extents_by_rank, comm.size)
+            except Exception as exc:
+                failure = exc
+                send = [([], []) for _ in range(comm.size)]
+
+        # phase 3: scatter fetched pieces (and the plan trace) to the ranks
+        def item_bytes(item):
+            pieces, plan = item
+            return (sum(len(data) + 16 for _offset, data in pieces)
+                    + len(plan) * node_size)
+
+        self.stats.bytes_sent += sum(item_bytes(item)
+                                     for destination, item in enumerate(send)
+                                     if destination != rank)
+        received = yield from comm.alltoallv(rank, send, sizeof=item_bytes)
+
+        # phase 4: share outcomes; only a group-approved plan touches caches
+        closing = ("ok", pinned)
+        if failure is not None:
+            closing = ("err", f"rank {rank}: {failure!r}")
+        outcomes = yield from comm.allgather(rank, closing)
+        errors = [entry[1] for entry in outcomes if entry[0] == "err"]
+        if errors:
+            # the hint consumed in phase 0 is gone and no fresh one is
+            # planted: after a failed collective the next default read must
+            # ask the version manager (peer state is undefined)
+            client.drop_read_hint(blob_id)
+            if failure is not None:
+                raise failure
+            raise MPIIOError("collective read failed: " + "; ".join(errors))
+
+        self.stats.bytes_received += sum(
+            item_bytes(item) for source, item in enumerate(received)
+            if source != rank)
+        # cache warming from the broadcast plan: resolved lookups of the
+        # pinned (published, immutable) snapshot, deduplicated across the
+        # resolvers that shipped them
+        absorbed: Dict = {}
+        for _pieces, plan in received:
+            for request, node in plan:
+                absorbed.setdefault(request, node)
+        if absorbed:
+            client.absorb_plan_nodes(blob_id, list(absorbed.items()))
+
+        fetched = [(offset, len(data), data)
+                   for pieces, _plan in received
+                   for offset, data in pieces]
+        results = client._assemble(vector, fetched)
+        client.note_collective_read(blob_id, pinned)
+        self.stats.collectives += 1
+        return results
+
+    # ------------------------------------------------------------------
+    def _resolve_stripe(self, blob_id: str, version: int,
+                        domain: Tuple[int, int],
+                        extents_by_rank: List[List[Tuple[int, int]]],
+                        size: int):
+        """Resolve and fetch one stripe; cut the bytes per destination rank.
+
+        One batched :class:`~repro.blobseer.metadata.segment_tree.
+        ReadPlanner` walk over the union of every rank's wanted bytes within
+        the stripe (each metadata node resolved once however many ranks want
+        it), one parallel chunk fetch, then per-rank extraction.  Returns
+        the ``send`` list for the data exchange: ``(pieces, plan)`` per
+        destination, where ``plan`` is the traversal trace every rank uses
+        to warm its cache.
+        """
+        start, end = domain
+        send: List[Tuple[List[Tuple[int, bytes]], list]] = \
+            [([], []) for _ in range(size)]
+        if end <= start:
+            return send
+        stripe = Region(start, end - start)
+        wanted_by_rank = [
+            RegionList.from_tuples(
+                [(offset, length) for offset, length in extents if length]
+            ).clip(stripe).normalized()
+            for extents in extents_by_rank
+        ]
+        union = RegionList(())
+        for wanted in wanted_by_rank:
+            union = union.union(wanted)
+        if len(union) == 0:
+            return send
+
+        trace: Dict = {}
+        pieces = yield from self.client._vectored_read(
+            blob_id, IOVector.for_read(union.as_tuples()), version,
+            trace=trace)
+        self.stats.stripes_resolved += 1
+        plan = list(trace.items())
+        self.stats.plan_nodes_shipped += len(plan) * (size - 1)
+
+        buffers = list(zip(union, pieces))
+        for destination, wanted in enumerate(wanted_by_rank):
+            cut: List[Tuple[int, bytes]] = []
+            index = 0
+            for region in wanted:
+                # a wanted region is contained in exactly one union region
+                # (the union covers it and both lists are normalized), and
+                # both lists are sorted — one monotonic sweep finds it
+                while buffers[index][0].end < region.end:
+                    index += 1
+                source, data = buffers[index]
+                offset = region.offset - source.offset
+                cut.append((region.offset,
+                            data[offset:offset + region.size]))
+            send[destination] = (cut, plan)
+        return send

@@ -21,7 +21,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.core.listio import IOVector
 from repro.errors import MPIIOError
 from repro.mpiio.adio.base import ADIODriver
-from repro.mpiio.adio.collective import CollectiveAggregator
+from repro.mpiio.adio.collective import CollectiveAggregator, CollectiveReader
 from repro.vstore.client import VectoredClient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +48,17 @@ class VersioningDriver(ADIODriver):
     The aggregator count falls back to
     ``ClusterConfig.collective_aggregators``, then to one per four ranks.
 
+    ``collective_reads`` routes non-atomic ``read_at_all`` calls through
+    aggregated metadata resolution
+    (:class:`~repro.mpiio.adio.collective.CollectiveReader`): the same
+    ``collective_aggregators`` ranks act as resolvers, pin one snapshot
+    version for the group (one ``latest`` RPC — or none, when a read hint
+    is pending), walk the segment tree once for the union extent and
+    scatter the fetched pieces back, so non-resolver ranks spend zero
+    metadata control RPCs.  ``None`` (the default) follows
+    ``collective_buffering``, so a collectively-buffered driver aggregates
+    both directions unless reads are explicitly switched off.
+
     Remaining keyword options forward to
     :class:`~repro.vstore.client.VectoredClient` (e.g. ``write_pipelining``,
     ``write_through_cache``, ``coalesce_max_writes``,
@@ -62,11 +73,15 @@ class VersioningDriver(ADIODriver):
                  write_coalescing: bool = False,
                  collective_buffering: bool = False,
                  collective_aggregators: Optional[int] = None,
+                 collective_reads: Optional[bool] = None,
                  **client_options):
         super().__init__()
         self.deployment = deployment
         self.write_coalescing = write_coalescing
         self.collective_buffering = collective_buffering
+        self.collective_reads = (collective_buffering
+                                 if collective_reads is None
+                                 else collective_reads)
         self.client = VectoredClient(deployment, node,
                                      name=rank_name or f"adio:{node.name}",
                                      **client_options)
@@ -74,6 +89,10 @@ class VersioningDriver(ADIODriver):
         #: only acts when ``collective_buffering`` routes a call through it)
         self.aggregator = CollectiveAggregator(
             self.client, num_aggregators=collective_aggregators)
+        #: aggregated-resolution engine for ``read_at_all`` (always built;
+        #: it only acts when ``collective_reads`` routes a call through it)
+        self.reader = CollectiveReader(
+            self.client, num_resolvers=collective_aggregators)
 
     # ------------------------------------------------------------------
     def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
@@ -136,6 +155,37 @@ class VersioningDriver(ADIODriver):
         return self.collective_buffering and not atomic \
             and comm is not None and comm.size > 1
 
+    def read_vector_all(self, path: str, vector: IOVector, atomic: bool,
+                        rank: int = 0, comm: Optional["Communicator"] = None):
+        """Collective read: aggregated resolution when it is worth doing.
+
+        Atomic-mode collectives bypass the reader (an atomic read must ask
+        the version manager for the true latest on every rank, never a
+        pinned group version that could predate another rank's completed
+        atomic write) and so do jobs of one rank — both keep the native
+        independent read path.
+        """
+        if not self.read_all_synchronizes(atomic, comm):
+            pieces = yield from super().read_vector_all(
+                path, vector, atomic, rank=rank, comm=comm)
+            return pieces
+        if len(vector) > 0:
+            self._account_read(vector)
+        pieces = yield from self.reader.collective_read(
+            path, vector, rank, comm)
+        return pieces
+
+    def read_all_synchronizes(self, atomic: bool,
+                              comm: Optional["Communicator"]) -> bool:
+        """True exactly when the aggregated path handles the collective.
+
+        Every exit of :meth:`~repro.mpiio.adio.collective.CollectiveReader.
+        collective_read` passes through a group-wide exchange, so the File
+        layer's closing barrier would be a second, redundant rendezvous.
+        """
+        return self.collective_reads and not atomic \
+            and comm is not None and comm.size > 1
+
     def read_vector(self, path: str, vector: IOVector, atomic: bool,
                     rank: int = 0, comm: Optional["Communicator"] = None):
         """Reads always come from one published snapshot, so they are atomic."""
@@ -166,11 +216,7 @@ class VersioningDriver(ADIODriver):
         """
         if not (self.write_coalescing or self.collective_buffering):
             return False
-        client = self.client
-        return bool(client.coalescer.pending_writes(path)
-                    or client.writepath.outstanding(path)
-                    or client.coalescer.last_committed_version(path)
-                    > client.version_hints.get(path, 0))
+        return self.client.has_unpublished_state(path)
 
     def sync(self, path: str):
         """MPI_File_sync: commit and publish any queued writes."""

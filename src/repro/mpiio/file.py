@@ -158,12 +158,25 @@ class File:
         return b"".join(pieces)
 
     def read_at_all(self, offset: int, size: int):
-        """Collective explicit-offset read."""
+        """Collective explicit-offset read (all ranks must call it).
+
+        Routed through the driver's collective entry point: drivers with
+        aggregated metadata resolution coordinate the ranks (one shared
+        snapshot pin, resolver-owned tree walks, data scatter), every other
+        driver falls back to independent reads.  Ranks whose view maps to
+        an empty access still participate, as MPI requires of a collective
+        call.
+        """
         self._ensure_open()
-        data = yield from self.read_at(offset, size)
-        if self.comm is not None:
+        vector = build_read_vector(self.view, offset, size)
+        pieces = yield from self.driver.read_vector_all(
+            self.path, vector, atomic=self._atomic, rank=self.rank,
+            comm=self.comm)
+        if self.comm is not None \
+                and not self.driver.read_all_synchronizes(self._atomic,
+                                                          self.comm):
             yield from self.comm.barrier(self.rank)
-        return data
+        return b"".join(pieces)
 
     # ------------------------------------------------------------------
     def _ensure_open(self) -> None:

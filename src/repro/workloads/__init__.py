@@ -17,13 +17,17 @@
   benchmarks coalesce;
 * :mod:`repro.workloads.collective_checkpoint` — per-round collective dumps
   of interleaved blocks (each rank a stride, the union dense), the pattern
-  two-phase collective buffering aggregates.
+  two-phase collective buffering aggregates;
+* :mod:`repro.workloads.collective_read` — the read-side mirror: per-round
+  collective scans of a checkpoint's interleaved blocks (optionally with
+  halo overlap), the pattern aggregated metadata resolution serves.
 """
 
 from repro.workloads.domain import DomainDecomposition, process_grid
 from repro.workloads.overlap_stress import OverlapStressWorkload
 from repro.workloads.queued_writes import QueuedWritesWorkload
 from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
+from repro.workloads.collective_read import CollectiveReadWorkload
 from repro.workloads.tile_io import TileIOWorkload
 from repro.workloads.ghost_cells import GhostCellSimulation
 
@@ -33,6 +37,7 @@ __all__ = [
     "OverlapStressWorkload",
     "QueuedWritesWorkload",
     "CollectiveCheckpointWorkload",
+    "CollectiveReadWorkload",
     "TileIOWorkload",
     "GhostCellSimulation",
 ]

@@ -236,3 +236,37 @@ class TestAlltoallvSelfTraffic:
         expected = (cluster.config.network_latency
                     + payload / cluster.config.network_bandwidth)
         assert max(result.results) == pytest.approx(expected, rel=1e-6)
+
+
+class TestBytesMovedAccounting:
+    def test_collectives_accumulate_their_charged_payloads(self):
+        from repro.cluster import Cluster, ClusterConfig
+        cluster = Cluster(config=ClusterConfig(network_latency=1e-4))
+        comms = []
+
+        def rank_main(ctx):
+            if ctx.rank == 0:
+                comms.append(ctx.comm)
+            yield from ctx.comm.barrier(ctx.rank)          # 0 bytes
+            yield from ctx.comm.allgather(ctx.rank, ctx.rank,
+                                          payload_bytes=1000)
+            send = [b"" for _ in range(ctx.size)]
+            send[(ctx.rank + 1) % ctx.size] = b"y" * 300   # 300 per NIC pair
+            yield from ctx.comm.alltoallv(ctx.rank, send, sizeof=len)
+
+        run_mpi_job(cluster, 2, rank_main)
+        comm = comms[0]
+        # barrier contributes nothing; the allgather its estimate; the
+        # alltoallv its bottleneck volume (300 sent + 300 received per rank)
+        assert comm.bytes_moved == 1000 + 600
+
+    def test_single_rank_jobs_move_no_bytes(self):
+        from repro.cluster import Cluster, ClusterConfig
+        cluster = Cluster(config=ClusterConfig())
+
+        def rank_main(ctx):
+            yield from ctx.comm.allgather(ctx.rank, 1, payload_bytes=4096)
+            return ctx.comm.bytes_moved
+
+        result = run_mpi_job(cluster, 1, rank_main)
+        assert result.results == [0]

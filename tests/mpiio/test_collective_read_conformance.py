@@ -1,0 +1,394 @@
+"""Collective-read conformance suite: two read modes, one byte result.
+
+The acceptance gate of the aggregated collective-read path.  The same
+randomized noncontiguous read pattern — per-rank region sets that overlap
+*across* ranks — is executed through two independent paths against the same
+published file contents:
+
+* ``independent`` — every rank resolves its own regions (PR 1's read path:
+  a ``latest`` round-trip plus its own segment-tree walk per rank);
+* ``collective``  — one ``read_at_all`` through aggregated metadata
+  resolution (version pin + resolver stripes + ``alltoallv`` scatter).
+
+Both must produce byte-identical results, which must also equal the pure
+in-memory extraction from the serially-written reference contents — the
+semantics :class:`repro.mpiio.adio.collective.CollectiveReader` promises.
+The suite additionally pins the protocol's contracts: reads concurrent with
+queued (unflushed) writes observe them, reads across versions track every
+collective write round, empty vectors participate, atomic mode bypasses,
+non-resolver ranks spend zero metadata control RPCs, and the plan broadcast
+leaves every rank's cache warm.
+"""
+
+import random
+
+import pytest
+
+from repro.mpi.datatypes import BYTE, Indexed
+from repro.mpi.launcher import run_mpi_job
+from repro.mpiio.adio.collective import aggregator_ranks
+from repro.mpiio.adio.versioning import VersioningDriver
+from repro.mpiio.file import File
+from repro.vstore.client import VectoredClient
+from tests.mpiio._collective_testlib import make_quick_deployment
+from tests.mpiio.test_collective_conformance import (
+    random_pattern,
+    rank_view,
+    serial_oracle,
+)
+
+FILE_SIZE = 16 * 1024
+CHUNK = 1024
+PATH = "/read-conformance"
+
+
+# ----------------------------------------------------------------------
+# pattern generation and the in-memory oracle
+# ----------------------------------------------------------------------
+def random_read_pattern(seed, num_ranks, file_size=FILE_SIZE, max_regions=4,
+                        max_region_size=1500, empty_rank_chance=0.2):
+    """Per-rank ``(offset, size)`` lists: disjoint within a rank, freely
+    overlapping across ranks, with occasional empty-handed ranks."""
+    rng = random.Random(seed)
+    pattern = []
+    for _rank in range(num_ranks):
+        if num_ranks > 1 and rng.random() < empty_rank_chance:
+            pattern.append([])
+            continue
+        count = rng.randint(1, max_regions)
+        starts = sorted(rng.sample(range(file_size - max_region_size), count))
+        regions = []
+        for index, offset in enumerate(starts):
+            limit = (starts[index + 1] - offset if index + 1 < count
+                     else max_region_size)
+            size = rng.randint(1, max(1, min(max_region_size, limit)))
+            regions.append((offset, size))
+        pattern.append(regions)
+    return pattern
+
+
+def expected_reads(content, read_pattern):
+    """What every rank must see: its regions extracted from ``content``."""
+    return [b"".join(content[offset:offset + size]
+                     for offset, size in regions)
+            for regions in read_pattern]
+
+
+def read_view(regions):
+    """Indexed filetype + total size for one rank's disjoint read regions."""
+    blocklengths = [size for _offset, size in regions]
+    displacements = [offset for offset, _size in regions]
+    total = sum(blocklengths)
+    return Indexed(blocklengths, displacements, base=BYTE), total
+
+
+def make_deployment(seed=3):
+    return make_quick_deployment(seed=seed, chunk_size=CHUNK)
+
+
+def seed_content(cluster, deployment, write_pattern):
+    """Publish the reference contents serially (rank order), one client."""
+    client = VectoredClient(deployment, cluster.add_node("seeder"),
+                            name="seeder")
+
+    def scenario():
+        yield from client.create_blob(PATH, FILE_SIZE, chunk_size=CHUNK)
+        for regions in write_pattern:
+            if regions:
+                yield from client.vwrite_and_wait(PATH, regions)
+
+    process = cluster.sim.process(scenario())
+    cluster.sim.run(stop_event=process)
+    return serial_oracle(write_pattern, FILE_SIZE)
+
+
+# ----------------------------------------------------------------------
+# the two read modes
+# ----------------------------------------------------------------------
+def run_read_job(read_pattern, *, collective, num_resolvers=None,
+                 content_seed=11):
+    """Seed contents, then read them through one MPI job; returns results."""
+    num_ranks = len(read_pattern)
+    cluster, deployment = make_deployment()
+    write_pattern = random_pattern(content_seed, num_ranks,
+                                   empty_rank_chance=0.0)
+    content = seed_content(cluster, deployment, write_pattern)
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_reads=collective,
+                                  collective_aggregators=num_resolvers)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        regions = read_pattern[ctx.rank]
+        if regions:
+            filetype, total = read_view(regions)
+            handle.set_view(0, BYTE, filetype)
+            data = yield from handle.read_at_all(0, total)
+        else:
+            data = yield from handle.read_at_all(0, 0)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    return result.results, content, drivers, deployment
+
+
+# ----------------------------------------------------------------------
+# the conformance gate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+@pytest.mark.parametrize("num_ranks,num_resolvers", [
+    (2, 1), (3, 2), (4, 2), (5, 3), (4, 4),
+])
+def test_both_read_modes_produce_identical_bytes(seed, num_ranks,
+                                                 num_resolvers):
+    read_pattern = random_read_pattern(seed * 103 + num_ranks, num_ranks)
+    content_seed = seed * 31 + num_ranks
+
+    independent, content, _drivers, _deployment = run_read_job(
+        read_pattern, collective=False, content_seed=content_seed)
+    collective, content2, _drivers2, _deployment2 = run_read_job(
+        read_pattern, collective=True, num_resolvers=num_resolvers,
+        content_seed=content_seed)
+
+    assert content == content2
+    expected = expected_reads(content, read_pattern)
+    assert independent == expected, "independent read mode diverged"
+    assert collective == expected, "collective read mode diverged"
+
+
+def test_reads_concurrent_with_queued_writes_observe_them():
+    """Every rank queues (unflushed) writes, then the group reads
+    collectively: phase 0 publishes each rank's own queue and the version
+    pin covers every rank's publication, so all queued data is visible."""
+    num_ranks = 4
+    cluster, deployment = make_deployment()
+    write_pattern = random_pattern(5, num_ranks, empty_rank_chance=0.0)
+    content = bytearray(seed_content(cluster, deployment, write_pattern))
+    # disjoint per-rank queued writes (cross-rank publication order is
+    # timing-dependent, so overlap determinism is pinned elsewhere)
+    queued = {rank: (rank * 700, bytes([200 + rank]) * 600)
+              for rank in range(num_ranks)}
+    for rank, (offset, payload) in queued.items():
+        content[offset:offset + len(payload)] = payload
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=2)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        offset, payload = queued[ctx.rank]
+        yield from handle.write_at(offset, payload)
+        assert driver.client.coalescer.pending_writes(PATH) == 1
+        data = yield from handle.read_at_all(0, FILE_SIZE)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    assert all(data == bytes(content) for data in result.results)
+
+
+def test_reads_across_versions_track_every_collective_round():
+    """Alternating collective writes and collective reads: every read round
+    observes exactly the oracle state after the preceding writes."""
+    num_ranks = 4
+    cluster, deployment = make_deployment()
+    oracle = bytearray(FILE_SIZE)
+    rounds = []
+    for round_index in range(3):
+        pattern = random_pattern(round_index + 50, num_ranks,
+                                 empty_rank_chance=0.0)
+        state = bytearray(oracle)
+        for regions in pattern:
+            for offset, payload in regions:
+                state[offset:offset + len(payload)] = payload
+        oracle = state
+        rounds.append((pattern, bytes(state)))
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  write_coalescing=True,
+                                  collective_buffering=True,
+                                  collective_aggregators=2)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        observed = []
+        for pattern, _expected in rounds:
+            filetype, payload = rank_view(pattern[ctx.rank])
+            handle.set_view(0, BYTE, filetype)
+            yield from handle.write_at_all(0, payload)
+            handle.set_view(0, BYTE, BYTE)
+            data = yield from handle.read_at_all(0, FILE_SIZE)
+            observed.append(data)
+        yield from handle.close()
+        return observed
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    for observed in result.results:
+        for round_index, (_pattern, expected) in enumerate(rounds):
+            assert observed[round_index] == expected, f"round {round_index}"
+
+
+def test_collectively_empty_read_is_a_no_op():
+    cluster, deployment = make_deployment()
+    seed_content(cluster, deployment, random_pattern(7, 2,
+                                                     empty_rank_chance=0.0))
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        data = yield from handle.read_at_all(0, 0)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, 3, rank_main)
+    assert result.results == [b"", b"", b""]
+    # the group still participated collectively — nobody read independently
+    for driver in drivers.values():
+        assert driver.reader.stats.collectives == 1
+        assert driver.client.metadata_read_rpcs == 0
+
+
+def test_empty_vector_ranks_participate_alongside_readers():
+    """MPI requires every rank to enter a collective; ranks whose view maps
+    to nothing must still exchange (and receive nothing)."""
+    num_ranks = 4
+    read_pattern = [[(0, 1024)], [], [(512, 2048)], []]
+    results, content, drivers, _deployment = run_read_job(
+        read_pattern, collective=True, num_resolvers=2)
+    assert results == expected_reads(content, read_pattern)
+    assert all(driver.reader.stats.collectives == 1
+               for driver in drivers.values())
+    assert num_ranks == len(drivers)
+
+
+def test_atomic_mode_reads_bypass_aggregation():
+    """An atomic read must ask for the true latest on every rank; the pinned
+    group version of the collective path is bypassed entirely."""
+    num_ranks = 3
+    read_pattern = [[(0, 2048)] for _rank in range(num_ranks)]
+    cluster, deployment = make_deployment()
+    content = seed_content(cluster, deployment,
+                           random_pattern(9, num_ranks,
+                                          empty_rank_chance=0.0))
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True,
+                                  collective_aggregators=1)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        handle.set_atomicity(True)
+        data = yield from handle.read_at_all(0, 2048)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    assert all(data == content[:2048] for data in result.results)
+    for driver in drivers.values():
+        assert driver.reader.stats.collectives == 0
+        # every rank resolved independently (one latest RPC each)
+        assert driver.client.latest_rpcs == 1
+
+
+def test_non_resolver_ranks_spend_zero_metadata_control_rpcs():
+    """The acceptance criterion's control-plane half: aggregation
+    concentrates the read-side metadata traffic on the resolvers."""
+    num_ranks, num_resolvers = 6, 2
+    read_pattern = random_read_pattern(13, num_ranks, empty_rank_chance=0.0)
+    results, content, drivers, _deployment = run_read_job(
+        read_pattern, collective=True, num_resolvers=num_resolvers)
+    assert results == expected_reads(content, read_pattern)
+    owners = set(aggregator_ranks(num_ranks, num_resolvers))
+    for rank, driver in drivers.items():
+        client = driver.client
+        if rank not in owners:
+            assert client.metadata_read_rpcs == 0
+            assert client.latest_rpcs == 0
+        # no rank but the lead resolver ever asks for ``latest``
+        if rank != min(owners):
+            assert client.latest_rpcs == 0
+
+
+def test_collective_read_skips_the_redundant_closing_barrier():
+    """The reader protocol ends in a group-wide exchange; the File layer
+    must not charge a second rendezvous on top of it."""
+    num_ranks = 2
+    cluster, deployment = make_deployment()
+    content = seed_content(cluster, deployment,
+                           random_pattern(15, num_ranks,
+                                          empty_rank_chance=0.0))
+    comms = []
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True,
+                                  collective_aggregators=1)
+        if ctx.rank == 0:
+            comms.append(ctx.comm)
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        data = yield from handle.read_at_all(0, 4096)
+        yield from handle.close()
+        return data
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    assert all(data == content[:4096] for data in result.results)
+    # open barrier (1) + describe allgather + data alltoallv + closing
+    # allgather (3) — and nothing else
+    assert comms[0].collectives_completed == 4
+    assert comms[0].bytes_moved > 0
+
+
+def test_plan_broadcast_leaves_every_cache_warm():
+    """After one collective read, every rank's next *independent* read of
+    any collectively-covered region costs zero metadata RPCs: the absorbed
+    plan answers the tree walk and the refreshed hint elides ``latest``."""
+    num_ranks = 4
+    cluster, deployment = make_deployment()
+    content = seed_content(cluster, deployment,
+                           random_pattern(17, num_ranks,
+                                          empty_rank_chance=0.0))
+    drivers = {}
+
+    def rank_main(ctx):
+        driver = VersioningDriver(deployment, ctx.node,
+                                  rank_name=f"rank{ctx.rank}",
+                                  collective_buffering=True,
+                                  collective_aggregators=2)
+        drivers[ctx.rank] = driver
+        handle = yield from File.open(driver, PATH, rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        collective = yield from handle.read_at_all(0, FILE_SIZE)
+        before = (driver.client.metadata_read_rpcs, driver.client.latest_rpcs)
+        again = yield from handle.read_at(ctx.rank * 1024, 2048)
+        after = (driver.client.metadata_read_rpcs, driver.client.latest_rpcs)
+        yield from handle.close()
+        return collective, again, before, after
+
+    result = run_mpi_job(cluster, num_ranks, rank_main)
+    for rank, (collective, again, before, after) in enumerate(result.results):
+        assert collective == content
+        assert again == content[rank * 1024:rank * 1024 + 2048]
+        assert after == before, f"rank {rank} spent RPCs on a warm read"
+    for driver in drivers.values():
+        assert driver.client.plan_nodes_absorbed > 0

@@ -13,9 +13,11 @@ import pytest
 
 from repro.blobseer.deployment import BlobSeerDeployment
 from repro.cluster import Cluster, ClusterConfig
+from repro.errors import StorageError
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.vstore.client import VectoredClient
 
 QUICK = ClusterConfig(network_latency=1e-5, disk_overhead=1e-4)
 FILE_SIZE = 16 * 1024
@@ -162,3 +164,116 @@ def test_read_fences_when_publication_lags_behind_own_commit():
     result = run_mpi_job(cluster, 1, rank_main)
     assert result.results[0] == b"hello!"
     assert deployment.version_manager.manager.latest_published("/f") == 2
+
+
+# ----------------------------------------------------------------------
+# read-hint interaction of collective reads (regression gate)
+# ----------------------------------------------------------------------
+def test_collective_read_consumes_and_refreshes_one_shot_hints():
+    """A collective read must live off the hint machinery correctly: the
+    hint planted by a collective write serves the group's version pin
+    (zero ``latest`` round-trips), and the read replants a fresh one-shot
+    hint — consumed by exactly one subsequent independent read."""
+    cluster, deployment, driver_factory = make_environment(
+        write_coalescing=True, collective_buffering=True,
+        collective_aggregators=1)
+    drivers = []
+
+    def rank_main(ctx):
+        driver = driver_factory(ctx)
+        drivers.append(driver)
+        handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        yield from handle.write_at_all(ctx.rank * 64, bytes([65 + ctx.rank]) * 64)
+        client = driver.client
+        assert "/f" in client._read_hints  # planted by the collective write
+        data = yield from handle.read_at_all(0, 128)
+        assert client.latest_rpcs == 0  # the pin consumed the hint
+        assert "/f" in client._read_hints  # ... and the read replanted one
+        again = yield from handle.read_at(0, 128)
+        assert client.latest_rpcs == 0  # the replanted hint served this too
+        third = yield from handle.read_at(0, 128)
+        assert client.latest_rpcs == 1  # one-shot: the third read round-trips
+        yield from handle.close()
+        return data, again, third
+
+    result = run_mpi_job(cluster, 2, rank_main)
+    expected = b"A" * 64 + b"B" * 64
+    for data, again, third in result.results:
+        assert data == expected and again == expected and third == expected
+
+
+def test_collective_read_never_serves_older_than_a_rank_own_commit():
+    """The version pin is the *maximum* over every rank's watermark: a lead
+    resolver holding a stale hint must still pin a version at least as new
+    as every peer's own published commit — at zero ``latest`` cost."""
+    cluster, deployment, driver_factory = make_environment(
+        write_coalescing=True, collective_buffering=True,
+        collective_aggregators=1)
+
+    def rank_main(ctx):
+        driver = driver_factory(ctx)
+        handle = yield from File.open(driver, "/f", rank=ctx.rank,
+                                      comm=ctx.comm, size_hint=FILE_SIZE)
+        # round 1 plants a (soon stale) hint on every rank
+        yield from handle.write_at_all(ctx.rank * 64, bytes([65 + ctx.rank]) * 64)
+        yield from handle.read_at_all(0, 128)
+        # rank 1 publishes a fresh commit the lead resolver knows nothing of
+        if ctx.rank == 1:
+            yield from handle.write_at(256, b"OWN-COMMIT!!")
+            yield from handle.sync()
+        yield from ctx.comm.barrier(ctx.rank)
+        before = driver.client.latest_rpcs
+        data = yield from handle.read_at_all(256, 12)
+        yield from handle.close()
+        return data, driver.client.latest_rpcs - before
+
+    result = run_mpi_job(cluster, 2, rank_main)
+    for data, latest_delta in result.results:
+        # rank 1's synced commit is visible group-wide, without a round-trip
+        assert data == b"OWN-COMMIT!!"
+        assert latest_delta == 0
+
+
+def test_read_hints_are_dropped_when_a_commit_aborts_its_ticket():
+    """Satellite gap: a failed commit releases its ticket through
+    ``VersionManager.abort`` — by the time the abort returns, versions
+    newer than a pending hint may have published (a peer stripe of the same
+    failed collective), so the hint must not survive the abort."""
+    cluster = Cluster(config=QUICK, seed=3)
+    deployment = BlobSeerDeployment(cluster, num_providers=3,
+                                    num_metadata_providers=2,
+                                    chunk_size=1024)
+    client = VectoredClient(deployment, cluster.add_node("c"), name="c")
+
+    def scenario():
+        yield from client.create_blob("/f", FILE_SIZE, chunk_size=1024)
+        yield from client.vwrite_queued("/f", [(0, b"a" * 100)])
+        yield from client.vbarrier("/f")
+        assert "/f" in client._read_hints  # the barrier planted one
+        engine = client.writepath
+
+        def broken_store_nodes(blob, nodes):
+            del engine._store_nodes  # one-shot: the class method returns
+            raise StorageError("metadata shard lost mid-commit")
+            yield  # pragma: no cover - generator shape
+
+        engine._store_nodes = broken_store_nodes
+        try:
+            yield from client.vwrite("/f", [(200, b"b" * 100)])
+        except StorageError:
+            pass
+        else:  # pragma: no cover - the sabotage must bite
+            raise AssertionError("sabotaged commit did not fail")
+        assert "/f" not in client._read_hints  # dropped by the abort path
+        before = client.latest_rpcs
+        pieces = yield from client.vread("/f", [(0, 100)])
+        assert client.latest_rpcs == before + 1  # the read round-tripped
+        return pieces[0]
+
+    process = cluster.sim.process(scenario())
+    data = cluster.sim.run(stop_event=process)
+    assert data == b"a" * 100
+    manager = deployment.version_manager.manager
+    assert manager.tickets_aborted == 1
+    assert manager.pending_versions("/f") == []

@@ -1,0 +1,75 @@
+"""Unit tests of the collective read (scan) workload geometry."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.workloads.collective_read import CollectiveReadWorkload
+
+
+def test_read_pairs_cover_each_section_exactly_once_without_halo():
+    workload = CollectiveReadWorkload(num_ranks=4, rounds=2,
+                                      blocks_per_rank=3, block_size=256)
+    for round_index in range(workload.rounds):
+        covered = set()
+        for rank in range(workload.num_ranks):
+            for offset, size in workload.read_pairs(rank, round_index):
+                for byte in range(offset, offset + size, 256):
+                    assert byte not in covered, "ranks overlap without halo"
+                    covered.add(byte)
+        base = round_index * workload.section_size
+        assert covered == set(range(base, base + workload.section_size, 256))
+
+
+def test_halo_blocks_create_cross_rank_overlap_and_merge_adjacent():
+    workload = CollectiveReadWorkload(num_ranks=2, rounds=1,
+                                      blocks_per_rank=2, block_size=128,
+                                      halo_blocks=1)
+    pairs0 = workload.read_pairs(0, 0)
+    pairs1 = workload.read_pairs(1, 0)
+    # rank 0 owns blocks 0, 2 and halos into 1, 3: one merged dense run
+    assert pairs0 == [(0, 4 * 128)]
+    # rank 1 owns blocks 1, 3 and halos into 2: blocks 1-3 merged
+    assert pairs1 == [(128, 3 * 128)]
+    # the halo made the two ranks' reads overlap
+    bytes0 = {offset for offset, size in pairs0 for offset in
+              range(offset, offset + size)}
+    bytes1 = {offset for offset, size in pairs1 for offset in
+              range(offset, offset + size)}
+    assert bytes0 & bytes1
+
+
+def test_expected_pieces_match_the_checkpoint_contents():
+    workload = CollectiveReadWorkload(num_ranks=3, rounds=2,
+                                      blocks_per_rank=2, block_size=64,
+                                      halo_blocks=1)
+    content = workload.expected_contents()
+    assert len(content) == workload.file_size
+    for rank in range(workload.num_ranks):
+        for round_index in range(workload.rounds):
+            expected = b"".join(
+                content[offset:offset + size]
+                for offset, size in workload.read_pairs(rank, round_index))
+            assert workload.expected_pieces(rank, round_index) == expected
+
+
+def test_byte_accounting():
+    workload = CollectiveReadWorkload(num_ranks=4, rounds=3,
+                                      blocks_per_rank=2, block_size=512)
+    assert workload.rank_bytes_per_round(0) == 2 * 512
+    assert workload.total_read_bytes() == workload.file_size  # dense scan
+    with_halo = CollectiveReadWorkload(num_ranks=4, rounds=3,
+                                       blocks_per_rank=2, block_size=512,
+                                       halo_blocks=1)
+    assert with_halo.total_read_bytes() > with_halo.file_size
+
+
+def test_parameter_validation():
+    with pytest.raises(BenchmarkError):
+        CollectiveReadWorkload(num_ranks=0)
+    with pytest.raises(BenchmarkError):
+        CollectiveReadWorkload(num_ranks=2, halo_blocks=-1)
+    workload = CollectiveReadWorkload(num_ranks=2)
+    with pytest.raises(BenchmarkError):
+        workload.read_pairs(5, 0)
+    with pytest.raises(BenchmarkError):
+        workload.read_pairs(0, 9)
