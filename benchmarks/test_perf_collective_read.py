@@ -73,6 +73,7 @@ def suite():
             "blocks_per_rank": settings.blocks_per_rank,
             "block_size": settings.block_size,
             "halo_blocks": settings.halo_blocks,
+            "hole_every": settings.hole_every,
             "num_providers": settings.num_providers,
             "num_metadata_providers": settings.num_metadata_providers,
             "chunk_size": settings.chunk_size,
@@ -149,6 +150,21 @@ def test_exchange_traffic_is_reported_for_collective_modes(suite):
         else:
             assert sample.exchange_bytes == 0, key
             assert sample.plan_nodes_absorbed == 0, key
+
+
+def test_zero_extents_travel_as_hole_descriptors(suite):
+    """Zero-extent elision: the dump is sparse (``hole_every``), so the
+    collective modes must ship a visible volume of never-written bytes as
+    16-byte descriptors instead of literal zeros — the ``exchange_bytes``
+    drop recorded per row."""
+    settings = bench_settings()
+    assert settings.hole_every > 0, "the sweep must exercise a sparse dump"
+    for key, result in suite.items():
+        sample = result.sample
+        if sample.num_resolvers:
+            assert sample.hole_bytes_elided > 0, key
+        else:
+            assert sample.hole_bytes_elided == 0, key
 
 
 def test_plan_broadcast_makes_the_post_collective_read_free(suite):

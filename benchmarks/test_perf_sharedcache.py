@@ -1,0 +1,205 @@
+"""PERF — node-local shared metadata cache microbenchmarks.
+
+Runs the independent-scan workload with several clients packed per compute
+node under every cache configuration (private baseline, shared tier,
+speculative prefetch, and the eviction-policy sweep under small capacities),
+asserts the acceptance shape — metadata control RPCs per logical read
+strictly below the private baseline and approaching ``1 / ranks_per_node``
+on identical extents, the level-pinning policy beating plain LRU at equal
+capacity, byte-identical data everywhere, and the exact lookup partition —
+and records every row into ``BENCH_sharedcache.json`` at the repository
+root so future PRs can track the perf trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the same shapes on a fraction of the
+work (what CI does on every push).
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.bench.metrics import shared_rpc_reduction
+from repro.bench.reporting import format_table
+from repro.bench.sharedcache import (
+    SharedCacheSettings,
+    run_shared_cache_suite,
+    suite_rows,
+)
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_sharedcache.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: acceptance slack: measured reduction vs the ideal ``ranks_per_node``
+#: factor (staggered co-tenants can land exactly on the ideal; the slack
+#: only guards against harmless bookkeeping shifts below it)
+MIN_FRACTION_OF_IDEAL = 0.8
+
+
+def bench_settings() -> SharedCacheSettings:
+    settings = SharedCacheSettings()
+    return settings.scaled_down() if SMOKE else settings
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """Run every point on identical settings; emit the JSON artifact."""
+    settings = bench_settings()
+    results = run_shared_cache_suite(settings)
+    rows = suite_rows(results)
+
+    baseline = results["identical:private"].sample
+    reductions = {
+        key: {
+            "reduction": shared_rpc_reduction(baseline, result.sample),
+            "ideal": settings.ranks_per_node,
+        }
+        for key, result in results.items()
+        if key.startswith("identical:shared")
+    }
+
+    artifact = {
+        "suite": "sharedcache",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "settings": {
+            "num_clients": settings.num_clients,
+            "ranks_per_node": settings.ranks_per_node,
+            "rounds": settings.rounds,
+            "blocks_per_round": settings.blocks_per_round,
+            "block_size": settings.block_size,
+            "num_providers": settings.num_providers,
+            "num_metadata_providers": settings.num_metadata_providers,
+            "chunk_size": settings.chunk_size,
+            "capacity_sweep": list(settings.capacity_sweep),
+            "policies": list(settings.policies),
+        },
+        "metadata_rpc_reduction_vs_private": reductions,
+        "rows": rows,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    print()
+    print(format_table(rows, title="shared-cache microbenchmark"))
+    return results
+
+
+def test_all_modes_read_identical_bytes(suite):
+    """Every cache configuration of one pattern returns byte-identical
+    scan data — sharing and eviction must never change results."""
+    settings = bench_settings()
+    for pattern in ("identical", "streaming"):
+        digests = {key: result.read_digest for key, result in suite.items()
+                   if result.sample.pattern == pattern}
+        if not digests:
+            continue
+        workload = settings.workload(pattern)
+        expected = b"".join(
+            workload.expected_pieces(client, round_index)
+            for client in range(settings.num_clients)
+            for round_index in range(workload.rounds))
+        for key, digest in digests.items():
+            assert digest == expected, key
+
+
+def test_shared_tier_beats_the_private_baseline(suite):
+    """The acceptance criterion: with multiple ranks per node, metadata
+    RPCs per logical read drop strictly below the private baseline and
+    approach ``1 / ranks_per_node`` on identical extents."""
+    settings = bench_settings()
+    baseline = suite["identical:private"].sample
+    shared = suite["identical:shared-lru"].sample
+    assert shared.rpcs_per_read < baseline.rpcs_per_read
+    reduction = shared_rpc_reduction(baseline, shared)
+    assert reduction >= MIN_FRACTION_OF_IDEAL * settings.ranks_per_node, (
+        f"only {reduction:.2f}x fewer metadata RPCs per read "
+        f"(placement factor {settings.ranks_per_node})")
+
+
+def test_prefetch_cuts_round_trips_and_reports_the_trade(suite):
+    """Speculative child prefetch reduces tree-walk RPCs further and the
+    extra shipped nodes (its cost) are visible in the artifact."""
+    for base_key, prefetch_key in (
+            ("identical:private", "identical:private+prefetch"),
+            ("identical:shared-lru", "identical:shared-lru+prefetch")):
+        base = suite[base_key].sample
+        prefetched = suite[prefetch_key].sample
+        assert prefetched.metadata_rpcs < base.metadata_rpcs, prefetch_key
+        assert prefetched.prefetched_nodes > 0, prefetch_key
+        assert base.prefetched_nodes == 0, base_key
+
+
+def test_level_pinning_beats_plain_lru_at_equal_capacity(suite):
+    """The policy sweep's point: on the streaming pattern under a bounded
+    shared tier, pinning the top tree levels must win (fewer fetch RPCs)
+    against plain LRU at at least one capacity point."""
+    settings = bench_settings()
+    level_policy = next(policy for policy in settings.policies
+                        if policy.startswith("level"))
+    wins = []
+    for capacity in settings.capacity_sweep:
+        lru = suite[f"streaming@{capacity}:lru"].sample
+        level = suite[f"streaming@{capacity}:{level_policy}"].sample
+        wins.append(level.metadata_rpcs < lru.metadata_rpcs)
+        # pinning must show up as fewer evictions of reused entries
+        assert level.shared_hits >= lru.shared_hits, capacity
+    assert any(wins), "level-aware policy never beat LRU in the sweep"
+
+
+def test_lookup_partition_is_exact(suite):
+    """The partition is checked against *independently counted* tier
+    totals (the caches' own hit+miss counters), not against the sum the
+    partition is built from: every lookup the private tier served or
+    missed is accounted, and the shared services saw exactly the lookups
+    that fell through the private tier."""
+    for key, result in suite.items():
+        sample = result.sample
+        if sample.mode.startswith("private"):
+            assert result.private_tier_lookups == sample.lookups, key
+            assert result.shared_tier_lookups == 0, key
+            assert sample.shared_hits == 0, key
+        elif sample.private_hits or "-only" not in sample.mode:
+            assert result.private_tier_lookups == sample.lookups, key
+            assert result.shared_tier_lookups \
+                == sample.shared_hits + sample.fetched_lookups, key
+        else:
+            # policy-sweep modes run without a private tier: the shared
+            # services saw every lookup
+            assert result.private_tier_lookups == 0, key
+            assert result.shared_tier_lookups == sample.lookups, key
+        assert sample.fetched_lookups > 0, key
+
+
+def test_co_located_first_toucher_pays_most_fetches(suite):
+    """Placement sanity: in the shared mode the node's stagger-first client
+    fetches; later co-tenants ride the shared tier (strictly fewer RPCs
+    than the baseline's per-client spend)."""
+    settings = bench_settings()
+    density = settings.ranks_per_node
+    baseline = suite["identical:private"].per_client_rpcs
+    shared = suite["identical:shared-lru"].per_client_rpcs
+    for index in range(settings.num_clients):
+        if index % density:
+            # a co-tenant that never starts first on its node
+            assert shared[index] < baseline[index], index
+
+
+def test_artifact_written_with_populated_columns(suite):
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["suite"] == "sharedcache"
+    assert artifact["rows"]
+    modes = {row["mode"] for row in artifact["rows"]}
+    assert "private" in modes
+    assert any(mode.startswith("shared-") for mode in modes)
+    patterns = {row["pattern"] for row in artifact["rows"]}
+    assert patterns == {"identical", "streaming"}
+    for row in artifact["rows"]:
+        assert row["logical_reads"] > 0
+        assert row["metadata_rpcs"] > 0
+        assert row["wall_clock_s"] > 0
+        assert "rpcs_per_read" in row and "shared_hit_rate" in row
+    reductions = artifact["metadata_rpc_reduction_vs_private"]
+    assert reductions
+    assert any(entry["reduction"] >= MIN_FRACTION_OF_IDEAL * entry["ideal"]
+               for entry in reductions.values())

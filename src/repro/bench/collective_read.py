@@ -59,6 +59,9 @@ class CollectiveReadSettings:
     blocks_per_rank: int = 4
     block_size: int = 8 * 1024
     halo_blocks: int = 1
+    #: sparseness of the dump (every k-th block a hole; exercises the
+    #: zero-extent elision whose exchange-byte drop the artifact records)
+    hole_every: int = 4
     num_providers: int = 4
     num_metadata_providers: int = 2
     chunk_size: int = 16 * 1024
@@ -86,6 +89,7 @@ class CollectiveReadSettings:
             blocks_per_rank=self.blocks_per_rank,
             block_size=self.block_size,
             halo_blocks=self.halo_blocks,
+            hole_every=self.hole_every,
         )
 
 
@@ -139,8 +143,7 @@ def run_collective_read_point(num_ranks: int,
     def seed():
         yield from seeder.create_blob(PATH, workload.file_size,
                                       chunk_size=settings.chunk_size)
-        yield from seeder.vwrite_and_wait(
-            PATH, [(0, workload.expected_contents())])
+        yield from seeder.vwrite_and_wait(PATH, workload.seed_pairs())
 
     process = cluster.sim.process(seed())
     cluster.sim.run(stop_event=process)
@@ -210,6 +213,8 @@ def run_collective_read_point(num_ranks: int,
                                 for client in clients),
         exchange_bytes=sum(driver.reader.stats.bytes_sent
                            for driver in drivers.values()),
+        hole_bytes_elided=sum(driver.reader.stats.hole_bytes_elided
+                              for driver in drivers.values()),
         collectives_completed=comms[0].collectives_completed,
         post_metadata_rpcs=post_metadata,
         post_latest_rpcs=post_latest,

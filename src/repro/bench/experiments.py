@@ -15,8 +15,9 @@ shapes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.environment import build_environment
 from repro.bench.harness import RunResult, run_atomic_write_job
@@ -32,9 +33,17 @@ DEFAULT_CONFIG = ClusterConfig()
 
 @dataclass
 class ExperimentSettings:
-    """Knobs shared by the sweep functions (sized for quick CI-style runs)."""
+    """Knobs shared by the sweep functions.
 
-    client_counts: Sequence[int] = (1, 2, 4, 8, 16)
+    The default ``client_counts`` now reach toward the paper-scale runs
+    (the simulator spends far fewer host cycles per operation than it did
+    at seed time); every sweep row records the host wall-clock the point
+    cost (``wall_clock_s``), so simulator host-cost regressions show up in
+    the artifacts next to the simulated metrics.  The benchmark suite under
+    ``benchmarks/`` still passes smaller counts for CI-speed runs.
+    """
+
+    client_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
     num_storage_nodes: int = 8
     stripe_unit: int = 64 * 1024
     num_metadata_providers: int = 2
@@ -56,8 +65,14 @@ class ExperimentSettings:
 def _run_point(backend: str, num_clients: int, pairs_for_rank, file_size: int,
                settings: ExperimentSettings, publish_cost: float = 0.0,
                allocation: str = "round_robin",
-               num_storage_nodes: Optional[int] = None) -> RunResult:
-    """Build a fresh environment and run one (backend, clients) point."""
+               num_storage_nodes: Optional[int] = None,
+               ) -> Tuple[RunResult, float]:
+    """Build a fresh environment and run one (backend, clients) point.
+
+    Returns the run result plus the host wall-clock seconds the point cost
+    — the simulator-cost axis every sweep row records.
+    """
+    started = time.perf_counter()
     environment = build_environment(
         backend,
         num_storage_nodes=num_storage_nodes or settings.num_storage_nodes,
@@ -68,8 +83,9 @@ def _run_point(backend: str, num_clients: int, pairs_for_rank, file_size: int,
         config=settings.config,
         seed=settings.seed,
     )
-    return run_atomic_write_job(environment, num_clients, pairs_for_rank,
-                                file_size=file_size, atomic=True)
+    result = run_atomic_write_job(environment, num_clients, pairs_for_rank,
+                                  file_size=file_size, atomic=True)
+    return result, time.perf_counter() - started
 
 
 # ----------------------------------------------------------------------
@@ -92,8 +108,9 @@ def run_exp1_overlap_scalability(settings: Optional[ExperimentSettings] = None,
             overlap_fraction=fraction,
         )
         for backend in backends:
-            result = _run_point(backend, num_clients, workload.client_pairs,
-                                workload.file_size, settings)
+            result, wall = _run_point(backend, num_clients,
+                                      workload.client_pairs,
+                                      workload.file_size, settings)
             rows.append({
                 "experiment": "EXP1" if fraction > 0 else "EXP1b",
                 "backend": backend,
@@ -105,6 +122,7 @@ def run_exp1_overlap_scalability(settings: Optional[ExperimentSettings] = None,
                 "elapsed_s": result.write_elapsed,
                 "throughput_mib_s": result.throughput_mib,
                 "lock_wait_s": result.lock_wait_time,
+                "wall_clock_s": wall,
             })
     return rows
 
@@ -136,8 +154,9 @@ def run_exp2_tile_io(settings: Optional[ExperimentSettings] = None,
     for num_clients in settings.client_counts:
         workload = base.scaled_to(num_clients)
         for backend in backends:
-            result = _run_point(backend, workload.num_processes,
-                                workload.rank_pairs, workload.file_size, settings)
+            result, wall = _run_point(backend, workload.num_processes,
+                                      workload.rank_pairs, workload.file_size,
+                                      settings)
             rows.append({
                 "experiment": "EXP2",
                 "backend": backend,
@@ -150,6 +169,7 @@ def run_exp2_tile_io(settings: Optional[ExperimentSettings] = None,
                 "elapsed_s": result.write_elapsed,
                 "throughput_mib_s": result.throughput_mib,
                 "lock_wait_s": result.lock_wait_time,
+                "wall_clock_s": wall,
             })
     return rows
 
@@ -202,10 +222,11 @@ def run_abl1_striping(settings: Optional[ExperimentSettings] = None,
     )
     rows: List[Dict[str, object]] = []
     for providers in provider_counts:
-        result = _run_point("versioning", num_clients, workload.client_pairs,
-                            workload.file_size, settings,
-                            allocation=allocation,
-                            num_storage_nodes=providers)
+        result, wall = _run_point("versioning", num_clients,
+                                  workload.client_pairs,
+                                  workload.file_size, settings,
+                                  allocation=allocation,
+                                  num_storage_nodes=providers)
         stats = result.storage_stats
         rows.append({
             "experiment": "ABL1",
@@ -214,6 +235,7 @@ def run_abl1_striping(settings: Optional[ExperimentSettings] = None,
             "allocation": allocation,
             "throughput_mib_s": result.throughput_mib,
             "load_imbalance": stats.get("load_imbalance", 1.0),
+            "wall_clock_s": wall,
         })
     return rows
 
@@ -237,8 +259,9 @@ def run_abl2_lock_granularity(settings: Optional[ExperimentSettings] = None,
             overlap_fraction=overlap,
         )
         for backend in backends:
-            result = _run_point(backend, num_clients, workload.client_pairs,
-                                workload.file_size, settings)
+            result, wall = _run_point(backend, num_clients,
+                                      workload.client_pairs,
+                                      workload.file_size, settings)
             rows.append({
                 "experiment": "ABL2",
                 "backend": backend,
@@ -246,6 +269,7 @@ def run_abl2_lock_granularity(settings: Optional[ExperimentSettings] = None,
                 "overlap": overlap,
                 "throughput_mib_s": result.throughput_mib,
                 "lock_wait_s": result.lock_wait_time,
+                "wall_clock_s": wall,
             })
     return rows
 
@@ -269,9 +293,10 @@ def run_abl3_metadata_overhead(settings: Optional[ExperimentSettings] = None,
             overlap_fraction=settings.overlap_fraction,
         )
         for publish_cost in publish_costs:
-            result = _run_point("versioning", num_clients, workload.client_pairs,
-                                workload.file_size, settings,
-                                publish_cost=publish_cost)
+            result, wall = _run_point("versioning", num_clients,
+                                      workload.client_pairs,
+                                      workload.file_size, settings,
+                                      publish_cost=publish_cost)
             stats = result.storage_stats
             rows.append({
                 "experiment": "ABL3",
@@ -280,5 +305,6 @@ def run_abl3_metadata_overhead(settings: Optional[ExperimentSettings] = None,
                 "publish_cost_ms": publish_cost * 1000,
                 "metadata_nodes": stats.get("metadata_nodes", 0),
                 "throughput_mib_s": result.throughput_mib,
+                "wall_clock_s": wall,
             })
     return rows

@@ -260,6 +260,9 @@ class CollectiveReadSample:
     post_latest_rpcs: int
     sim_read_s: float
     wall_clock_s: float
+    #: never-written bytes shipped as compact hole descriptors instead of
+    #: literal zeros (zero-extent elision: the ``exchange_bytes`` drop)
+    hole_bytes_elided: int = 0
 
     @property
     def metadata_rpcs_per_read(self) -> float:
@@ -281,6 +284,7 @@ class CollectiveReadSample:
             "nodes_fetched": self.nodes_fetched,
             "plan_nodes_absorbed": self.plan_nodes_absorbed,
             "exchange_bytes": self.exchange_bytes,
+            "hole_bytes_elided": self.hole_bytes_elided,
             "collectives_completed": self.collectives_completed,
             "post_metadata_rpcs": self.post_metadata_rpcs,
             "post_latest_rpcs": self.post_latest_rpcs,
@@ -295,6 +299,91 @@ def read_rpc_reduction(baseline: CollectiveReadSample,
     if optimized.metadata_rpcs_per_read <= 0:
         return float("inf")
     return baseline.metadata_rpcs_per_read / optimized.metadata_rpcs_per_read
+
+
+@dataclass
+class SharedCacheSample:
+    """One measured run of the node-local shared-cache microbenchmark.
+
+    ``metadata_rpcs`` counts every client's segment-tree round-trips over
+    the read phase (``latest`` is pinned once up front and reported
+    separately), normalized per logical read.  The lookup partition —
+    ``private_hits + shared_hits + fetched_lookups == lookups`` — is exact
+    by construction and pinned by the conformance suite; ``shared_*``
+    columns aggregate the per-node service stats, and
+    ``prefetched_nodes`` counts extras shipped by speculative child
+    prefetch (the node-traffic side of that trade).
+    """
+
+    mode: str
+    pattern: str
+    policy: str
+    capacity: Optional[int]
+    num_clients: int
+    ranks_per_node: int
+    rounds: int
+    logical_reads: int
+    metadata_rpcs: int
+    latest_rpcs: int
+    private_hits: int
+    shared_hits: int
+    fetched_lookups: int
+    shared_evictions: int
+    shared_rejections: int
+    prefetched_nodes: int
+    sim_read_s: float
+    wall_clock_s: float
+
+    @property
+    def lookups(self) -> int:
+        """Deduplicated metadata lookups the read phase performed."""
+        return self.private_hits + self.shared_hits + self.fetched_lookups
+
+    @property
+    def rpcs_per_read(self) -> float:
+        """Metadata tree-walk round-trips per logical read."""
+        return self.metadata_rpcs / max(1, self.logical_reads)
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of lookups the shared tier answered."""
+        if not self.lookups:
+            return 0.0
+        return self.shared_hits / self.lookups
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "pattern": self.pattern,
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "clients": self.num_clients,
+            "ranks_per_node": self.ranks_per_node,
+            "rounds": self.rounds,
+            "logical_reads": self.logical_reads,
+            "metadata_rpcs": self.metadata_rpcs,
+            "rpcs_per_read": self.rpcs_per_read,
+            "latest_rpcs": self.latest_rpcs,
+            "lookups": self.lookups,
+            "private_hits": self.private_hits,
+            "shared_hits": self.shared_hits,
+            "fetched_lookups": self.fetched_lookups,
+            "shared_hit_rate": self.shared_hit_rate,
+            "shared_evictions": self.shared_evictions,
+            "shared_rejections": self.shared_rejections,
+            "prefetched_nodes": self.prefetched_nodes,
+            "sim_read_s": self.sim_read_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def shared_rpc_reduction(baseline: SharedCacheSample,
+                         optimized: SharedCacheSample) -> float:
+    """How many times fewer metadata round-trips per logical read."""
+    if optimized.rpcs_per_read <= 0:
+        return float("inf")
+    return baseline.rpcs_per_read / optimized.rpcs_per_read
 
 
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:

@@ -1,0 +1,311 @@
+"""Node-local shared-cache microbenchmark: RPCs per read vs placement/policy.
+
+A :class:`~repro.workloads.shared_scan.SharedScanWorkload` (independent
+clients scanning a pre-published dump) runs with ``ranks_per_node`` clients
+packed on each compute node in several cache configurations:
+
+* ``private`` — the per-client baseline: each client owns only its private
+  :class:`~repro.blobseer.metadata.cache.MetadataNodeCache`, so co-located
+  clients re-fetch identical upper-tree nodes;
+* ``shared-<policy>`` — every client additionally attaches to its node's
+  :class:`~repro.blobseer.metadata.sharedcache.NodeCacheService`; on the
+  ``identical`` pattern only the node's first toucher fetches, so metadata
+  RPCs per logical read approach ``1 / ranks_per_node`` of the baseline;
+* ``...+prefetch`` — speculative child prefetch rides on the frontier
+  fetches (fewer round-trip levels, more nodes on the wire);
+* the **policy sweep** re-runs the ``streaming`` pattern under a small
+  shared capacity for each eviction policy — the point where the
+  level-aware policy's pinned upper levels beat plain LRU.
+
+Clients start staggered (``stagger_s`` of simulated time apart, as
+independent analysis processes do): a node's first scan publishes into the
+shared tier before its co-tenants look up, which is what the tier exploits —
+perfectly simultaneous cold misses would each fetch on their own, exactly
+like a real shared cache without request coalescing.
+
+``latest`` is resolved once per client up front (reported separately), so
+the per-read metric isolates the segment-tree walk — the cost the shared
+tier attacks.  Every configuration must return byte-identical scan data,
+which the perf suite asserts, and the lookup partition
+``private_hits + shared_hits + fetched_lookups == lookups`` is checked on
+every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import drive_processes
+from repro.bench.metrics import SharedCacheSample
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import BenchmarkError
+from repro.vstore.client import VectoredClient
+from repro.workloads.shared_scan import SharedScanWorkload
+
+PATH = "/dump"
+
+
+@dataclass
+class SharedCacheSettings:
+    """Workload and deployment knobs of the shared-cache benchmark."""
+
+    num_clients: int = 8
+    ranks_per_node: int = 4
+    rounds: int = 4
+    blocks_per_round: int = 8
+    block_size: int = 8 * 1024
+    num_providers: int = 4
+    num_metadata_providers: int = 2
+    chunk_size: int = 8 * 1024
+    #: capacities tried in the streaming policy sweep (entries per node)
+    capacity_sweep: Tuple[int, ...] = (24, 48)
+    #: eviction policies compared in the sweep
+    policies: Tuple[str, ...] = ("lru", "slru", "level:3")
+    #: simulated seconds between consecutive clients' scan starts
+    stagger_s: float = 0.05
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    seed: int = 0
+
+    def scaled_down(self) -> "SharedCacheSettings":
+        """Smoke-mode variant for CI: same shape, a fraction of the work."""
+        return replace(
+            self,
+            num_clients=4,
+            ranks_per_node=2,
+            rounds=3,
+            blocks_per_round=4,
+            block_size=4096,
+            num_providers=2,
+            chunk_size=4096,
+            capacity_sweep=(16,),
+        )
+
+    def workload(self, pattern: str) -> SharedScanWorkload:
+        """The scan workload for one access pattern."""
+        return SharedScanWorkload(
+            num_clients=self.num_clients,
+            rounds=self.rounds,
+            blocks_per_round=self.blocks_per_round,
+            block_size=self.block_size,
+            pattern=pattern,
+        )
+
+
+@dataclass
+class SharedCacheResult:
+    """Sample plus the scans' bytes (for cross-mode equality checks)."""
+
+    sample: SharedCacheSample
+    read_digest: bytes
+    #: metadata tree-walk RPCs spent per client (placement fairness checks)
+    per_client_rpcs: Dict[int, int]
+    #: independently counted tier totals (hit+miss counters of the private
+    #: caches and the shared services), so the lookup partition can be
+    #: cross-checked against sources the partition itself is not built from
+    private_tier_lookups: int = 0
+    shared_tier_lookups: int = 0
+
+
+def run_shared_cache_point(pattern: str,
+                           shared: bool,
+                           policy: str = "lru",
+                           capacity: Optional[int] = None,
+                           prefetch: bool = False,
+                           private_cache: bool = True,
+                           settings: Optional[SharedCacheSettings] = None,
+                           ) -> SharedCacheResult:
+    """Run the scan workload once in one cache configuration.
+
+    ``shared=False`` is the private baseline; ``private_cache=False`` drops
+    the per-client tier too (the configuration the policy sweep uses, so
+    eviction behaviour in the *shared* tier is what the numbers measure).
+    """
+    settings = settings or SharedCacheSettings()
+    wall_started = time.perf_counter()
+
+    config = settings.config.copy(
+        ranks_per_node=settings.ranks_per_node,
+        shared_metadata_cache=shared,
+        shared_cache_policy=policy,
+        shared_cache_capacity=capacity,
+        metadata_prefetch=prefetch,
+    )
+    cluster = Cluster(config=config, seed=settings.seed)
+    deployment = BlobSeerDeployment(
+        cluster,
+        num_providers=settings.num_providers,
+        num_metadata_providers=settings.num_metadata_providers,
+        chunk_size=settings.chunk_size,
+        node_prefix="sc",
+    )
+    workload = settings.workload(pattern)
+
+    # the dump the scans read: published once, ahead of the clients
+    seeder = VectoredClient(deployment, cluster.add_node("sc-seed"),
+                            name="sc-seed", shared_metadata_cache=False)
+
+    def seed():
+        yield from seeder.create_blob(PATH, workload.file_size,
+                                      chunk_size=settings.chunk_size)
+        receipt = yield from seeder.vwrite_and_wait(
+            PATH, [(0, workload.expected_contents())])
+        return receipt.version
+
+    process = cluster.sim.process(seed(), name="sc-seed")
+    cluster.sim.run(stop_event=process)
+    pinned = process.value
+
+    # rank->node placement: ranks_per_node clients share each compute node
+    nodes = cluster.place_ranks("sc-rank", settings.num_clients)
+    clients = [
+        VectoredClient(deployment, nodes[index], name=f"sc{index}",
+                       enable_metadata_cache=private_cache)
+        for index in range(settings.num_clients)
+    ]
+
+    scans: Dict[Tuple[int, int], List[bytes]] = {}
+    read_spans: Dict[int, Tuple[float, float]] = {}
+
+    def read_client(index):
+        client = clients[index]
+        # independent processes never start in lockstep; the stagger gives
+        # a node's first toucher time to publish into the shared tier
+        yield cluster.sim.timeout(index * settings.stagger_s)
+        started = cluster.sim.now
+        for round_index in range(workload.rounds):
+            pairs = workload.read_pairs(index, round_index)
+            pieces = yield from client.vread(PATH, pairs, pinned)
+            scans[(index, round_index)] = pieces
+        read_spans[index] = (started, cluster.sim.now)
+
+    read_started = cluster.sim.now
+    drive_processes(
+        cluster,
+        [cluster.sim.process(read_client(index), name=f"sc-read{index}")
+         for index in range(settings.num_clients)],
+        name="sc-driver")
+
+    shared_stats = deployment.shared_cache_stats()
+    private_tier_lookups = sum(client.metadata_cache.stats.lookups
+                               for client in clients
+                               if client.metadata_cache is not None)
+    shared_tier_lookups = shared_stats["hits"] + shared_stats["misses"]
+    sample = SharedCacheSample(
+        mode=_mode_name(shared, policy, capacity, prefetch, private_cache),
+        pattern=pattern,
+        policy=policy if shared else "-",
+        capacity=capacity,
+        num_clients=settings.num_clients,
+        ranks_per_node=settings.ranks_per_node,
+        rounds=workload.rounds,
+        logical_reads=settings.num_clients * workload.rounds,
+        metadata_rpcs=sum(client.metadata_read_rpcs for client in clients),
+        latest_rpcs=sum(client.latest_rpcs for client in clients),
+        private_hits=sum(client.metadata_cache.stats.hits
+                         for client in clients
+                         if client.metadata_cache is not None),
+        shared_hits=sum(client.shared_cache_hits for client in clients),
+        fetched_lookups=sum(client.metadata_lookup_fetches
+                            for client in clients),
+        shared_evictions=shared_stats["evictions"],
+        shared_rejections=(shared_stats["unpublished_rejections"]
+                           + shared_stats["capacity_rejections"]),
+        prefetched_nodes=sum(client.metadata_prefetched_nodes
+                             for client in clients),
+        sim_read_s=(max(span[1] for span in read_spans.values())
+                    - read_started) if read_spans else 0.0,
+        wall_clock_s=time.perf_counter() - wall_started,
+    )
+    _check_lookup_partition(sample, private_tier_lookups, shared_tier_lookups,
+                            private_cache, shared)
+    digest = b"".join(b"".join(scans[key]) for key in sorted(scans))
+    return SharedCacheResult(
+        sample=sample, read_digest=digest,
+        per_client_rpcs={index: client.metadata_read_rpcs
+                         for index, client in enumerate(clients)},
+        private_tier_lookups=private_tier_lookups,
+        shared_tier_lookups=shared_tier_lookups)
+
+
+def _mode_name(shared: bool, policy: str, capacity: Optional[int],
+               prefetch: bool, private_cache: bool) -> str:
+    if not shared:
+        name = "private"
+    else:
+        name = f"shared-{policy}"
+        if capacity is not None:
+            name += f"@{capacity}"
+        if not private_cache:
+            name += "-only"
+    if prefetch:
+        name += "+prefetch"
+    return name
+
+
+def _check_lookup_partition(sample: SharedCacheSample,
+                            private_tier_lookups: int,
+                            shared_tier_lookups: int,
+                            private_cache: bool, shared: bool) -> None:
+    """Every deduplicated lookup is a private hit, a shared hit or a fetch.
+
+    Checked against *independently counted* totals: the private tier's own
+    hit+miss counters must equal the partition when a private cache exists,
+    and the shared services' hit+miss counters must equal the lookups that
+    fell through the private tier (all of them, when it is absent).
+    """
+    if private_cache and private_tier_lookups != sample.lookups:
+        raise BenchmarkError(
+            f"lookup partition broken: {private_tier_lookups} private-tier "
+            f"lookups vs {sample.lookups} partitioned")
+    if shared:
+        fell_through = sample.shared_hits + sample.fetched_lookups \
+            if private_cache else sample.lookups
+        if shared_tier_lookups != fell_through:
+            raise BenchmarkError(
+                f"lookup partition broken: {shared_tier_lookups} shared-tier "
+                f"lookups vs {fell_through} that fell through")
+
+
+def run_shared_cache_suite(settings: Optional[SharedCacheSettings] = None,
+                           ) -> Dict[str, SharedCacheResult]:
+    """Every benchmark point on identical settings.
+
+    Keys:
+
+    * ``identical:private`` / ``identical:shared-lru`` /
+      ``identical:shared-lru+prefetch`` / ``identical:private+prefetch`` —
+      the headline placement comparison (unbounded caches);
+    * ``streaming@<capacity>:<policy>`` — the eviction-policy sweep at each
+      capacity, shared tier only (no private caches), so eviction behaviour
+      in the shared tier is the only variable the points differ in.
+    """
+    settings = settings or SharedCacheSettings()
+    results: Dict[str, SharedCacheResult] = {}
+
+    results["identical:private"] = run_shared_cache_point(
+        "identical", shared=False, settings=settings)
+    results["identical:shared-lru"] = run_shared_cache_point(
+        "identical", shared=True, policy="lru", settings=settings)
+    results["identical:private+prefetch"] = run_shared_cache_point(
+        "identical", shared=False, prefetch=True, settings=settings)
+    results["identical:shared-lru+prefetch"] = run_shared_cache_point(
+        "identical", shared=True, policy="lru", prefetch=True,
+        settings=settings)
+
+    for capacity in settings.capacity_sweep:
+        for policy in settings.policies:
+            results[f"streaming@{capacity}:{policy}"] = \
+                run_shared_cache_point("streaming", shared=True,
+                                       policy=policy, capacity=capacity,
+                                       private_cache=False,
+                                       settings=settings)
+    return results
+
+
+def suite_rows(results: Dict[str, SharedCacheResult]
+               ) -> List[Dict[str, object]]:
+    """The suite's samples as artifact/table rows (insertion order)."""
+    return [result.sample.as_row() for result in results.values()]

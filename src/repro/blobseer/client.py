@@ -61,6 +61,9 @@ __all__ = ["BlobClient", "WriteReceipt"]
 #: config) from an explicit ``None`` (force an unbounded cache)
 _UNSET_CAPACITY = object()
 
+#: sentinel for boolean options that fall back to the cluster config
+_UNSET = object()
+
 
 class BlobClient:
     """Client-side access to a :class:`~repro.blobseer.deployment.BlobSeerDeployment`.
@@ -96,6 +99,8 @@ class BlobClient:
                  enable_metadata_cache: bool = True,
                  metadata_batching: bool = True,
                  metadata_cache_capacity: object = _UNSET_CAPACITY,
+                 shared_metadata_cache: object = _UNSET,
+                 metadata_prefetch: object = _UNSET,
                  write_pipelining: bool = True,
                  write_through_cache: bool = True):
         self.deployment = deployment
@@ -113,6 +118,26 @@ class BlobClient:
         else:
             self.metadata_cache = None
         self.metadata_batching = metadata_batching
+        if shared_metadata_cache is _UNSET:
+            shared_metadata_cache = self.cluster.config.shared_metadata_cache
+        if metadata_prefetch is _UNSET:
+            metadata_prefetch = self.cluster.config.metadata_prefetch
+        #: the node-local shared cache tier this client attaches to (one
+        #: service per compute node, discovered through the deployment;
+        #: ``None`` keeps the pre-subsystem private-cache-only behaviour)
+        if shared_metadata_cache:
+            self.shared_cache = deployment.node_cache(node)
+            self.shared_cache.attach(self.name)
+        else:
+            self.shared_cache = None
+        #: speculative child prefetch: a frontier ``get_nodes`` also returns
+        #: the children of each resolved inner node (and the base version of
+        #: partially-covered leaves) that the shard can answer
+        #: authoritatively, shaving whole levels of round-trips.  Prefetch
+        #: rides on the *batched* fetch RPC, so it is normalized off when
+        #: ``metadata_batching=False`` (the one-RPC-per-node baseline) —
+        #: the resolved flag stays introspectable instead of silently inert
+        self.metadata_prefetch = bool(metadata_prefetch) and metadata_batching
         self.write_pipelining = write_pipelining
         self.write_through_cache = write_through_cache
         #: the commit engine every write of this client routes through
@@ -154,6 +179,15 @@ class BlobClient:
         self.cache_primed_nodes: int = 0
         #: ``latest`` round-trips elided because a read consumed a hint
         self.latest_rpcs_elided: int = 0
+        #: shared-tier (node-local) lookups answered after a private miss
+        self.shared_cache_hits: int = 0
+        #: deduplicated lookups neither cache tier answered (fetched over
+        #: RPCs); with the tier hit counters this partitions every
+        #: traversal's lookups exactly — the invariant the placement
+        #: property suite pins
+        self.metadata_lookup_fetches: int = 0
+        #: extra nodes received through speculative child prefetch
+        self.metadata_prefetched_nodes: int = 0
 
     # ------------------------------------------------------------------
     # small helpers
@@ -210,9 +244,27 @@ class BlobClient:
         return latest
 
     def note_published(self, blob_id: str, version: int) -> None:
-        """Record that ``version`` is known to be published (hint table)."""
+        """Record that ``version`` is known to be published (hint table).
+
+        The observation is forwarded to the node-local shared cache: its
+        admission gate opens for a version only once *some* co-located
+        client saw it published.
+        """
         if version > self.version_hints.get(blob_id, 0):
             self.version_hints[blob_id] = version
+        if self.shared_cache is not None:
+            self.shared_cache.note_published(blob_id, version)
+
+    def detach(self) -> None:
+        """Detach from the node-local shared cache (process teardown).
+
+        Published entries this client contributed stay resident for the
+        node's other tenants — that is safe precisely because the shared
+        tier never admitted anything from an unpublished version.
+        """
+        if self.shared_cache is not None:
+            self.shared_cache.detach(self.name)
+            self.shared_cache = None
 
     def note_collective_commit(self, blob_id: str, version: int) -> None:
         """Absorb a collective write's published watermark.
@@ -247,10 +299,16 @@ class BlobClient:
         ourselves would have been.  Costs zero RPCs; returns how many entries
         were absorbed.
         """
-        if self.metadata_cache is None:
+        if self.metadata_cache is None and self.shared_cache is None:
             return 0
         for (offset, size, hint), node in entries:
-            self.metadata_cache.put(blob_id, offset, size, hint, node)
+            if self.metadata_cache is not None:
+                self.metadata_cache.put(blob_id, offset, size, hint, node)
+            if self.shared_cache is not None:
+                # one collective warms the whole node: the plan resolves a
+                # *published* pinned snapshot, so the watermark gate (fed by
+                # the collective's own note_collective_read) admits it
+                self.shared_cache.publish(blob_id, offset, size, hint, node)
         self.plan_nodes_absorbed += len(entries)
         return len(entries)
 
@@ -354,12 +412,15 @@ class BlobClient:
 
     def _vectored_read(self, blob_id: str, vector: IOVector,
                        version: Optional[int] = None, *,
-                       trace: Optional[Dict] = None):
+                       trace: Optional[Dict] = None,
+                       holes: Optional[List[Region]] = None):
         """Read the vector's ranges from one published snapshot.
 
         ``trace`` (optional) collects the metadata lookups the read resolved
         — the hook collective-read resolvers use to ship their traversal to
-        peer ranks for cache warming.
+        peer ranks for cache warming.  ``holes`` (optional) collects the
+        never-written ranges the plan zero-filled, so a collective resolver
+        can ship them as compact descriptors instead of literal zero bytes.
         """
         blob = yield from self._descriptor(blob_id)
         if version is None:
@@ -376,6 +437,11 @@ class BlobClient:
         elif not self.deployment.version_manager.manager.is_published(blob_id, version):
             raise VersionNotFound(
                 f"snapshot {version} of {blob_id!r} is not published")
+        else:
+            # the version was just validated as published: record the
+            # observation so the shared tier's admission gate opens for the
+            # nodes this traversal is about to resolve
+            self.note_published(blob_id, version)
 
         regions = vector.region_list()
         plan = yield from self._resolve_metadata(blob, version, regions,
@@ -386,6 +452,8 @@ class BlobClient:
         per_provider: Dict[str, list] = {}
         for extent in plan.extents:
             if extent.is_zero:
+                if holes is not None:
+                    holes.append(Region(extent.offset, extent.length))
                 fetched.append((extent.offset, extent.length, b"\x00" * extent.length))
             else:
                 per_provider.setdefault(extent.provider_id, []).append(extent)
@@ -429,7 +497,8 @@ class BlobClient:
         Cache hits skip the wire entirely.
         """
         planner = ReadPlanner(blob, version, regions,
-                              cache=self.metadata_cache, trace=trace)
+                              cache=self.metadata_cache,
+                              shared=self.shared_cache, trace=trace)
         config = self.cluster.config
         node_size = config.metadata_node_size
         request_size = config.metadata_request_size
@@ -442,11 +511,25 @@ class BlobClient:
 
                 def fetch_shard(index, shard_requests):
                     service = self.deployment.metadata_providers[index]
-                    nodes = yield from self._rpc(
-                        service, "get_nodes",
-                        len(shard_requests) * request_size,
-                        len(shard_requests) * node_size,
-                        blob.blob_id, shard_requests)
+                    if self.metadata_prefetch:
+                        # the shard also resolves the children it owns of
+                        # every inner node it returns (and the base version
+                        # of partially-covered leaves) — extra response
+                        # bytes, priced from the actual result, for whole
+                        # levels of saved round-trips
+                        nodes, extras = yield from self._rpc(
+                            service, "get_nodes",
+                            len(shard_requests) * request_size,
+                            lambda result: (len(result[0]) + len(result[1]))
+                            * node_size,
+                            blob.blob_id, shard_requests, True)
+                        self._absorb_prefetched(blob.blob_id, extras)
+                    else:
+                        nodes = yield from self._rpc(
+                            service, "get_nodes",
+                            len(shard_requests) * request_size,
+                            len(shard_requests) * node_size,
+                            blob.blob_id, shard_requests)
                     for request, node in zip(shard_requests, nodes):
                         results[request] = node
 
@@ -473,7 +556,24 @@ class BlobClient:
         plan = planner.plan()
         self.metadata_read_rpcs += plan.metadata_rpcs
         self.metadata_nodes_fetched += plan.nodes_fetched
+        self.shared_cache_hits += plan.shared_hits
+        self.metadata_lookup_fetches += plan.requests_fetched
         return plan
+
+    def _absorb_prefetched(self, blob_id: str, extras) -> None:
+        """Insert speculatively prefetched lookups into both cache tiers.
+
+        ``extras`` are ``((offset, size, hint), node-or-None)`` pairs the
+        shard resolved *authoritatively* (it owns their range keys), so
+        they are exactly as trustworthy as requested fetches.  The shared
+        tier applies its usual watermark gate.
+        """
+        for (offset, size, hint), node in extras:
+            if self.metadata_cache is not None:
+                self.metadata_cache.put(blob_id, offset, size, hint, node)
+            if self.shared_cache is not None:
+                self.shared_cache.publish(blob_id, offset, size, hint, node)
+        self.metadata_prefetched_nodes += len(extras)
 
     @staticmethod
     def _assemble(vector: IOVector, fetched: List[Tuple[int, int, bytes]]) -> List[bytes]:

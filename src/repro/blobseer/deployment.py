@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.blobseer.client import BlobClient
 from repro.blobseer.metadata.provider import SimMetadataProvider
+from repro.blobseer.metadata.sharedcache import NodeCacheService
 from repro.blobseer.metadata.store import MetadataStore, PartitionedMetadataStore
 from repro.blobseer.provider import DataProviderStore, SimDataProvider
 from repro.blobseer.provider_manager import (
@@ -61,14 +62,22 @@ class BlobSeerDeployment:
         self.provider_manager = SimProviderManager(
             pm_node, ProviderManager(strategy=make_strategy(allocation)))
 
-        # metadata providers (hash partitioned shards)
+        # metadata providers (hash partitioned shards); each shard knows its
+        # own index so it can answer speculative child prefetches only for
+        # range keys it authoritatively owns
         self.metadata_providers: List[SimMetadataProvider] = []
         for index in range(num_metadata_providers):
             node = cluster.add_node(f"{node_prefix}-meta{index}", role="metadata")
             self.metadata_providers.append(
-                SimMetadataProvider(node, MetadataStore(store_id=node.name)))
+                SimMetadataProvider(node, MetadataStore(store_id=node.name),
+                                    shard_index=index,
+                                    shard_count=num_metadata_providers))
         self.metadata_store = PartitionedMetadataStore(
             [provider.store for provider in self.metadata_providers])
+
+        #: node-local shared metadata caches, one per compute node name,
+        #: created on first attachment (see :meth:`node_cache`)
+        self.node_caches: Dict[str, "NodeCacheService"] = {}
 
         # data providers
         self.data_providers: Dict[str, SimDataProvider] = {}
@@ -83,6 +92,35 @@ class BlobSeerDeployment:
         self._client_counter = 0
 
     # ------------------------------------------------------------------
+    def node_cache(self, node: "Node") -> "NodeCacheService":
+        """The shared metadata cache service of one compute node.
+
+        Created on first use with the cluster config's capacity/policy
+        knobs; every client placed on ``node`` that enables
+        ``shared_metadata_cache`` attaches to the same instance, which is
+        what lets co-located ranks amortize metadata fetches.
+        """
+        if node.name not in self.node_caches:
+            config = self.cluster.config
+            self.node_caches[node.name] = NodeCacheService(
+                node.name,
+                capacity=config.shared_cache_capacity,
+                policy=config.shared_cache_policy)
+        return self.node_caches[node.name]
+
+    def shared_cache_stats(self) -> dict:
+        """Aggregate shared-tier counters over every node's service."""
+        totals = {"hits": 0, "misses": 0, "insertions": 0, "evictions": 0,
+                  "unpublished_rejections": 0, "capacity_rejections": 0}
+        for service in self.node_caches.values():
+            snapshot = service.stats.snapshot()
+            for key in totals:
+                totals[key] += snapshot[key]
+        totals["services"] = len(self.node_caches)
+        totals["entries"] = sum(len(service)
+                                for service in self.node_caches.values())
+        return totals
+
     def data_provider(self, provider_id: str) -> SimDataProvider:
         """Look up a data provider service by id."""
         try:
@@ -123,6 +161,8 @@ class BlobSeerDeployment:
                              for provider in self.metadata_providers)
         put_nodes_rpcs = sum(provider.calls.get("put_nodes", 0)
                              for provider in self.metadata_providers)
+        prefetched = sum(provider.nodes_prefetched
+                         for provider in self.metadata_providers)
         return {
             "providers": len(stores),
             "chunks": sum(store.chunk_count() for store in stores),
@@ -130,8 +170,10 @@ class BlobSeerDeployment:
             "metadata_nodes": self.metadata_store.node_count(),
             "metadata_read_rpcs": get_node_rpcs + get_nodes_rpcs,
             "metadata_batched_rpcs": get_nodes_rpcs,
+            "metadata_prefetched_nodes": prefetched,
             "metadata_put_rpcs": put_nodes_rpcs,
             "snapshots_published": self.version_manager.manager.snapshots_published,
             "tickets_assigned": self.version_manager.manager.tickets_assigned,
             "load_imbalance": self.provider_manager.manager.load_imbalance(),
+            "shared_cache": self.shared_cache_stats(),
         }

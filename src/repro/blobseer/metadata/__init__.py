@@ -18,10 +18,23 @@ versioning principle the paper relies on to eliminate locking.
   metadata providers;
 * :mod:`repro.blobseer.metadata.provider` — the metadata provider service;
 * :mod:`repro.blobseer.metadata.cache` — the client-side cache of immutable
-  nodes and resolved version hints used by the read hot path.
+  nodes and resolved version hints used by the read hot path;
+* :mod:`repro.blobseer.metadata.sharedcache` — the node-local *shared* cache
+  tier co-located clients attach to (admission gated on the published
+  watermark);
+* :mod:`repro.blobseer.metadata.policy` — pluggable eviction policies for
+  the shared tier (LRU, segmented LRU, level-aware top-level pinning).
 """
 
 from repro.blobseer.metadata.cache import CacheStats, MetadataNodeCache
+from repro.blobseer.metadata.policy import (
+    EvictionPolicy,
+    LevelAwarePolicy,
+    LRUPolicy,
+    SegmentedLRUPolicy,
+    make_policy,
+)
+from repro.blobseer.metadata.sharedcache import NodeCacheService, SharedCacheStats
 from repro.blobseer.metadata.nodes import ChildRef, LeafSegment, MetadataNode, NodeKey
 from repro.blobseer.metadata.store import MetadataStore, PartitionedMetadataStore
 from repro.blobseer.metadata.provider import SimMetadataProvider
@@ -41,6 +54,13 @@ __all__ = [
     "SimMetadataProvider",
     "CacheStats",
     "MetadataNodeCache",
+    "NodeCacheService",
+    "SharedCacheStats",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "SegmentedLRUPolicy",
+    "LevelAwarePolicy",
+    "make_policy",
     "build_write_metadata",
     "leaf_pieces_for_vector",
     "overlay_segments",

@@ -1,0 +1,273 @@
+"""Pluggable eviction policies for the node-local shared metadata cache.
+
+A policy never stores cache values — it only tracks *ordering* metadata for
+the keys the owning cache holds and answers one question: which entry should
+leave when the cache is over capacity.  Keys are the at-or-before lookup
+tuples ``(blob id, offset, size, version hint)`` of
+:mod:`repro.blobseer.metadata.cache`; the ``size`` component is the byte
+span of the tree node the entry resolves, which is what makes *level-aware*
+policies possible without ever deserializing a node:
+
+* the root of a BLOB's segment tree spans the whole capacity,
+* each level halves the span,
+* so ``log2(root_span / size)`` is the entry's depth from the top.
+
+Three policies ship:
+
+``lru``
+    Plain least-recently-used over all entries (hits refresh recency).
+
+``slru`` (alias ``2q``)
+    Segmented LRU: new entries enter a *probationary* segment; a hit
+    promotes to the *protected* segment.  Victims come from the
+    probationary side first, so one streaming scan cannot flush entries
+    that have proven reuse — the classic 2Q/SLRU scan resistance.
+
+``level`` / ``level:K``
+    Level-aware: the top ``K`` tree levels (root = level 0) are *pinned* —
+    every traversal of the BLOB passes through them, so they are the
+    highest-value entries a shared cache can hold — and victims are chosen
+    deepest-level-first (leaves before inner nodes), LRU within a level.
+    When every entry is pinned and the cache is still over capacity the
+    policy degrades to plain LRU over the pinned set rather than refusing
+    to make room (documented, counted by the owning cache's stats).
+
+:func:`make_policy` builds a policy from a spec string so cluster configs
+and benchmark sweeps can name policies declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import StorageError
+
+#: cache key of one at-or-before lookup (shared with MetadataNodeCache)
+HintKey = Tuple[str, int, int, int]
+
+#: default number of pinned top levels of the level-aware policy
+DEFAULT_PIN_LEVELS = 3
+
+
+class EvictionPolicy:
+    """Interface every eviction policy implements.
+
+    The owning cache calls :meth:`record_insert` / :meth:`record_hit` /
+    :meth:`record_remove` to mirror its entry set, and :meth:`select_victim`
+    when it must shed one entry.  A policy must return a key it was told
+    about (and not yet told to remove); the cache performs the removal and
+    reports it back through :meth:`record_remove`.
+    """
+
+    name = "abstract"
+
+    def record_insert(self, key: HintKey) -> None:
+        raise NotImplementedError
+
+    def record_hit(self, key: HintKey) -> None:
+        raise NotImplementedError
+
+    def record_remove(self, key: HintKey) -> None:
+        raise NotImplementedError
+
+    def select_victim(self) -> Optional[HintKey]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class LRUPolicy(EvictionPolicy):
+    """Plain least-recently-used ordering over every entry."""
+
+    name = "lru"
+
+    def __init__(self):
+        # insertion order doubles as recency order (move-to-end on hit)
+        self._order: Dict[HintKey, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def record_insert(self, key: HintKey) -> None:
+        self._order.pop(key, None)
+        self._order[key] = None
+
+    def record_hit(self, key: HintKey) -> None:
+        if key in self._order:
+            del self._order[key]
+            self._order[key] = None
+
+    def record_remove(self, key: HintKey) -> None:
+        self._order.pop(key, None)
+
+    def select_victim(self) -> Optional[HintKey]:
+        return next(iter(self._order), None)
+
+
+class SegmentedLRUPolicy(EvictionPolicy):
+    """2Q-style segmented LRU: probationary until a hit proves reuse.
+
+    ``protected_fraction`` bounds the protected segment relative to the
+    total entry count; when promotion overfills it, the protected LRU entry
+    is demoted back to the probationary side (not evicted), as in classic
+    SLRU.
+    """
+
+    name = "slru"
+
+    def __init__(self, protected_fraction: float = 0.5):
+        if not 0.0 < protected_fraction < 1.0:
+            raise StorageError(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}")
+        self.protected_fraction = protected_fraction
+        self._probation: Dict[HintKey, None] = {}
+        self._protected: Dict[HintKey, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def record_insert(self, key: HintKey) -> None:
+        if key in self._protected:
+            # overwrite of a proven entry keeps its protection, refreshed
+            del self._protected[key]
+            self._protected[key] = None
+            return
+        self._probation.pop(key, None)
+        self._probation[key] = None
+
+    def record_hit(self, key: HintKey) -> None:
+        if key in self._protected:
+            del self._protected[key]
+            self._protected[key] = None
+            return
+        if key not in self._probation:
+            return
+        del self._probation[key]
+        self._protected[key] = None
+        # keep the protected segment bounded: demote its LRU entry
+        limit = max(1, int(len(self) * self.protected_fraction))
+        while len(self._protected) > limit:
+            demoted = next(iter(self._protected))
+            del self._protected[demoted]
+            self._probation[demoted] = None
+
+    def record_remove(self, key: HintKey) -> None:
+        self._probation.pop(key, None)
+        self._protected.pop(key, None)
+
+    def select_victim(self) -> Optional[HintKey]:
+        victim = next(iter(self._probation), None)
+        if victim is not None:
+            return victim
+        return next(iter(self._protected), None)
+
+
+class LevelAwarePolicy(EvictionPolicy):
+    """Pin the top ``pin_levels`` tree levels; evict deepest-first.
+
+    Every read of a BLOB traverses the same upper tree nodes, so a shared
+    cache earns the most from keeping them resident.  The policy learns each
+    BLOB's root span as the largest node span it observes (the root is the
+    first node any traversal resolves, so the estimate is exact from the
+    first insert) and pins every entry within ``pin_levels`` levels of it.
+    Unpinned entries are evicted deepest level first — leaves stream through
+    without ever displacing the shared upper levels — falling back to plain
+    LRU over the pinned set only when nothing else is left.
+    """
+
+    name = "level"
+
+    def __init__(self, pin_levels: int = DEFAULT_PIN_LEVELS):
+        if pin_levels < 1:
+            raise StorageError(f"pin_levels must be >= 1, got {pin_levels}")
+        self.pin_levels = pin_levels
+        self._order: Dict[HintKey, None] = {}
+        #: largest node span seen per BLOB (== the root span once the root
+        #: has been observed, which every traversal resolves first)
+        self._root_span: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # ------------------------------------------------------------------
+    def pinned(self, key: HintKey) -> bool:
+        """Whether ``key`` sits within the pinned top levels of its BLOB."""
+        blob_id, _offset, size, _hint = key
+        root_span = self._root_span.get(blob_id, 0)
+        if size <= 0 or root_span <= 0:
+            return False
+        # level 0 = root; pinned iff level < pin_levels, i.e. the span is
+        # within pin_levels-1 halvings of the root span
+        return size << (self.pin_levels - 1) >= root_span
+
+    def _observe_span(self, key: HintKey) -> None:
+        blob_id, _offset, size, _hint = key
+        if size > self._root_span.get(blob_id, 0):
+            self._root_span[blob_id] = size
+
+    # ------------------------------------------------------------------
+    def record_insert(self, key: HintKey) -> None:
+        self._observe_span(key)
+        self._order.pop(key, None)
+        self._order[key] = None
+
+    def record_hit(self, key: HintKey) -> None:
+        if key in self._order:
+            del self._order[key]
+            self._order[key] = None
+
+    def record_remove(self, key: HintKey) -> None:
+        self._order.pop(key, None)
+
+    def select_victim(self) -> Optional[HintKey]:
+        victim: Optional[HintKey] = None
+        victim_span = None
+        fallback: Optional[HintKey] = None
+        for key in self._order:  # LRU -> MRU
+            if fallback is None:
+                fallback = key
+            if self.pinned(key):
+                continue
+            span = key[2]
+            # smallest span = deepest level; LRU breaks ties (first seen in
+            # recency order wins, and we only replace on strictly deeper)
+            if victim is None or span < victim_span:
+                victim, victim_span = key, span
+        return victim if victim is not None else fallback
+
+
+#: policy constructors by spec name
+POLICIES = {
+    "lru": LRUPolicy,
+    "slru": SegmentedLRUPolicy,
+    "2q": SegmentedLRUPolicy,
+    "level": LevelAwarePolicy,
+}
+
+
+def make_policy(spec) -> EvictionPolicy:
+    """Build an eviction policy from a spec.
+
+    ``spec`` is either an :class:`EvictionPolicy` instance (returned as-is),
+    or a string: ``"lru"``, ``"slru"`` (alias ``"2q"``), ``"level"`` or
+    ``"level:K"`` with ``K`` pinned top levels.
+    """
+    if isinstance(spec, EvictionPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise StorageError(f"policy spec must be a string, got {spec!r}")
+    name, _, argument = spec.partition(":")
+    name = name.strip().lower()
+    if name not in POLICIES:
+        raise StorageError(
+            f"unknown eviction policy {spec!r}; choose from {sorted(POLICIES)}")
+    if not argument:
+        return POLICIES[name]()
+    if name != "level":
+        raise StorageError(f"policy {name!r} takes no argument, got {spec!r}")
+    try:
+        pin_levels = int(argument)
+    except ValueError:
+        raise StorageError(f"bad pin level count in {spec!r}") from None
+    return LevelAwarePolicy(pin_levels=pin_levels)

@@ -32,6 +32,7 @@ from repro.errors import InvalidRegion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.blobseer.metadata.cache import MetadataNodeCache
+    from repro.blobseer.metadata.sharedcache import NodeCacheService
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +232,12 @@ class ReadPlan:
     cache_hits: int = 0
     cache_misses: int = 0
     metadata_rpcs: int = 0
+    #: lookups the node-local *shared* tier answered after a private miss
+    shared_hits: int = 0
+    #: lookups neither tier answered (shipped to the metadata providers);
+    #: ``cache_hits + shared_hits + requests_fetched`` partitions the
+    #: traversal's deduplicated lookups exactly
+    requests_fetched: int = 0
 
     def chunk_bytes(self) -> int:
         """Bytes that must be fetched from data providers."""
@@ -258,7 +265,11 @@ class ReadPlanner:
     per level (O(levels × shards) round-trips instead of O(nodes)), while unit
     tests drive it with plain callbacks.  A :class:`MetadataNodeCache` short-
     circuits lookups whose result the client has already seen — immutable
-    nodes make every cached answer permanently valid.
+    nodes make every cached answer permanently valid.  ``shared`` plugs a
+    second, node-local tier (:class:`~repro.blobseer.metadata.sharedcache.
+    NodeCacheService`) consulted on a private miss: hits there are promoted
+    into the private cache, and freshly fetched results are offered back so
+    co-located clients amortize one fetch across the whole node.
 
     Protocol::
 
@@ -277,6 +288,7 @@ class ReadPlanner:
 
     def __init__(self, blob: BlobDescriptor, version: int, regions: RegionList,
                  cache: Optional["MetadataNodeCache"] = None,
+                 shared: Optional["NodeCacheService"] = None,
                  trace: Optional[Dict[NodeRequest,
                                       Optional[MetadataNode]]] = None):
         wanted = regions.normalized()
@@ -285,6 +297,7 @@ class ReadPlanner:
         self.blob = blob
         self.version = version
         self.cache = cache
+        self.shared = shared
         self.trace = trace
         self.extents: List[ReadExtent] = []
         self.nodes_fetched = 0
@@ -292,6 +305,8 @@ class ReadPlanner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.metadata_rpcs = 0
+        self.shared_hits = 0
+        self.requests_fetched = 0
         # frontier entries: (offset, size, version_hint, wanted RegionList)
         self._frontier: List[Tuple[int, int, int, RegionList]] = []
         if len(wanted) > 0:
@@ -319,9 +334,16 @@ class ReadPlanner:
             raise InvalidRegion(
                 f"advance() is missing results for {missing[:3]}"
                 f"{'...' if len(missing) > 3 else ''}")
-        if self.cache is not None:
-            for request in self._pending:
+        self.requests_fetched += len(self._pending)
+        for request in self._pending:
+            if self.cache is not None:
                 self.cache.put(self.blob.blob_id, *request, fetched[request])
+            if self.shared is not None:
+                # offer the fresh result to the node-local tier so the next
+                # co-located traversal skips the RPC; the service's
+                # watermark gate decides admission
+                self.shared.publish(self.blob.blob_id, *request,
+                                    fetched[request])
 
         self.levels += 1
         next_frontier: List[Tuple[int, int, int, RegionList]] = []
@@ -367,7 +389,9 @@ class ReadPlanner:
         return ReadPlan(extents=self.extents, nodes_fetched=self.nodes_fetched,
                         levels=self.levels, cache_hits=self.cache_hits,
                         cache_misses=self.cache_misses,
-                        metadata_rpcs=self.metadata_rpcs)
+                        metadata_rpcs=self.metadata_rpcs,
+                        shared_hits=self.shared_hits,
+                        requests_fetched=self.requests_fetched)
 
     # ------------------------------------------------------------------
     def _scan_frontier(self) -> None:
@@ -387,6 +411,19 @@ class ReadPlanner:
                     self.cache_hits += 1
                     continue
                 self.cache_misses += 1
+            if self.shared is not None:
+                # second tier: the node-local shared pool a co-located rank
+                # may already have filled.  A shared hit is promoted into
+                # the private cache so this client's repeats stay local.
+                found, node = self.shared.get(self.blob.blob_id, offset,
+                                              size, hint)
+                if found:
+                    self._cached_level[request] = node
+                    self.shared_hits += 1
+                    if self.cache is not None:
+                        self.cache.put(self.blob.blob_id, offset, size, hint,
+                                       node)
+                    continue
             self._pending.append(request)
 
 

@@ -1,0 +1,220 @@
+"""Node-local shared metadata cache: one service per simulated compute node.
+
+Every client (MPI rank) placed on a node attaches to that node's
+:class:`NodeCacheService`, so co-located ranks share one pool of resolved
+metadata lookups instead of each re-fetching the identical upper-tree nodes
+— the gap independent readers on the same node hit even after collective
+plan broadcasts warmed the *participants*.  Versioned tree nodes are
+immutable, so sharing needs no invalidation protocol; the one thing the
+shared tier must never do is hold an entry a crashed co-tenant produced for
+a version that never published.
+
+**Admission is therefore gated on the published watermark.**  A private
+:class:`~repro.blobseer.metadata.cache.MetadataNodeCache` may hold
+write-through entries of a version whose ``complete`` is still in flight —
+if that client dies, its private cache dies with it and nothing leaks.  The
+shared tier outlives its clients, and an aborted ticket *publishes empty*
+(the version manager republishes the base snapshot under the dead version
+number so publication never stalls), so a poisoned shared entry under that
+version would serve the dead writer's rolled-back nodes to every later
+reader on the node.  :meth:`NodeCacheService.publish` refuses any entry
+whose version hint exceeds the newest *published* version the service has
+been told about (:meth:`note_published`, fed by every attached client's
+watermark observations); read-path traversals always target published
+snapshots, so their results pass the gate as soon as the node has seen the
+version — while a writer's pre-publication state never enters.
+
+Access is modeled as free of simulated time: the service stands in for a
+shared-memory segment (or a node-local daemon reached over loopback), whose
+cost is negligible against the 100 µs-scale network round-trip a metadata
+RPC costs — exactly the trade the subsystem exists to exploit.
+
+Eviction is pluggable (:mod:`repro.blobseer.metadata.policy`): plain LRU,
+segmented LRU, or the level-aware policy that pins the top tree levels
+every traversal shares.  Per-tier statistics (hits/misses/insertions/
+evictions plus gate rejections) feed the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.blobseer.metadata.policy import EvictionPolicy, make_policy
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.metadata.nodes import MetadataNode
+
+#: cache key of one at-or-before lookup (same shape as the private cache)
+HintKey = Tuple[str, int, int, int]
+
+#: sentinel distinguishing "not cached" from a cached negative (None) result
+_ABSENT = object()
+
+
+class SharedCacheStats:
+    """Counters of one node's shared tier (surfaced in benchmark artifacts)."""
+
+    def __init__(self):
+        self.hits: int = 0
+        self.misses: int = 0
+        self.insertions: int = 0
+        self.evictions: int = 0
+        #: publications refused because the entry's version hint exceeded
+        #: the node's published watermark (the safety gate; see module doc)
+        self.unpublished_rejections: int = 0
+        #: admissions declined because capacity was exhausted (a policy may
+        #: decline rather than evict — e.g. fully pinned level-aware caches)
+        self.capacity_rejections: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the shared tier."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict form for JSON benchmark artifacts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "unpublished_rejections": self.unpublished_rejections,
+            "capacity_rejections": self.capacity_rejections,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class NodeCacheService:
+    """The shared metadata cache of one simulated compute node.
+
+    ``capacity`` bounds the entry count (``None`` = unbounded); ``policy``
+    is an eviction-policy spec (see
+    :func:`repro.blobseer.metadata.policy.make_policy`) or instance.
+    Clients attach with :meth:`attach` and detach with :meth:`detach`; the
+    entry pool deliberately survives detaches — immutable published nodes
+    stay valid for the next tenant, which is the whole point of node-local
+    sharing (and safe precisely because of the admission gate).
+    """
+
+    def __init__(self, node_name: str, capacity: Optional[int] = None,
+                 policy="lru"):
+        if capacity is not None and capacity <= 0:
+            raise StorageError(
+                f"capacity must be positive or None, got {capacity}")
+        self.node_name = node_name
+        self.capacity = capacity
+        self.policy: EvictionPolicy = make_policy(policy)
+        self.stats = SharedCacheStats()
+        self._entries: Dict[HintKey, Optional["MetadataNode"]] = {}
+        #: newest *published* version this node has observed, per BLOB —
+        #: the admission gate (fed by attached clients' note_published)
+        self._watermarks: Dict[str, int] = {}
+        #: names of currently attached clients (observability/debugging)
+        self.attached: List[str] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def attach(self, client_name: str) -> None:
+        """Register a co-located client (bookkeeping only)."""
+        self.attached.append(client_name)
+
+    def detach(self, client_name: str) -> None:
+        """Unregister a client; cached published entries stay resident."""
+        if client_name in self.attached:
+            self.attached.remove(client_name)
+
+    # ------------------------------------------------------------------
+    # the publication watermark gate
+    # ------------------------------------------------------------------
+    def note_published(self, blob_id: str, version: int) -> None:
+        """Record that ``version`` of ``blob_id`` is known published."""
+        if version > self._watermarks.get(blob_id, 0):
+            self._watermarks[blob_id] = version
+
+    def watermark(self, blob_id: str) -> int:
+        """Newest published version this node has observed for ``blob_id``."""
+        return self._watermarks.get(blob_id, 0)
+
+    # ------------------------------------------------------------------
+    def get(self, blob_id: str, offset: int, size: int,
+            hint: int) -> Tuple[bool, Optional["MetadataNode"]]:
+        """Shared-tier lookup: ``(True, node_or_None)`` on a hit."""
+        key = (blob_id, offset, size, hint)
+        value = self._entries.get(key, _ABSENT)
+        if value is _ABSENT:
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        self.policy.record_hit(key)
+        return True, value
+
+    def publish(self, blob_id: str, offset: int, size: int, hint: int,
+                node: Optional["MetadataNode"]) -> bool:
+        """Offer one resolved lookup to the shared tier.
+
+        Admitted only when ``hint`` does not exceed the node's published
+        watermark — the gate that keeps a crashed client's pre-publication
+        state out of the shared pool (see module docstring).  Returns
+        whether the entry (or its alias) was admitted.
+        """
+        if hint > self.watermark(blob_id):
+            self.stats.unpublished_rejections += 1
+            return False
+        admitted = self._insert((blob_id, offset, size, hint), node)
+        if node is not None and node.key.version != hint:
+            # alias under the exact version, like the private cache: other
+            # hints resolving through this version share the entry.  The
+            # node's version is <= hint (at-or-before), so it passes the
+            # same gate by construction.
+            admitted = self._insert(
+                (blob_id, offset, size, node.key.version), node) or admitted
+        return admitted
+
+    def _insert(self, key: HintKey, node: Optional["MetadataNode"]) -> bool:
+        if key in self._entries:
+            self._entries[key] = node
+            self.policy.record_hit(key)
+            return True
+        self._entries[key] = node
+        self.policy.record_insert(key)
+        self.stats.insertions += 1
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            victim = self.policy.select_victim()
+            if victim is None:  # pragma: no cover - defensive (policies
+                # always return a key they hold); decline the admission
+                del self._entries[key]
+                self.policy.record_remove(key)
+                self.stats.insertions -= 1
+                self.stats.capacity_rejections += 1
+                return False
+            del self._entries[victim]
+            self.policy.record_remove(victim)
+            if victim == key:
+                # the policy chose the newcomer itself (everything else is
+                # pinned): the admission is declined, not an eviction, and
+                # the insertion is rolled back so the counters reconcile
+                self.stats.insertions -= 1
+                self.stats.capacity_rejections += 1
+                return False
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (watermarks and counters are kept)."""
+        for key in list(self._entries):
+            self.policy.record_remove(key)
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<NodeCacheService {self.node_name} entries={len(self)} "
+                f"policy={self.policy.name} hits={self.stats.hits}>")

@@ -173,11 +173,11 @@ class PipelinedCommitEngine:
 
         # 6. completion -> in-order publication at the version manager
         if defer_complete and self.pipelining:
-            process = sim.process(self._complete(blob_id, version),
+            process = sim.process(self._complete(blob_id, version, nodes=nodes),
                                   name=f"{client.name}:complete:v{version}")
             self._inflight.setdefault(blob_id, []).append(process)
         else:
-            yield from self._complete(blob_id, version)
+            yield from self._complete(blob_id, version, nodes=nodes)
 
         client.bytes_written += vector.total_bytes()
         client.writes += 1
@@ -276,11 +276,28 @@ class PipelinedCommitEngine:
             by_shard.setdefault(index, []).append(node)
         return by_shard
 
-    def _complete(self, blob_id: str, version: int):
-        """Report completion; remember the returned publication watermark."""
+    def _complete(self, blob_id: str, version: int, nodes=None):
+        """Report completion; remember the returned publication watermark.
+
+        When the returned watermark already covers this commit's version,
+        the write-through nodes are additionally offered to the node-local
+        shared cache — co-located readers then start warm without any of
+        them fetching.  A watermark still below ``version`` (an earlier
+        ticket in flight) skips the offer: the shared tier must never hold
+        a version the node has not seen published, and the nodes will be
+        admitted the first time any co-tenant fetches them after
+        publication.
+        """
         latest = yield from self._wcontrol(
             self.client.deployment.version_manager, "complete", blob_id, version)
         self.client.note_published(blob_id, latest)
+        client = self.client
+        if (nodes and client.write_through_cache
+                and client.shared_cache is not None and latest >= version):
+            for node in nodes:
+                client.shared_cache.publish(
+                    blob_id, node.key.offset, node.key.size,
+                    node.key.version, node)
         return latest
 
     def _store_nodes(self, blob: "BlobDescriptor", nodes: List["MetadataNode"]):

@@ -22,12 +22,13 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.disk import Disk
 from repro.cluster.network import Network
 from repro.cluster.node import Node
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, placement_map
 from repro.cluster.rpc import RpcTransport, Service, remote_call
 
 __all__ = [
     "ClusterConfig",
     "Cluster",
+    "placement_map",
     "Disk",
     "Network",
     "Node",

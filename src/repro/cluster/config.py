@@ -51,6 +51,28 @@ class ClusterConfig:
     #: can override per instance (``collective_aggregators=``).  The count is
     #: always clamped to the communicator size
     collective_aggregators: Optional[int] = None
+    #: default rank->node placement density of MPI jobs: how many rank
+    #: processes share one compute node.  1 reproduces the paper's
+    #: one-process-per-node Grid'5000 placement; larger values model
+    #: multi-core nodes, where co-located ranks share a NIC *and* the
+    #: node-local metadata cache.  Jobs can override per launch
+    #: (``ranks_per_node=`` / an explicit ``placement`` map)
+    ranks_per_node: int = 1
+    #: whether clients attach to their compute node's shared metadata cache
+    #: tier (:class:`~repro.blobseer.metadata.sharedcache.NodeCacheService`).
+    #: Off by default so single-rank-per-node baselines stay unchanged;
+    #: individual clients can override (``shared_metadata_cache=``)
+    shared_metadata_cache: bool = False
+    #: entry bound of each node's shared cache (``None`` = unbounded)
+    shared_cache_capacity: Optional[int] = None
+    #: eviction policy of the shared tier: ``"lru"``, ``"slru"``/``"2q"``,
+    #: or ``"level"``/``"level:K"`` (pin the top K tree levels)
+    shared_cache_policy: str = "lru"
+    #: whether metadata fetches speculatively prefetch the children of
+    #: resolved inner nodes (and leaf base versions) the answering shard
+    #: owns — fewer round-trip levels for slightly more node traffic.
+    #: Individual clients can override (``metadata_prefetch=``)
+    metadata_prefetch: bool = False
 
     def copy(self, **overrides) -> "ClusterConfig":
         """A copy of the config with selected fields replaced."""

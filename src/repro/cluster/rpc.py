@@ -49,11 +49,16 @@ class RpcTransport:
         self.total_response_bytes: int = 0
 
     def call(self, caller: "Node", service: Service, method: str,
-             request_bytes: int, response_bytes: int, *args: Any, **kwargs: Any):
+             request_bytes: int, response_bytes, *args: Any, **kwargs: Any):
         """Invoke ``service.method(*args, **kwargs)`` with transport costs.
 
         The method must be a generator function; its return value is returned
         to the caller after the response transfer completes.
+        ``response_bytes`` may be a callable evaluated on the handler's
+        result — the hook for responses whose wire size only the server
+        knows (e.g. speculative metadata prefetches riding on a batched
+        fetch), mirroring the callable payload sizing of the simulated
+        collectives.
         """
         sim = self.cluster.sim
         config = self.cluster.config
@@ -63,7 +68,6 @@ class RpcTransport:
 
         self.total_calls += 1
         self.total_request_bytes += request_bytes
-        self.total_response_bytes += response_bytes
         service._account(method)
 
         # request
@@ -74,7 +78,10 @@ class RpcTransport:
             yield sim.timeout(config.rpc_handling_overhead)
         # server-side work
         result = yield from handler(*args, **kwargs)
-        # response
+        # response (sized from the result when the caller passed a callable)
+        if callable(response_bytes):
+            response_bytes = response_bytes(result)
+        self.total_response_bytes += response_bytes
         yield from self.cluster.network.transfer(
             service.node, caller, max(response_bytes, config.control_message_size))
         return result

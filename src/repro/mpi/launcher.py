@@ -49,19 +49,28 @@ class MPIJobResult:
 
 def launch_mpi_job(cluster: "Cluster", num_ranks: int, rank_main: RankMain,
                    nodes: Optional[Sequence["Node"]] = None,
-                   node_prefix: str = "rank") -> List["Process"]:
+                   node_prefix: str = "rank",
+                   ranks_per_node: Optional[int] = None,
+                   placement: Optional[Sequence[int]] = None) -> List["Process"]:
     """Start ``num_ranks`` rank processes and return them without waiting.
 
-    Each rank runs on its own compute node (created on demand unless
-    ``nodes`` is given), matching the one-process-per-node placement of the
-    paper's Grid'5000 experiments.
+    Placement: by default each rank runs on its own compute node (created on
+    demand), matching the one-process-per-node placement of the paper's
+    Grid'5000 experiments — unless the cluster config raises
+    ``ranks_per_node``, the call does (``ranks_per_node=k`` packs ``k``
+    consecutive ranks per node), or an explicit ``placement`` map names a
+    node index for every rank.  Co-located ranks share that node's NIC and
+    its node-local metadata cache.  ``nodes`` (rank-indexed, repeats
+    allowed) overrides all of that.
     """
     if num_ranks <= 0:
         raise MPIError(f"num_ranks must be positive, got {num_ranks}")
     if nodes is not None and len(nodes) < num_ranks:
         raise MPIError(f"{num_ranks} ranks need at least {num_ranks} nodes")
     if nodes is None:
-        nodes = cluster.add_nodes(node_prefix, num_ranks, role="compute")
+        nodes = cluster.place_ranks(node_prefix, num_ranks,
+                                    ranks_per_node=ranks_per_node,
+                                    placement=placement)
 
     comm = Communicator(cluster, num_ranks)
     processes: List["Process"] = []
@@ -75,10 +84,14 @@ def launch_mpi_job(cluster: "Cluster", num_ranks: int, rank_main: RankMain,
 
 def run_mpi_job(cluster: "Cluster", num_ranks: int, rank_main: RankMain,
                 nodes: Optional[Sequence["Node"]] = None,
-                node_prefix: str = "rank") -> MPIJobResult:
+                node_prefix: str = "rank",
+                ranks_per_node: Optional[int] = None,
+                placement: Optional[Sequence[int]] = None) -> MPIJobResult:
     """Run an MPI job to completion and return every rank's result."""
     started_at = cluster.sim.now
-    processes = launch_mpi_job(cluster, num_ranks, rank_main, nodes, node_prefix)
+    processes = launch_mpi_job(cluster, num_ranks, rank_main, nodes, node_prefix,
+                               ranks_per_node=ranks_per_node,
+                               placement=placement)
 
     def waiter():
         yield cluster.sim.all_of(processes)

@@ -68,7 +68,9 @@ against the segment tree independently — ``N`` ``latest`` round-trips and
 3. scatters the fetched pieces back over ``alltoallv``, piggybacking each
    resolver's traversal trace so every rank's node cache warms up from the
    broadcast plan (subsequent independent reads start warm, again at zero
-   RPC cost);
+   RPC cost); never-written ranges travel as compact *hole descriptors* —
+   16 bytes each instead of their literal zero payload — and are
+   materialized locally by the receiving rank (zero-extent elision);
 4. shares outcomes in a closing ``allgather``: failures anywhere raise on
    every rank (nobody hangs in a half-entered collective), caches are only
    populated from complete, group-approved plans, and on success every rank
@@ -452,6 +454,10 @@ class CollectiveReadStats:
     version_rpcs_elided: int = 0
     #: metadata plan entries this rank shipped to its peers
     plan_nodes_shipped: int = 0
+    #: never-written bytes this rank, as a resolver, shipped as compact
+    #: hole descriptors instead of literal zeros (zero-extent elision:
+    #: these bytes would have crossed the interconnect without it)
+    hole_bytes_elided: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict form for benchmark artifacts."""
@@ -463,6 +469,7 @@ class CollectiveReadStats:
             "version_rpcs": self.version_rpcs,
             "version_rpcs_elided": self.version_rpcs_elided,
             "plan_nodes_shipped": self.plan_nodes_shipped,
+            "hole_bytes_elided": self.hole_bytes_elided,
         }
 
 
@@ -567,8 +574,8 @@ class CollectiveReader(_CollectiveParticipant):
         # union extent.  A rank failing here still enters the data exchange
         # empty-handed and reports through the closing phase, so its peers
         # never hang mid-collective.
-        send: List[Tuple[List[Tuple[int, bytes]], list]] = \
-            [([], []) for _ in range(comm.size)]
+        send: List[Tuple[List[Tuple[int, bytes]], list, list]] = \
+            [([], [], []) for _ in range(comm.size)]
         if failure is None:
             try:
                 blob = yield from client._descriptor(blob_id)
@@ -579,15 +586,18 @@ class CollectiveReader(_CollectiveParticipant):
                 if rank in owners:
                     send = yield from self._resolve_stripe(
                         blob_id, pinned, domains[owners.index(rank)],
-                        extents_by_rank, comm.size)
+                        extents_by_rank, comm.size, rank)
             except Exception as exc:
                 failure = exc
-                send = [([], []) for _ in range(comm.size)]
+                send = [([], [], []) for _ in range(comm.size)]
 
-        # phase 3: scatter fetched pieces (and the plan trace) to the ranks
+        # phase 3: scatter fetched pieces (and the plan trace) to the ranks.
+        # Never-written ranges travel as (offset, length) hole descriptors —
+        # 16 bytes each — instead of their literal zero payload
         def item_bytes(item):
-            pieces, plan = item
+            pieces, piece_holes, plan = item
             return (sum(len(data) + 16 for _offset, data in pieces)
+                    + len(piece_holes) * 16
                     + len(plan) * node_size)
 
         self.stats.bytes_sent += sum(item_bytes(item)
@@ -613,21 +623,30 @@ class CollectiveReader(_CollectiveParticipant):
         self.stats.bytes_received += sum(
             item_bytes(item) for source, item in enumerate(received)
             if source != rank)
+        # the group pin is a published version every rank must remember
+        # *before* absorbing the plan: recording it re-plants the one-shot
+        # hint and opens the shared tier's watermark gate for the plan's
+        # nodes (all resolved at or below the pin)
+        client.note_collective_read(blob_id, pinned)
         # cache warming from the broadcast plan: resolved lookups of the
         # pinned (published, immutable) snapshot, deduplicated across the
         # resolvers that shipped them
         absorbed: Dict = {}
-        for _pieces, plan in received:
+        for _pieces, _holes, plan in received:
             for request, node in plan:
                 absorbed.setdefault(request, node)
         if absorbed:
             client.absorb_plan_nodes(blob_id, list(absorbed.items()))
 
+        # hole descriptors materialize locally — the zeros never crossed
+        # the interconnect
         fetched = [(offset, len(data), data)
-                   for pieces, _plan in received
+                   for pieces, _holes, _plan in received
                    for offset, data in pieces]
+        fetched.extend((offset, length, b"\x00" * length)
+                       for _pieces, piece_holes, _plan in received
+                       for offset, length in piece_holes)
         results = client._assemble(vector, fetched)
-        client.note_collective_read(blob_id, pinned)
         self.stats.collectives += 1
         return results
 
@@ -635,20 +654,22 @@ class CollectiveReader(_CollectiveParticipant):
     def _resolve_stripe(self, blob_id: str, version: int,
                         domain: Tuple[int, int],
                         extents_by_rank: List[List[Tuple[int, int]]],
-                        size: int):
+                        size: int, rank: int):
         """Resolve and fetch one stripe; cut the bytes per destination rank.
 
         One batched :class:`~repro.blobseer.metadata.segment_tree.
         ReadPlanner` walk over the union of every rank's wanted bytes within
         the stripe (each metadata node resolved once however many ranks want
         it), one parallel chunk fetch, then per-rank extraction.  Returns
-        the ``send`` list for the data exchange: ``(pieces, plan)`` per
-        destination, where ``plan`` is the traversal trace every rank uses
-        to warm its cache.
+        the ``send`` list for the data exchange: ``(pieces, holes, plan)``
+        per destination — ``holes`` are the never-written ranges within that
+        rank's wanted bytes, shipped as ``(offset, length)`` descriptors
+        instead of literal zero payloads (zero-extent elision), and ``plan``
+        is the traversal trace every rank uses to warm its cache.
         """
         start, end = domain
-        send: List[Tuple[List[Tuple[int, bytes]], list]] = \
-            [([], []) for _ in range(size)]
+        send: List[Tuple[List[Tuple[int, bytes]], list, list]] = \
+            [([], [], []) for _ in range(size)]
         if end <= start:
             return send
         stripe = Region(start, end - start)
@@ -665,16 +686,19 @@ class CollectiveReader(_CollectiveParticipant):
             return send
 
         trace: Dict = {}
+        zero_extents: List[Region] = []
         pieces = yield from self.client._vectored_read(
             blob_id, IOVector.for_read(union.as_tuples()), version,
-            trace=trace)
+            trace=trace, holes=zero_extents)
         self.stats.stripes_resolved += 1
         plan = list(trace.items())
         self.stats.plan_nodes_shipped += len(plan) * (size - 1)
+        hole_list = RegionList(zero_extents)
 
         buffers = list(zip(union, pieces))
         for destination, wanted in enumerate(wanted_by_rank):
             cut: List[Tuple[int, bytes]] = []
+            cut_holes: List[Tuple[int, int]] = []
             index = 0
             for region in wanted:
                 # a wanted region is contained in exactly one union region
@@ -683,8 +707,15 @@ class CollectiveReader(_CollectiveParticipant):
                 while buffers[index][0].end < region.end:
                     index += 1
                 source, data = buffers[index]
-                offset = region.offset - source.offset
-                cut.append((region.offset,
-                            data[offset:offset + region.size]))
-            send[destination] = (cut, plan)
+                holes_here = hole_list.clip(region)
+                for hole in holes_here:
+                    cut_holes.append((hole.offset, hole.size))
+                for part in RegionList((region,)).subtract(holes_here):
+                    offset = part.offset - source.offset
+                    cut.append((part.offset,
+                                data[offset:offset + part.size]))
+            if destination != rank:
+                self.stats.hole_bytes_elided += sum(length for _offset, length
+                                                    in cut_holes)
+            send[destination] = (cut, cut_holes, plan)
         return send

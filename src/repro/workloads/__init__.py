@@ -20,7 +20,10 @@
   two-phase collective buffering aggregates;
 * :mod:`repro.workloads.collective_read` — the read-side mirror: per-round
   collective scans of a checkpoint's interleaved blocks (optionally with
-  halo overlap), the pattern aggregated metadata resolution serves.
+  halo overlap), the pattern aggregated metadata resolution serves;
+* :mod:`repro.workloads.shared_scan` — independent readers co-located on
+  shared compute nodes (identical-extent and streaming patterns), the
+  workload the node-local shared metadata cache amortizes.
 """
 
 from repro.workloads.domain import DomainDecomposition, process_grid
@@ -28,6 +31,7 @@ from repro.workloads.overlap_stress import OverlapStressWorkload
 from repro.workloads.queued_writes import QueuedWritesWorkload
 from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
 from repro.workloads.collective_read import CollectiveReadWorkload
+from repro.workloads.shared_scan import SharedScanWorkload
 from repro.workloads.tile_io import TileIOWorkload
 from repro.workloads.ghost_cells import GhostCellSimulation
 
@@ -38,6 +42,7 @@ __all__ = [
     "QueuedWritesWorkload",
     "CollectiveCheckpointWorkload",
     "CollectiveReadWorkload",
+    "SharedScanWorkload",
     "TileIOWorkload",
     "GhostCellSimulation",
 ]

@@ -16,6 +16,14 @@ deduplication of shared extents is exercised too.  The file contents are
 those of the matching :class:`~repro.workloads.collective_checkpoint.
 CollectiveCheckpointWorkload`, so every read's expected bytes are known in
 closed form and every read mode must return byte-identical data.
+
+``hole_every`` makes the dump *sparse*: every ``hole_every``-th block slot
+is never written and reads back as zeros — the shape that exercises
+zero-extent elision in the collective read scatter (resolvers ship hole
+descriptors instead of literal zero bytes).  :meth:`seed_pairs` yields the
+write vector that produces exactly this sparse dump, and
+:meth:`expected_contents` zero-fills the hole slots so the byte-identity
+oracle stays exact.
 """
 
 from __future__ import annotations
@@ -37,10 +45,18 @@ class CollectiveReadWorkload:
     block_size: int = 4096
     #: extra blocks each rank reads past its own (overlap across ranks)
     halo_blocks: int = 0
+    #: sparseness: when > 0, every ``hole_every``-th block slot of each
+    #: section is never written (reads back as zeros); 0 = dense dump
+    hole_every: int = 0
 
     def __post_init__(self) -> None:
         if self.halo_blocks < 0:
             raise BenchmarkError("halo_blocks must be non-negative")
+        if self.hole_every < 0:
+            raise BenchmarkError("hole_every must be non-negative")
+        if self.hole_every == 1:
+            raise BenchmarkError(
+                "hole_every=1 would leave the whole file unwritten")
         # delegate the shared-parameter validation to the content workload
         self.content_workload()
 
@@ -105,9 +121,53 @@ class CollectiveReadWorkload:
         return self.rounds * sum(self.rank_bytes_per_round(rank)
                                  for rank in range(self.num_ranks))
 
+    def is_hole(self, slot: int) -> bool:
+        """Whether a section-relative block slot is never written."""
+        return (self.hole_every > 0
+                and slot % self.hole_every == self.hole_every - 1)
+
+    def hole_bytes_per_section(self) -> int:
+        """Never-written bytes of one section."""
+        return self.block_size * sum(1 for slot in range(self.blocks_per_section)
+                                     if self.is_hole(slot))
+
+    def seed_pairs(self) -> List[Tuple[int, bytes]]:
+        """The ``(offset, payload)`` write vector producing the (sparse) dump.
+
+        Dense dumps yield one pair covering the whole file; sparse ones skip
+        the hole slots, with adjacent written blocks merged into runs.
+        """
+        content = self.content_workload().expected_contents()
+        if self.hole_every <= 0:
+            return [(0, content)]
+        pairs: List[Tuple[int, bytes]] = []
+        for round_index in range(self.rounds):
+            base = round_index * self.section_size
+            for slot in range(self.blocks_per_section):
+                if self.is_hole(slot):
+                    continue
+                offset = base + slot * self.block_size
+                payload = content[offset:offset + self.block_size]
+                if pairs and pairs[-1][0] + len(pairs[-1][1]) == offset:
+                    pairs[-1] = (pairs[-1][0], pairs[-1][1] + payload)
+                else:
+                    pairs.append((offset, payload))
+        return pairs
+
     def expected_contents(self) -> bytes:
-        """Reference contents of the whole file (the checkpoint's dump)."""
-        return self.content_workload().expected_contents()
+        """Reference contents of the whole file (hole slots zero-filled)."""
+        content = self.content_workload().expected_contents()
+        if self.hole_every <= 0:
+            return content
+        sparse = bytearray(content)
+        for round_index in range(self.rounds):
+            base = round_index * self.section_size
+            for slot in range(self.blocks_per_section):
+                if self.is_hole(slot):
+                    offset = base + slot * self.block_size
+                    sparse[offset:offset + self.block_size] = \
+                        b"\x00" * self.block_size
+        return bytes(sparse)
 
     def expected_pieces(self, rank: int, round_index: int) -> bytes:
         """The bytes one rank's scan must return, concatenated."""

@@ -1,0 +1,161 @@
+"""Unit tests for the shared-cache eviction policies."""
+
+import pytest
+
+from repro.blobseer.metadata.policy import (
+    LevelAwarePolicy,
+    LRUPolicy,
+    SegmentedLRUPolicy,
+    make_policy,
+)
+from repro.errors import StorageError
+
+
+def key(offset, size, hint=1, blob="b"):
+    return (blob, offset, size, hint)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy()
+        policy.record_insert(key(0, 4))
+        policy.record_insert(key(4, 4))
+        policy.record_insert(key(8, 4))
+        assert policy.select_victim() == key(0, 4)
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy()
+        policy.record_insert(key(0, 4))
+        policy.record_insert(key(4, 4))
+        policy.record_hit(key(0, 4))
+        assert policy.select_victim() == key(4, 4)
+
+    def test_remove_forgets_the_key(self):
+        policy = LRUPolicy()
+        policy.record_insert(key(0, 4))
+        policy.record_remove(key(0, 4))
+        assert policy.select_victim() is None
+
+    def test_reinsert_refreshes_recency(self):
+        policy = LRUPolicy()
+        policy.record_insert(key(0, 4))
+        policy.record_insert(key(4, 4))
+        policy.record_insert(key(0, 4))
+        assert policy.select_victim() == key(4, 4)
+
+
+class TestSegmentedLRUPolicy:
+    def test_new_entries_are_probationary_victims_first(self):
+        policy = SegmentedLRUPolicy()
+        policy.record_insert(key(0, 4))
+        policy.record_hit(key(0, 4))  # promoted to protected
+        policy.record_insert(key(4, 4))
+        # the probationary newcomer goes before the proven entry
+        assert policy.select_victim() == key(4, 4)
+
+    def test_scan_resistance(self):
+        """A streaming scan of fresh keys cannot flush a proven entry."""
+        policy = SegmentedLRUPolicy()
+        hot = key(0, 4)
+        policy.record_insert(hot)
+        policy.record_hit(hot)
+        for index in range(1, 20):
+            policy.record_insert(key(index * 4, 4))
+            assert policy.select_victim() != hot
+
+    def test_protected_segment_is_bounded(self):
+        policy = SegmentedLRUPolicy(protected_fraction=0.5)
+        for index in range(4):
+            policy.record_insert(key(index * 4, 4))
+        for index in range(4):
+            policy.record_hit(key(index * 4, 4))
+        # at most half the entries stay protected; demoted ones are
+        # evictable again
+        assert len(policy._protected) <= 2
+        assert policy.select_victim() is not None
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(StorageError):
+            SegmentedLRUPolicy(protected_fraction=1.5)
+
+
+class TestLevelAwarePolicy:
+    ROOT = 1024
+
+    def setup_policy(self, pin_levels=2):
+        policy = LevelAwarePolicy(pin_levels=pin_levels)
+        # a traversal always resolves the root first
+        policy.record_insert(key(0, self.ROOT))
+        return policy
+
+    def test_root_span_is_learned_and_pins_top_levels(self):
+        policy = self.setup_policy(pin_levels=2)
+        assert policy.pinned(key(0, self.ROOT))
+        assert policy.pinned(key(0, self.ROOT // 2))
+        assert not policy.pinned(key(0, self.ROOT // 4))
+
+    def test_victims_are_deepest_first(self):
+        policy = self.setup_policy(pin_levels=1)
+        policy.record_insert(key(0, self.ROOT // 2))   # level 1
+        policy.record_insert(key(0, self.ROOT // 8))   # level 3 (deepest)
+        policy.record_insert(key(0, self.ROOT // 4))   # level 2
+        assert policy.select_victim() == key(0, self.ROOT // 8)
+
+    def test_pinned_entries_survive_unpinned_ones(self):
+        policy = self.setup_policy(pin_levels=2)
+        policy.record_insert(key(0, self.ROOT // 4))
+        # root and its child level are pinned; only the deeper entry leaves
+        assert policy.select_victim() == key(0, self.ROOT // 4)
+
+    def test_lru_breaks_ties_within_a_level(self):
+        policy = self.setup_policy(pin_levels=1)
+        policy.record_insert(key(0, self.ROOT // 4))
+        policy.record_insert(key(256, self.ROOT // 4))
+        policy.record_hit(key(0, self.ROOT // 4))
+        assert policy.select_victim() == key(256, self.ROOT // 4)
+
+    def test_falls_back_to_lru_when_everything_is_pinned(self):
+        policy = self.setup_policy(pin_levels=5)
+        policy.record_insert(key(0, self.ROOT // 2))
+        # both entries pinned: degrade to LRU instead of refusing
+        assert policy.select_victim() == key(0, self.ROOT)
+
+    def test_per_blob_root_spans(self):
+        policy = LevelAwarePolicy(pin_levels=1)
+        policy.record_insert(key(0, 1024, blob="big"))
+        policy.record_insert(key(0, 64, blob="small"))
+        assert policy.pinned(key(0, 1024, blob="big"))
+        # 64 is "small"'s root (largest span seen for that BLOB)
+        assert policy.pinned(key(0, 64, blob="small"))
+        assert not policy.pinned(key(0, 64, blob="big"))
+
+    def test_bad_pin_levels_rejected(self):
+        with pytest.raises(StorageError):
+            LevelAwarePolicy(pin_levels=0)
+
+
+class TestMakePolicy:
+    def test_names_resolve(self):
+        assert make_policy("lru").name == "lru"
+        assert make_policy("slru").name == "slru"
+        assert make_policy("2q").name == "slru"
+        assert make_policy("level").name == "level"
+
+    def test_level_argument(self):
+        policy = make_policy("level:5")
+        assert isinstance(policy, LevelAwarePolicy)
+        assert policy.pin_levels == 5
+
+    def test_instance_passthrough(self):
+        instance = LRUPolicy()
+        assert make_policy(instance) is instance
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(StorageError):
+            make_policy("clock")
+        with pytest.raises(StorageError):
+            make_policy("lru:3")
+        with pytest.raises(StorageError):
+            make_policy("level:many")
+        with pytest.raises(StorageError):
+            make_policy(42)

@@ -1,0 +1,169 @@
+"""Unit tests for the node-local shared metadata cache service.
+
+The load-bearing property is the *admission gate*: the shared tier outlives
+its clients, so it must never hold an entry whose version hint exceeds the
+newest published version the node has observed — that is what keeps a
+crashed co-tenant's pre-publication write-through state from poisoning every
+later reader on the node (aborted tickets publish empty, so a stale entry
+under that version would serve rolled-back nodes).
+"""
+
+import pytest
+
+from repro.blobseer.metadata.nodes import MetadataNode, NodeKey
+from repro.blobseer.metadata.policy import LevelAwarePolicy
+from repro.blobseer.metadata.sharedcache import NodeCacheService
+from repro.errors import StorageError
+
+
+def make_node(version=1, offset=0, size=64, blob="b"):
+    return MetadataNode(key=NodeKey(blob, version, offset, size),
+                        is_leaf=True, segments=(), base_version=0)
+
+
+class TestAdmissionGate:
+    def test_unpublished_version_is_rejected(self):
+        """RED-FIRST for the gate: an entry of a version nobody has seen
+        published must never enter the shared pool."""
+        service = NodeCacheService("n0")
+        node = make_node(version=5)
+        assert not service.publish("b", 0, 64, 5, node)
+        assert len(service) == 0
+        assert service.stats.unpublished_rejections == 1
+        found, _ = service.get("b", 0, 64, 5)
+        assert not found
+
+    def test_published_version_is_admitted(self):
+        service = NodeCacheService("n0")
+        service.note_published("b", 5)
+        node = make_node(version=5)
+        assert service.publish("b", 0, 64, 5, node)
+        found, cached = service.get("b", 0, 64, 5)
+        assert found and cached is node
+
+    def test_gate_opens_when_the_watermark_advances(self):
+        service = NodeCacheService("n0")
+        node = make_node(version=5)
+        assert not service.publish("b", 0, 64, 5, node)
+        service.note_published("b", 5)
+        assert service.publish("b", 0, 64, 5, node)
+
+    def test_negative_entries_pass_the_same_gate(self):
+        service = NodeCacheService("n0")
+        assert not service.publish("b", 0, 64, 3, None)
+        service.note_published("b", 3)
+        assert service.publish("b", 0, 64, 3, None)
+        found, cached = service.get("b", 0, 64, 3)
+        assert found and cached is None
+
+    def test_watermarks_are_per_blob(self):
+        service = NodeCacheService("n0")
+        service.note_published("a", 9)
+        assert not service.publish("b", 0, 64, 1, make_node())
+        assert service.publish("a", 0, 64, 9, make_node(version=9, blob="a"))
+
+    def test_watermark_never_regresses(self):
+        service = NodeCacheService("n0")
+        service.note_published("b", 7)
+        service.note_published("b", 3)
+        assert service.watermark("b") == 7
+
+
+class TestLookupSemantics:
+    def test_miss_then_hit_with_stats(self):
+        service = NodeCacheService("n0")
+        service.note_published("b", 1)
+        found, _ = service.get("b", 0, 64, 1)
+        assert not found
+        service.publish("b", 0, 64, 1, make_node())
+        found, _ = service.get("b", 0, 64, 1)
+        assert found
+        assert service.stats.hits == 1
+        assert service.stats.misses == 1
+        assert service.stats.hit_rate == 0.5
+
+    def test_alias_under_exact_version(self):
+        """A node fetched under a newer hint is also visible under its own
+        version — co-located traversals of other snapshots share it."""
+        service = NodeCacheService("n0")
+        service.note_published("b", 9)
+        node = make_node(version=4)
+        service.publish("b", 0, 64, 9, node)
+        found, cached = service.get("b", 0, 64, 4)
+        assert found and cached is node
+
+    def test_clear_keeps_watermarks_and_counters(self):
+        service = NodeCacheService("n0")
+        service.note_published("b", 2)
+        service.publish("b", 0, 64, 2, make_node(version=2))
+        service.clear()
+        assert len(service) == 0
+        assert service.watermark("b") == 2
+        assert service.stats.insertions == 1
+
+
+class TestEviction:
+    def test_capacity_bound_evicts_via_the_policy(self):
+        service = NodeCacheService("n0", capacity=2)
+        service.note_published("b", 1)
+        for offset in (0, 64, 128):
+            service.publish("b", offset, 64, 1,
+                            make_node(offset=offset))
+        assert len(service) == 2
+        assert service.stats.evictions == 1
+        found, _ = service.get("b", 0, 64, 1)
+        assert not found  # the LRU entry left
+
+    def test_level_policy_keeps_the_root_resident(self):
+        service = NodeCacheService("n0", capacity=2,
+                                   policy=LevelAwarePolicy(pin_levels=1))
+        service.note_published("b", 1)
+        root = make_node(size=1024)
+        service.publish("b", 0, 1024, 1, root)
+        for offset in (0, 64, 128, 192):
+            service.publish("b", offset, 64, 1, make_node(offset=offset))
+        found, cached = service.get("b", 0, 1024, 1)
+        assert found and cached is root
+
+    def test_declined_admission_rolls_its_insertion_back(self):
+        """When everything resident is pinned and the policy picks the
+        newcomer itself, the decline must not leave a phantom insertion —
+        insertions - evictions always reconciles with resident entries."""
+        service = NodeCacheService("n0", capacity=2,
+                                   policy=LevelAwarePolicy(pin_levels=2))
+        service.note_published("b", 1)
+        service.publish("b", 0, 1024, 1, make_node(size=1024))
+        service.publish("b", 0, 512, 1, make_node(size=512))
+        # both residents are pinned top levels; a leaf newcomer is declined
+        assert not service.publish("b", 0, 64, 1, make_node())
+        assert service.stats.capacity_rejections == 1
+        assert service.stats.evictions == 0
+        assert service.stats.insertions == len(service) == 2
+
+    def test_policy_spec_from_string(self):
+        service = NodeCacheService("n0", policy="level:4")
+        assert service.policy.pin_levels == 4
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            NodeCacheService("n0", capacity=0)
+
+
+class TestAttachment:
+    def test_attach_detach_bookkeeping(self):
+        service = NodeCacheService("n0")
+        service.attach("rank0")
+        service.attach("rank1")
+        service.detach("rank0")
+        assert service.attached == ["rank1"]
+        service.detach("rank0")  # idempotent
+        assert service.attached == ["rank1"]
+
+    def test_entries_survive_detach(self):
+        service = NodeCacheService("n0")
+        service.attach("rank0")
+        service.note_published("b", 1)
+        service.publish("b", 0, 64, 1, make_node())
+        service.detach("rank0")
+        found, _ = service.get("b", 0, 64, 1)
+        assert found

@@ -140,7 +140,7 @@ class TestResolverDiesMidFetch:
         if rank != DOOMED_RANK:
             return
 
-        def dying_read(blob_id, vector, version=None, trace=None):
+        def dying_read(blob_id, vector, version=None, trace=None, holes=None):
             raise StorageError("resolver died mid-fetch")
             yield  # pragma: no cover - generator shape
 

@@ -73,3 +73,42 @@ def test_parameter_validation():
         workload.read_pairs(5, 0)
     with pytest.raises(BenchmarkError):
         workload.read_pairs(0, 9)
+
+
+def test_sparse_dumps_zero_the_hole_slots():
+    workload = CollectiveReadWorkload(num_ranks=2, rounds=2,
+                                      blocks_per_rank=2, block_size=64,
+                                      hole_every=2)
+    content = workload.expected_contents()
+    assert len(content) == workload.file_size
+    for round_index in range(workload.rounds):
+        base = round_index * workload.section_size
+        for slot in range(workload.blocks_per_section):
+            block = content[base + slot * 64:base + (slot + 1) * 64]
+            if workload.is_hole(slot):
+                assert block == b"\x00" * 64
+            else:
+                assert block != b"\x00" * 64
+    assert workload.hole_bytes_per_section() == 2 * 64
+
+
+def test_seed_pairs_reproduce_the_sparse_contents():
+    workload = CollectiveReadWorkload(num_ranks=2, rounds=2,
+                                      blocks_per_rank=3, block_size=32,
+                                      hole_every=3)
+    rebuilt = bytearray(workload.file_size)
+    for offset, payload in workload.seed_pairs():
+        rebuilt[offset:offset + len(payload)] = payload
+    assert bytes(rebuilt) == workload.expected_contents()
+    # written runs never touch a hole slot
+    for offset, payload in workload.seed_pairs():
+        assert len(payload) % 32 == 0
+
+
+def test_dense_seed_is_one_run_and_hole_every_validates():
+    workload = CollectiveReadWorkload(num_ranks=2)
+    assert workload.seed_pairs() == [(0, workload.expected_contents())]
+    with pytest.raises(BenchmarkError):
+        CollectiveReadWorkload(num_ranks=2, hole_every=1)
+    with pytest.raises(BenchmarkError):
+        CollectiveReadWorkload(num_ranks=2, hole_every=-1)
