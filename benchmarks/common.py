@@ -10,10 +10,39 @@ the assertions check.
 
 from __future__ import annotations
 
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
 from typing import Dict, List, Sequence
 
 from repro.bench.experiments import ExperimentSettings
 from repro.cluster import ClusterConfig
+
+#: how many hotspots ``profiled`` prints (sorted by cumulative time)
+PROFILE_TOP = 25
+
+
+@contextmanager
+def profiled(title: str = "", top: int = PROFILE_TOP, stream=None):
+    """Run the enclosed block under cProfile; print the top hotspots.
+
+    Used by the ``--profile`` pytest option (see ``conftest.py``), which
+    wraps every benchmark — fixtures included — so the module-scoped suite
+    runs show up in the first test of each file.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        out = stream or sys.stdout
+        if title:
+            print(f"\n--- profile: {title} (top {top} by cumulative) ---",
+                  file=out)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
 
 def quick_settings(client_counts: Sequence[int] = (1, 2, 4, 8)) -> ExperimentSettings:

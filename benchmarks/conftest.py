@@ -1,0 +1,28 @@
+"""Benchmark-suite pytest hooks: the opt-in ``--profile`` flag.
+
+``pytest benchmarks/ --profile`` wraps every benchmark item — fixture setup
+included, so module-scoped suite runs are attributed to the first test of
+their file — in cProfile and prints the top-25 cumulative hotspots after
+each item.  Combine with ``REPRO_BENCH_SMOKE=1`` for quick where-does-the-
+time-go scans, or with ``-k`` to profile a single suite.
+"""
+
+import pytest
+
+from common import profiled
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="run each benchmark under cProfile and print the top-25 "
+             "cumulative hotspots")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if not item.config.getoption("--profile"):
+        yield
+        return
+    with profiled(title=item.nodeid):
+        yield

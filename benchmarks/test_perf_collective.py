@@ -16,6 +16,7 @@ work (what CI does on every push).
 import json
 import os
 import platform
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -37,27 +38,37 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 MIN_FRACTION_OF_IDEAL = 0.8
 
 
-def bench_settings() -> CollectiveSettings:
+#: both cost models every suite runs under (the acceptance rows are
+#: re-reported under "queued"; workload bytes must not depend on the model)
+NETWORK_MODELS = ("bottleneck", "queued")
+
+
+def bench_settings(network_model: str = "bottleneck") -> CollectiveSettings:
     settings = CollectiveSettings()
-    return settings.scaled_down() if SMOKE else settings
+    settings = settings.scaled_down() if SMOKE else settings
+    return replace(settings, config=replace(settings.config,
+                                            network_model=network_model))
 
 
 @pytest.fixture(scope="module")
 def suite():
-    """Run every point on identical settings; emit the JSON artifact."""
+    """Run every point under both network models; emit the JSON artifact."""
     settings = bench_settings()
-    results = run_collective_suite(settings)
-    rows = suite_rows(results)
+    results = {model: run_collective_suite(bench_settings(model))
+               for model in NETWORK_MODELS}
+    rows = [row for model in NETWORK_MODELS
+            for row in suite_rows(results[model])]
 
     reductions = {}
-    for key, result in results.items():
-        sample = result.sample
-        if sample.num_aggregators:
-            baseline = results[f"N{sample.num_ranks}:independent"]
-            reductions[key] = {
-                "reduction": control_rpc_reduction(baseline.sample, sample),
-                "ideal": sample.num_ranks / sample.num_aggregators,
-            }
+    for model in NETWORK_MODELS:
+        for key, result in results[model].items():
+            sample = result.sample
+            if sample.num_aggregators:
+                baseline = results[model][f"N{sample.num_ranks}:independent"]
+                reductions[f"{model}:{key}"] = {
+                    "reduction": control_rpc_reduction(baseline.sample, sample),
+                    "ideal": sample.num_ranks / sample.num_aggregators,
+                }
 
     artifact = {
         "suite": "collective-buffering",
@@ -73,6 +84,7 @@ def suite():
             "num_metadata_providers": settings.num_metadata_providers,
             "chunk_size": settings.chunk_size,
         },
+        "network_models": list(NETWORK_MODELS),
         "control_rpc_reduction_vs_independent": reductions,
         "rows": rows,
     }
@@ -84,52 +96,71 @@ def suite():
 
 def test_all_modes_read_identical_bytes(suite):
     """The conformance core, repeated at benchmark scale: every mode of one
-    rank count leaves byte-identical file contents."""
+    rank count leaves byte-identical file contents — under *both* network
+    models (the cost model shapes timing, never data)."""
     settings = bench_settings()
     for num_ranks in settings.rank_counts:
         expected = settings.workload(num_ranks).expected_contents()
-        for key, result in suite.items():
-            if key.startswith(f"N{num_ranks}:"):
-                assert result.read_digest == expected, key
+        for model, results in suite.items():
+            for key, result in results.items():
+                if key.startswith(f"N{num_ranks}:"):
+                    assert result.read_digest == expected, f"{model}:{key}"
 
 
 def test_control_rpcs_drop_by_the_aggregation_factor(suite):
-    """The acceptance criterion: reduction ~= N/A at every collective point."""
-    for key, result in suite.items():
-        sample = result.sample
-        if not sample.num_aggregators:
-            continue
-        baseline = suite[f"N{sample.num_ranks}:independent"]
-        reduction = control_rpc_reduction(baseline.sample, sample)
-        ideal = sample.num_ranks / sample.num_aggregators
-        assert reduction >= MIN_FRACTION_OF_IDEAL * ideal, (
-            f"{key}: only {reduction:.2f}x fewer control RPCs per write "
-            f"(aggregation factor {ideal:.2f})")
+    """The acceptance criterion: reduction ~= N/A at every collective point,
+    re-reported under the queued model as well."""
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if not sample.num_aggregators:
+                continue
+            baseline = results[f"N{sample.num_ranks}:independent"]
+            reduction = control_rpc_reduction(baseline.sample, sample)
+            ideal = sample.num_ranks / sample.num_aggregators
+            assert reduction >= MIN_FRACTION_OF_IDEAL * ideal, (
+                f"{model}:{key}: only {reduction:.2f}x fewer control RPCs "
+                f"per write (aggregation factor {ideal:.2f})")
 
 
 def test_aggregation_folds_snapshots_per_round(suite):
     """N ranks, A aggregators, R rounds -> A snapshots per round, with the
     logical write count unchanged."""
-    for key, result in suite.items():
-        sample = result.sample
-        baseline = suite[f"N{sample.num_ranks}:independent"]
-        assert sample.logical_writes == baseline.sample.logical_writes, key
-        if sample.num_aggregators:
-            assert sample.snapshots \
-                == sample.num_aggregators * sample.rounds, key
-        else:
-            assert sample.snapshots == sample.num_ranks * sample.rounds, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            baseline = results[f"N{sample.num_ranks}:independent"]
+            assert sample.logical_writes \
+                == baseline.sample.logical_writes, f"{model}:{key}"
+            if sample.num_aggregators:
+                assert sample.snapshots \
+                    == sample.num_aggregators * sample.rounds, f"{model}:{key}"
+            else:
+                assert sample.snapshots \
+                    == sample.num_ranks * sample.rounds, f"{model}:{key}"
 
 
 def test_exchange_traffic_is_reported_for_collective_modes(suite):
     """The aggregation trade — MPI exchange instead of control RPCs — must
     be visible in the artifact, not hidden."""
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.num_aggregators:
-            assert sample.exchange_bytes > 0, key
-        else:
-            assert sample.exchange_bytes == 0, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if sample.num_aggregators:
+                assert sample.exchange_bytes > 0, f"{model}:{key}"
+            else:
+                assert sample.exchange_bytes == 0, f"{model}:{key}"
+
+
+def test_rpc_counts_do_not_depend_on_the_network_model(suite):
+    """The control-plane story — RPCs, snapshots, exchange bytes — is a
+    function of the protocol, not of the cost model underneath it."""
+    for key, bottleneck in suite["bottleneck"].items():
+        queued = suite["queued"][key]
+        for column in ("logical_writes", "snapshots", "control_rpcs",
+                       "metadata_put_rpcs", "exchange_bytes"):
+            assert getattr(bottleneck.sample, column) \
+                == getattr(queued.sample, column), f"{key}:{column}"
 
 
 def test_artifact_written_with_populated_columns(suite):
@@ -139,6 +170,8 @@ def test_artifact_written_with_populated_columns(suite):
     modes = {row["mode"] for row in artifact["rows"]}
     assert "independent" in modes
     assert any(mode.startswith("collective-a") for mode in modes)
+    assert {row["network_model"] for row in artifact["rows"]} \
+        == set(NETWORK_MODELS)
     for row in artifact["rows"]:
         assert row["logical_writes"] > 0
         assert row["control_rpcs"] > 0

@@ -17,6 +17,7 @@ work (what CI does on every push).
 import json
 import os
 import platform
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -40,27 +41,37 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 MIN_FRACTION_OF_IDEAL = 0.8
 
 
-def bench_settings() -> CollectiveReadSettings:
+#: both cost models every suite runs under (the acceptance rows are
+#: re-reported under "queued"; workload bytes must not depend on the model)
+NETWORK_MODELS = ("bottleneck", "queued")
+
+
+def bench_settings(network_model: str = "bottleneck") -> CollectiveReadSettings:
     settings = CollectiveReadSettings()
-    return settings.scaled_down() if SMOKE else settings
+    settings = settings.scaled_down() if SMOKE else settings
+    return replace(settings, config=replace(settings.config,
+                                            network_model=network_model))
 
 
 @pytest.fixture(scope="module")
 def suite():
-    """Run every point on identical settings; emit the JSON artifact."""
+    """Run every point under both network models; emit the JSON artifact."""
     settings = bench_settings()
-    results = run_collective_read_suite(settings)
-    rows = suite_rows(results)
+    results = {model: run_collective_read_suite(bench_settings(model))
+               for model in NETWORK_MODELS}
+    rows = [row for model in NETWORK_MODELS
+            for row in suite_rows(results[model])]
 
     reductions = {}
-    for key, result in results.items():
-        sample = result.sample
-        if sample.num_resolvers:
-            baseline = results[f"N{sample.num_ranks}:independent"]
-            reductions[key] = {
-                "reduction": read_rpc_reduction(baseline.sample, sample),
-                "ideal": sample.num_ranks / sample.num_resolvers,
-            }
+    for model in NETWORK_MODELS:
+        for key, result in results[model].items():
+            sample = result.sample
+            if sample.num_resolvers:
+                baseline = results[model][f"N{sample.num_ranks}:independent"]
+                reductions[f"{model}:{key}"] = {
+                    "reduction": read_rpc_reduction(baseline.sample, sample),
+                    "ideal": sample.num_ranks / sample.num_resolvers,
+                }
 
     artifact = {
         "suite": "collective-read",
@@ -78,6 +89,7 @@ def suite():
             "num_metadata_providers": settings.num_metadata_providers,
             "chunk_size": settings.chunk_size,
         },
+        "network_models": list(NETWORK_MODELS),
         "metadata_rpc_reduction_vs_independent": reductions,
         "rows": rows,
     }
@@ -92,9 +104,11 @@ def test_all_modes_read_identical_bytes(suite):
     rank count returns byte-identical scan data."""
     settings = bench_settings()
     for num_ranks in settings.rank_counts:
-        digests = {key: result.read_digest for key, result in suite.items()
+        digests = {f"{model}:{key}": result.read_digest
+                   for model, results in suite.items()
+                   for key, result in results.items()
                    if key.startswith(f"N{num_ranks}:")}
-        reference = digests[f"N{num_ranks}:independent"]
+        reference = digests[f"bottleneck:N{num_ranks}:independent"]
         workload = settings.workload(num_ranks)
         content = workload.expected_contents()
         expected_parts = []
@@ -113,43 +127,47 @@ def test_all_modes_read_identical_bytes(suite):
 
 
 def test_metadata_rpcs_drop_by_the_resolver_factor(suite):
-    """The acceptance criterion: reduction >~ N/R at every collective point."""
-    for key, result in suite.items():
-        sample = result.sample
-        if not sample.num_resolvers:
-            continue
-        baseline = suite[f"N{sample.num_ranks}:independent"]
-        reduction = read_rpc_reduction(baseline.sample, sample)
-        ideal = sample.num_ranks / sample.num_resolvers
-        assert reduction >= MIN_FRACTION_OF_IDEAL * ideal, (
-            f"{key}: only {reduction:.2f}x fewer metadata RPCs per read "
-            f"(resolver factor {ideal:.2f})")
+    """The acceptance criterion: reduction >~ N/R at every collective point,
+    re-reported under the queued model as well."""
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if not sample.num_resolvers:
+                continue
+            baseline = results[f"N{sample.num_ranks}:independent"]
+            reduction = read_rpc_reduction(baseline.sample, sample)
+            ideal = sample.num_ranks / sample.num_resolvers
+            assert reduction >= MIN_FRACTION_OF_IDEAL * ideal, (
+                f"{model}:{key}: only {reduction:.2f}x fewer metadata RPCs "
+                f"per read (resolver factor {ideal:.2f})")
 
 
 def test_one_latest_rpc_per_cold_collective_at_most(suite):
     """The version pin concentrates ``latest`` on the lead resolver: at most
     one round-trip per collective round (and zero once hints are planted),
     against one per rank per round for the baseline."""
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.num_resolvers:
-            assert sample.latest_rpcs <= sample.rounds, key
-        else:
-            assert sample.latest_rpcs \
-                == sample.num_ranks * sample.rounds, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if sample.num_resolvers:
+                assert sample.latest_rpcs <= sample.rounds, f"{model}:{key}"
+            else:
+                assert sample.latest_rpcs \
+                    == sample.num_ranks * sample.rounds, f"{model}:{key}"
 
 
 def test_exchange_traffic_is_reported_for_collective_modes(suite):
     """The aggregation trade — MPI exchange instead of control RPCs — must
     be visible in the artifact, not hidden."""
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.num_resolvers:
-            assert sample.exchange_bytes > 0, key
-            assert sample.plan_nodes_absorbed > 0, key
-        else:
-            assert sample.exchange_bytes == 0, key
-            assert sample.plan_nodes_absorbed == 0, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if sample.num_resolvers:
+                assert sample.exchange_bytes > 0, f"{model}:{key}"
+                assert sample.plan_nodes_absorbed > 0, f"{model}:{key}"
+            else:
+                assert sample.exchange_bytes == 0, f"{model}:{key}"
+                assert sample.plan_nodes_absorbed == 0, f"{model}:{key}"
 
 
 def test_zero_extents_travel_as_hole_descriptors(suite):
@@ -159,41 +177,47 @@ def test_zero_extents_travel_as_hole_descriptors(suite):
     drop recorded per row."""
     settings = bench_settings()
     assert settings.hole_every > 0, "the sweep must exercise a sparse dump"
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.num_resolvers:
-            assert sample.hole_bytes_elided > 0, key
-        else:
-            assert sample.hole_bytes_elided == 0, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if sample.num_resolvers:
+                assert sample.hole_bytes_elided > 0, f"{model}:{key}"
+            else:
+                assert sample.hole_bytes_elided == 0, f"{model}:{key}"
 
 
 def test_plan_broadcast_makes_the_post_collective_read_free(suite):
     """After the collective rounds, one independent re-read per rank costs
     zero metadata RPCs in the collective modes (absorbed plan + refreshed
     hint) — while the baseline still pays a ``latest`` per rank."""
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.num_resolvers:
-            assert sample.post_metadata_rpcs == 0, key
-            assert sample.post_latest_rpcs == 0, key
-        else:
-            assert sample.post_latest_rpcs == sample.num_ranks, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if sample.num_resolvers:
+                assert sample.post_metadata_rpcs == 0, f"{model}:{key}"
+                assert sample.post_latest_rpcs == 0, f"{model}:{key}"
+            else:
+                assert sample.post_latest_rpcs \
+                    == sample.num_ranks, f"{model}:{key}"
 
 
 def test_non_resolver_ranks_touch_the_control_plane_zero_times(suite):
     """The criterion's per-rank half: outside the resolver set, every rank's
     collective-phase metadata and ``latest`` counters are exactly zero."""
-    for key, result in suite.items():
-        sample = result.sample
-        if not sample.num_resolvers:
-            continue
-        owners = set(aggregator_ranks(sample.num_ranks,
-                                      sample.num_resolvers))
-        for rank, (metadata, latest) in result.per_rank_rpcs.items():
-            if rank not in owners:
-                assert metadata == 0, f"{key}: rank {rank} walked the tree"
-                assert latest == 0, f"{key}: rank {rank} asked for latest"
-        assert sample.metadata_rpcs > 0, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            if not sample.num_resolvers:
+                continue
+            owners = set(aggregator_ranks(sample.num_ranks,
+                                          sample.num_resolvers))
+            for rank, (metadata, latest) in result.per_rank_rpcs.items():
+                if rank not in owners:
+                    assert metadata == 0, \
+                        f"{model}:{key}: rank {rank} walked the tree"
+                    assert latest == 0, \
+                        f"{model}:{key}: rank {rank} asked for latest"
+            assert sample.metadata_rpcs > 0, f"{model}:{key}"
 
 
 def test_artifact_written_with_populated_columns(suite):
@@ -203,6 +227,8 @@ def test_artifact_written_with_populated_columns(suite):
     modes = {row["mode"] for row in artifact["rows"]}
     assert "independent" in modes
     assert any(mode.startswith("collective-r") for mode in modes)
+    assert {row["network_model"] for row in artifact["rows"]} \
+        == set(NETWORK_MODELS)
     for row in artifact["rows"]:
         assert row["logical_reads"] > 0
         assert row["metadata_rpcs"] > 0

@@ -16,6 +16,7 @@ work (what CI does on every push).
 import json
 import os
 import platform
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -36,17 +37,27 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 MIN_RPC_REDUCTION = 5.0
 
 
-def bench_settings() -> MetadataPathSettings:
+#: both cost models every suite runs under (the cost model shapes timing,
+#: never bytes or RPC counts — asserted below)
+NETWORK_MODELS = ("bottleneck", "queued")
+
+
+def bench_settings(network_model: str = "bottleneck") -> MetadataPathSettings:
     settings = MetadataPathSettings()
-    return settings.scaled_down() if SMOKE else settings
+    settings = settings.scaled_down() if SMOKE else settings
+    return replace(settings, config=replace(settings.config,
+                                            network_model=network_model))
 
 
 @pytest.fixture(scope="module")
 def suite():
-    """Run all modes once on identical settings; emit the JSON artifact."""
+    """Run all modes under both network models; emit the JSON artifact."""
     settings = bench_settings()
-    results = run_metadata_path_suite(settings)
-    rows = [results[mode].sample.as_row() for mode in MODES]
+    by_model = {model: run_metadata_path_suite(bench_settings(model))
+                for model in NETWORK_MODELS}
+    results = by_model["bottleneck"]
+    rows = [by_model[model][mode].sample.as_row()
+            for model in NETWORK_MODELS for mode in MODES]
     rows.append(run_region_algebra_microbench())
     artifact = {
         "suite": "metadata-read-path",
@@ -61,50 +72,68 @@ def suite():
             "num_metadata_providers": settings.num_metadata_providers,
             "chunk_size": settings.chunk_size,
         },
+        "network_models": list(NETWORK_MODELS),
         "rpc_reduction_vs_baseline": {
-            mode: rpc_reduction(results["baseline"].sample, results[mode].sample)
-            for mode in MODES
+            f"{model}:{mode}": rpc_reduction(
+                by_model[model]["baseline"].sample,
+                by_model[model][mode].sample)
+            for model in NETWORK_MODELS for mode in MODES
         },
         "rows": rows,
     }
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
     print()
     print(format_table(rows, title="metadata read-path microbenchmark"))
-    return results
+    return by_model
 
 
 def test_all_modes_read_identical_bytes(suite):
-    baseline = suite["baseline"].read_digest
-    assert suite["batched"].read_digest == baseline
-    assert suite["cached-batched"].read_digest == baseline
+    """Every mode — and every network model — returns the same bytes."""
+    baseline = suite["bottleneck"]["baseline"].read_digest
+    for model, results in suite.items():
+        for mode in MODES:
+            assert results[mode].read_digest == baseline, f"{model}:{mode}"
 
 
 def test_batching_collapses_round_trips(suite):
     """One RPC per shard per level beats one RPC per node on cold reads alone."""
-    assert suite["batched"].sample.metadata_rpcs \
-        < suite["baseline"].sample.metadata_rpcs / 2
+    for model, results in suite.items():
+        assert results["batched"].sample.metadata_rpcs \
+            < results["baseline"].sample.metadata_rpcs / 2, model
 
 
 def test_warm_cache_rpc_reduction_at_least_5x(suite):
-    """The acceptance criterion: >= 5x fewer metadata round-trips."""
-    reduction = rpc_reduction(suite["baseline"].sample,
-                              suite["cached-batched"].sample)
-    assert reduction >= MIN_RPC_REDUCTION, (
-        f"only {reduction:.1f}x fewer metadata RPCs "
-        f"({suite['baseline'].sample.metadata_rpcs} -> "
-        f"{suite['cached-batched'].sample.metadata_rpcs})")
+    """The acceptance criterion: >= 5x fewer metadata round-trips — under
+    both network models (RPC counts are protocol, not cost-model)."""
+    for model, results in suite.items():
+        reduction = rpc_reduction(results["baseline"].sample,
+                                  results["cached-batched"].sample)
+        assert reduction >= MIN_RPC_REDUCTION, (
+            f"{model}: only {reduction:.1f}x fewer metadata RPCs "
+            f"({results['baseline'].sample.metadata_rpcs} -> "
+            f"{results['cached-batched'].sample.metadata_rpcs})")
+
+
+def test_rpc_counts_do_not_depend_on_the_network_model(suite):
+    for mode in MODES:
+        bottleneck = suite["bottleneck"][mode].sample
+        queued = suite["queued"][mode].sample
+        assert bottleneck.metadata_rpcs == queued.metadata_rpcs, mode
+        assert bottleneck.cache_hits == queued.cache_hits, mode
+        assert bottleneck.cache_misses == queued.cache_misses, mode
 
 
 def test_warm_cache_hit_rate_is_high(suite):
-    sample = suite["cached-batched"].sample
+    sample = suite["bottleneck"]["cached-batched"].sample
     assert sample.cache_hit_rate > 0.5
     # uncached modes must report a zero (not misleading) hit rate
-    assert suite["baseline"].sample.cache_hit_rate == 0.0
+    assert suite["bottleneck"]["baseline"].sample.cache_hit_rate == 0.0
 
 
 def test_cached_reads_are_not_slower_in_simulated_time(suite):
-    assert suite["cached-batched"].sample.sim_elapsed_s \
-        <= suite["baseline"].sample.sim_elapsed_s * 1.05
+    for model, results in suite.items():
+        assert results["cached-batched"].sample.sim_elapsed_s \
+            <= results["baseline"].sample.sim_elapsed_s * 1.05, model
 
 
 def test_artifact_written_with_populated_columns(suite):
@@ -119,5 +148,8 @@ def test_artifact_written_with_populated_columns(suite):
         assert row["metadata_rpcs"] > 0
         assert row["wall_clock_s"] > 0
         assert "cache_hit_rate" in row and "sim_elapsed_s" in row
-    assert artifact["rpc_reduction_vs_baseline"]["cached-batched"] \
-        >= MIN_RPC_REDUCTION
+    assert {row.get("network_model") for row in artifact["rows"]} \
+        >= set(NETWORK_MODELS)
+    for model in NETWORK_MODELS:
+        assert artifact["rpc_reduction_vs_baseline"][f"{model}:cached-batched"] \
+            >= MIN_RPC_REDUCTION

@@ -8,7 +8,9 @@ strictly below the private baseline and approaching ``1 / ranks_per_node``
 on identical extents, the level-pinning policy beating plain LRU at equal
 capacity, byte-identical data everywhere, and the exact lookup partition —
 and records every row into ``BENCH_sharedcache.json`` at the repository
-root so future PRs can track the perf trajectory.
+root so future PRs can track the perf trajectory.  Every point runs under
+both network cost models; cache behaviour and bytes must not depend on
+which one shapes the timing.
 
 Set ``REPRO_BENCH_SMOKE=1`` to run the same shapes on a fraction of the
 work (what CI does on every push).
@@ -17,6 +19,7 @@ work (what CI does on every push).
 import json
 import os
 import platform
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -37,28 +40,36 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 #: only guards against harmless bookkeeping shifts below it)
 MIN_FRACTION_OF_IDEAL = 0.8
 
+#: both cost models every suite runs under (the acceptance rows are
+#: re-reported under "queued"; cache behaviour must not depend on the model)
+NETWORK_MODELS = ("bottleneck", "queued")
 
-def bench_settings() -> SharedCacheSettings:
+
+def bench_settings(network_model: str = "bottleneck") -> SharedCacheSettings:
     settings = SharedCacheSettings()
-    return settings.scaled_down() if SMOKE else settings
+    settings = settings.scaled_down() if SMOKE else settings
+    return replace(settings, config=replace(settings.config,
+                                            network_model=network_model))
 
 
 @pytest.fixture(scope="module")
 def suite():
-    """Run every point on identical settings; emit the JSON artifact."""
+    """Run every point under both network models; emit the JSON artifact."""
     settings = bench_settings()
-    results = run_shared_cache_suite(settings)
-    rows = suite_rows(results)
+    results = {model: run_shared_cache_suite(bench_settings(model))
+               for model in NETWORK_MODELS}
+    rows = [row for model in NETWORK_MODELS
+            for row in suite_rows(results[model])]
 
-    baseline = results["identical:private"].sample
-    reductions = {
-        key: {
-            "reduction": shared_rpc_reduction(baseline, result.sample),
-            "ideal": settings.ranks_per_node,
-        }
-        for key, result in results.items()
-        if key.startswith("identical:shared")
-    }
+    reductions = {}
+    for model in NETWORK_MODELS:
+        baseline = results[model]["identical:private"].sample
+        for key, result in results[model].items():
+            if key.startswith("identical:shared"):
+                reductions[f"{model}:{key}"] = {
+                    "reduction": shared_rpc_reduction(baseline, result.sample),
+                    "ideal": settings.ranks_per_node,
+                }
 
     artifact = {
         "suite": "sharedcache",
@@ -76,6 +87,7 @@ def suite():
             "capacity_sweep": list(settings.capacity_sweep),
             "policies": list(settings.policies),
         },
+        "network_models": list(NETWORK_MODELS),
         "metadata_rpc_reduction_vs_private": reductions,
         "rows": rows,
     }
@@ -87,47 +99,50 @@ def suite():
 
 def test_all_modes_read_identical_bytes(suite):
     """Every cache configuration of one pattern returns byte-identical
-    scan data — sharing and eviction must never change results."""
+    scan data — sharing, eviction and the network model must never change
+    results."""
     settings = bench_settings()
     for pattern in ("identical", "streaming"):
-        digests = {key: result.read_digest for key, result in suite.items()
-                   if result.sample.pattern == pattern}
-        if not digests:
-            continue
         workload = settings.workload(pattern)
         expected = b"".join(
             workload.expected_pieces(client, round_index)
             for client in range(settings.num_clients)
             for round_index in range(workload.rounds))
-        for key, digest in digests.items():
-            assert digest == expected, key
+        for model, results in suite.items():
+            for key, result in results.items():
+                if result.sample.pattern == pattern:
+                    assert result.read_digest == expected, f"{model}:{key}"
 
 
 def test_shared_tier_beats_the_private_baseline(suite):
     """The acceptance criterion: with multiple ranks per node, metadata
     RPCs per logical read drop strictly below the private baseline and
-    approach ``1 / ranks_per_node`` on identical extents."""
+    approach ``1 / ranks_per_node`` on identical extents — under both
+    network models."""
     settings = bench_settings()
-    baseline = suite["identical:private"].sample
-    shared = suite["identical:shared-lru"].sample
-    assert shared.rpcs_per_read < baseline.rpcs_per_read
-    reduction = shared_rpc_reduction(baseline, shared)
-    assert reduction >= MIN_FRACTION_OF_IDEAL * settings.ranks_per_node, (
-        f"only {reduction:.2f}x fewer metadata RPCs per read "
-        f"(placement factor {settings.ranks_per_node})")
+    for model, results in suite.items():
+        baseline = results["identical:private"].sample
+        shared = results["identical:shared-lru"].sample
+        assert shared.rpcs_per_read < baseline.rpcs_per_read, model
+        reduction = shared_rpc_reduction(baseline, shared)
+        assert reduction >= MIN_FRACTION_OF_IDEAL * settings.ranks_per_node, (
+            f"{model}: only {reduction:.2f}x fewer metadata RPCs per read "
+            f"(placement factor {settings.ranks_per_node})")
 
 
 def test_prefetch_cuts_round_trips_and_reports_the_trade(suite):
     """Speculative child prefetch reduces tree-walk RPCs further and the
     extra shipped nodes (its cost) are visible in the artifact."""
-    for base_key, prefetch_key in (
-            ("identical:private", "identical:private+prefetch"),
-            ("identical:shared-lru", "identical:shared-lru+prefetch")):
-        base = suite[base_key].sample
-        prefetched = suite[prefetch_key].sample
-        assert prefetched.metadata_rpcs < base.metadata_rpcs, prefetch_key
-        assert prefetched.prefetched_nodes > 0, prefetch_key
-        assert base.prefetched_nodes == 0, base_key
+    for model, results in suite.items():
+        for base_key, prefetch_key in (
+                ("identical:private", "identical:private+prefetch"),
+                ("identical:shared-lru", "identical:shared-lru+prefetch")):
+            base = results[base_key].sample
+            prefetched = results[prefetch_key].sample
+            assert prefetched.metadata_rpcs < base.metadata_rpcs, \
+                f"{model}:{prefetch_key}"
+            assert prefetched.prefetched_nodes > 0, f"{model}:{prefetch_key}"
+            assert base.prefetched_nodes == 0, f"{model}:{base_key}"
 
 
 def test_level_pinning_beats_plain_lru_at_equal_capacity(suite):
@@ -137,14 +152,16 @@ def test_level_pinning_beats_plain_lru_at_equal_capacity(suite):
     settings = bench_settings()
     level_policy = next(policy for policy in settings.policies
                         if policy.startswith("level"))
-    wins = []
-    for capacity in settings.capacity_sweep:
-        lru = suite[f"streaming@{capacity}:lru"].sample
-        level = suite[f"streaming@{capacity}:{level_policy}"].sample
-        wins.append(level.metadata_rpcs < lru.metadata_rpcs)
-        # pinning must show up as fewer evictions of reused entries
-        assert level.shared_hits >= lru.shared_hits, capacity
-    assert any(wins), "level-aware policy never beat LRU in the sweep"
+    for model, results in suite.items():
+        wins = []
+        for capacity in settings.capacity_sweep:
+            lru = results[f"streaming@{capacity}:lru"].sample
+            level = results[f"streaming@{capacity}:{level_policy}"].sample
+            wins.append(level.metadata_rpcs < lru.metadata_rpcs)
+            # pinning must show up as fewer evictions of reused entries
+            assert level.shared_hits >= lru.shared_hits, f"{model}@{capacity}"
+        assert any(wins), \
+            f"{model}: level-aware policy never beat LRU in the sweep"
 
 
 def test_lookup_partition_is_exact(suite):
@@ -153,22 +170,24 @@ def test_lookup_partition_is_exact(suite):
     partition is built from: every lookup the private tier served or
     missed is accounted, and the shared services saw exactly the lookups
     that fell through the private tier."""
-    for key, result in suite.items():
-        sample = result.sample
-        if sample.mode.startswith("private"):
-            assert result.private_tier_lookups == sample.lookups, key
-            assert result.shared_tier_lookups == 0, key
-            assert sample.shared_hits == 0, key
-        elif sample.private_hits or "-only" not in sample.mode:
-            assert result.private_tier_lookups == sample.lookups, key
-            assert result.shared_tier_lookups \
-                == sample.shared_hits + sample.fetched_lookups, key
-        else:
-            # policy-sweep modes run without a private tier: the shared
-            # services saw every lookup
-            assert result.private_tier_lookups == 0, key
-            assert result.shared_tier_lookups == sample.lookups, key
-        assert sample.fetched_lookups > 0, key
+    for model, results in suite.items():
+        for key, result in results.items():
+            sample = result.sample
+            label = f"{model}:{key}"
+            if sample.mode.startswith("private"):
+                assert result.private_tier_lookups == sample.lookups, label
+                assert result.shared_tier_lookups == 0, label
+                assert sample.shared_hits == 0, label
+            elif sample.private_hits or "-only" not in sample.mode:
+                assert result.private_tier_lookups == sample.lookups, label
+                assert result.shared_tier_lookups \
+                    == sample.shared_hits + sample.fetched_lookups, label
+            else:
+                # policy-sweep modes run without a private tier: the shared
+                # services saw every lookup
+                assert result.private_tier_lookups == 0, label
+                assert result.shared_tier_lookups == sample.lookups, label
+            assert sample.fetched_lookups > 0, label
 
 
 def test_co_located_first_toucher_pays_most_fetches(suite):
@@ -177,12 +196,27 @@ def test_co_located_first_toucher_pays_most_fetches(suite):
     than the baseline's per-client spend)."""
     settings = bench_settings()
     density = settings.ranks_per_node
-    baseline = suite["identical:private"].per_client_rpcs
-    shared = suite["identical:shared-lru"].per_client_rpcs
-    for index in range(settings.num_clients):
-        if index % density:
-            # a co-tenant that never starts first on its node
-            assert shared[index] < baseline[index], index
+    for model, results in suite.items():
+        baseline = results["identical:private"].per_client_rpcs
+        shared = results["identical:shared-lru"].per_client_rpcs
+        for index in range(settings.num_clients):
+            if index % density:
+                # a co-tenant that never starts first on its node
+                assert shared[index] < baseline[index], f"{model}:{index}"
+
+
+def test_cache_behaviour_does_not_depend_on_the_network_model(suite):
+    """Hit/miss/fetch/eviction counters are a function of the access
+    pattern and the cache configuration, not of the cost model that
+    schedules the RPCs underneath them."""
+    for key, bottleneck in suite["bottleneck"].items():
+        queued = suite["queued"][key]
+        for column in ("metadata_rpcs", "latest_rpcs", "private_hits",
+                       "shared_hits", "fetched_lookups", "shared_evictions",
+                       "prefetched_nodes"):
+            assert getattr(bottleneck.sample, column) \
+                == getattr(queued.sample, column), f"{key}:{column}"
+        assert bottleneck.read_digest == queued.read_digest, key
 
 
 def test_artifact_written_with_populated_columns(suite):
@@ -194,6 +228,8 @@ def test_artifact_written_with_populated_columns(suite):
     assert any(mode.startswith("shared-") for mode in modes)
     patterns = {row["pattern"] for row in artifact["rows"]}
     assert patterns == {"identical", "streaming"}
+    assert {row["network_model"] for row in artifact["rows"]} \
+        == set(NETWORK_MODELS)
     for row in artifact["rows"]:
         assert row["logical_reads"] > 0
         assert row["metadata_rpcs"] > 0
@@ -201,5 +237,8 @@ def test_artifact_written_with_populated_columns(suite):
         assert "rpcs_per_read" in row and "shared_hit_rate" in row
     reductions = artifact["metadata_rpc_reduction_vs_private"]
     assert reductions
-    assert any(entry["reduction"] >= MIN_FRACTION_OF_IDEAL * entry["ideal"]
-               for entry in reductions.values())
+    for model in NETWORK_MODELS:
+        assert any(
+            entry["reduction"] >= MIN_FRACTION_OF_IDEAL * entry["ideal"]
+            for key, entry in reductions.items()
+            if key.startswith(f"{model}:"))

@@ -18,6 +18,7 @@ work (what CI does on every push).
 import json
 import os
 import platform
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -39,19 +40,29 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 MIN_CONTROL_RPC_REDUCTION = 2.0
 
 
-def bench_settings() -> WritePathSettings:
+#: both cost models every suite runs under (the cost model shapes timing,
+#: never bytes or RPC counts — asserted below)
+NETWORK_MODELS = ("bottleneck", "queued")
+
+
+def bench_settings(network_model: str = "bottleneck") -> WritePathSettings:
     settings = WritePathSettings()
-    return settings.scaled_down() if SMOKE else settings
+    settings = settings.scaled_down() if SMOKE else settings
+    return replace(settings, config=replace(settings.config,
+                                            network_model=network_model))
 
 
 @pytest.fixture(scope="module")
 def suite():
-    """Run all modes once on identical settings; emit the JSON artifact."""
+    """Run all modes under both network models; emit the JSON artifact."""
     settings = bench_settings()
-    results = run_write_path_suite(settings)
+    by_model = {model: run_write_path_suite(bench_settings(model))
+                for model in NETWORK_MODELS}
+    results = by_model["bottleneck"]
     sweep_rows = run_cache_capacity_sweep(
         settings, unbounded=results["pipelined-coalesced"])
-    rows = [results[mode].sample.as_row() for mode in WRITE_MODES]
+    rows = [by_model[model][mode].sample.as_row()
+            for model in NETWORK_MODELS for mode in WRITE_MODES]
     artifact = {
         "suite": "write-pipeline",
         "smoke": SMOKE,
@@ -67,10 +78,12 @@ def suite():
             "num_metadata_providers": settings.num_metadata_providers,
             "chunk_size": settings.chunk_size,
         },
+        "network_models": list(NETWORK_MODELS),
         "control_rpc_reduction_vs_baseline": {
-            mode: control_rpc_reduction(results["baseline"].sample,
-                                        results[mode].sample)
-            for mode in WRITE_MODES
+            f"{model}:{mode}": control_rpc_reduction(
+                by_model[model]["baseline"].sample,
+                by_model[model][mode].sample)
+            for model in NETWORK_MODELS for mode in WRITE_MODES
         },
         "rows": rows,
         "cache_capacity_sweep": sweep_rows,
@@ -79,49 +92,64 @@ def suite():
     print()
     print(format_table(rows, title="write-pipeline microbenchmark"))
     print(format_table(sweep_rows, title="cache capacity sweep"))
-    return results
+    return by_model
 
 
 def test_all_modes_read_identical_bytes(suite):
-    baseline = suite["baseline"].read_digest
-    assert suite["pipelined"].read_digest == baseline
-    assert suite["pipelined-coalesced"].read_digest == baseline
+    """Every mode — and every network model — returns the same bytes."""
+    baseline = suite["bottleneck"]["baseline"].read_digest
+    for model, results in suite.items():
+        for mode in WRITE_MODES:
+            assert results[mode].read_digest == baseline, f"{model}:{mode}"
 
 
 def test_coalescing_folds_writes_into_fewer_snapshots(suite):
-    baseline = suite["baseline"].sample
-    coalesced = suite["pipelined-coalesced"].sample
-    assert baseline.coalescing_factor == 1.0
-    assert suite["pipelined"].sample.coalescing_factor == 1.0
-    assert coalesced.coalescing_factor > 1.5
-    assert coalesced.logical_writes == baseline.logical_writes
-    assert coalesced.snapshots < baseline.snapshots
+    for model, results in suite.items():
+        baseline = results["baseline"].sample
+        coalesced = results["pipelined-coalesced"].sample
+        assert baseline.coalescing_factor == 1.0, model
+        assert results["pipelined"].sample.coalescing_factor == 1.0, model
+        assert coalesced.coalescing_factor > 1.5, model
+        assert coalesced.logical_writes == baseline.logical_writes, model
+        assert coalesced.snapshots < baseline.snapshots, model
 
 
 def test_control_rpc_reduction_at_least_2x(suite):
-    """The acceptance criterion: >= 2x fewer control round-trips per write."""
-    reduction = control_rpc_reduction(suite["baseline"].sample,
-                                      suite["pipelined-coalesced"].sample)
-    assert reduction >= MIN_CONTROL_RPC_REDUCTION, (
-        f"only {reduction:.2f}x fewer control RPCs per logical write "
-        f"({suite['baseline'].sample.control_rpcs_per_write:.2f} -> "
-        f"{suite['pipelined-coalesced'].sample.control_rpcs_per_write:.2f})")
+    """The acceptance criterion: >= 2x fewer control round-trips per write —
+    under both network models (RPC counts are protocol, not cost-model)."""
+    for model, results in suite.items():
+        reduction = control_rpc_reduction(results["baseline"].sample,
+                                          results["pipelined-coalesced"].sample)
+        assert reduction >= MIN_CONTROL_RPC_REDUCTION, (
+            f"{model}: only {reduction:.2f}x fewer control RPCs per write")
+
+
+def test_rpc_counts_do_not_depend_on_the_network_model(suite):
+    for mode in WRITE_MODES:
+        bottleneck = suite["bottleneck"][mode].sample
+        queued = suite["queued"][mode].sample
+        for column in ("logical_writes", "snapshots", "control_rpcs",
+                       "metadata_put_rpcs"):
+            assert getattr(bottleneck, column) \
+                == getattr(queued, column), f"{mode}:{column}"
 
 
 def test_write_through_cache_is_warm_from_the_first_read(suite):
     """Write-through population: read-after-write hits before any fetch."""
-    assert suite["baseline"].sample.first_read_cache_hit_rate == 0.0
-    assert suite["pipelined"].sample.first_read_cache_hit_rate > 0.0
+    results = suite["bottleneck"]
+    assert results["baseline"].sample.first_read_cache_hit_rate == 0.0
+    assert results["pipelined"].sample.first_read_cache_hit_rate > 0.0
     # a coalesced writer published its whole span in one snapshot, so its
     # first read-back traversal runs almost entirely out of its own cache
-    assert suite["pipelined-coalesced"].sample.first_read_cache_hit_rate > 0.5
+    assert results["pipelined-coalesced"].sample.first_read_cache_hit_rate > 0.5
 
 
 def test_pipelining_does_not_slow_the_write_phase(suite):
-    assert suite["pipelined"].sample.sim_write_s \
-        <= suite["baseline"].sample.sim_write_s * 1.05
-    assert suite["pipelined-coalesced"].sample.sim_write_s \
-        <= suite["baseline"].sample.sim_write_s * 1.05
+    for model, results in suite.items():
+        assert results["pipelined"].sample.sim_write_s \
+            <= results["baseline"].sample.sim_write_s * 1.05, model
+        assert results["pipelined-coalesced"].sample.sim_write_s \
+            <= results["baseline"].sample.sim_write_s * 1.05, model
 
 
 def test_artifact_written_with_populated_columns(suite):
@@ -134,8 +162,11 @@ def test_artifact_written_with_populated_columns(suite):
         assert row["control_rpcs"] > 0
         assert row["wall_clock_s"] > 0
         assert "coalescing_factor" in row and "first_read_cache_hit_rate" in row
-    assert artifact["control_rpc_reduction_vs_baseline"]["pipelined-coalesced"] \
-        >= MIN_CONTROL_RPC_REDUCTION
+    assert {row["network_model"] for row in artifact["rows"]} \
+        == set(NETWORK_MODELS)
+    for model in NETWORK_MODELS:
+        assert artifact["control_rpc_reduction_vs_baseline"][
+            f"{model}:pipelined-coalesced"] >= MIN_CONTROL_RPC_REDUCTION
     sweep = artifact["cache_capacity_sweep"]
     assert len(sweep) >= 2
     capacities = [row["capacity"] for row in sweep]

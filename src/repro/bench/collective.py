@@ -183,6 +183,7 @@ def run_collective_point(num_ranks: int,
                                for client in clients),
         sim_write_s=max(ends) - min(starts) if starts else 0.0,
         wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
     )
     return CollectiveResult(sample=sample, read_digest=digest)
 

@@ -220,6 +220,7 @@ def run_collective_read_point(num_ranks: int,
         post_latest_rpcs=post_latest,
         sim_read_s=max(ends) - min(starts) if starts else 0.0,
         wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
     )
     digest = b"".join(b"".join(scans) for scans in result.results)
     return CollectiveReadResult(sample=sample, read_digest=digest,

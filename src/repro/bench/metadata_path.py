@@ -163,6 +163,7 @@ def run_metadata_path_point(mode: str,
         cache_misses=cache_misses,
         sim_elapsed_s=sim_elapsed,
         wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
     )
     digest = tuple(b"".join(read_results[key])
                    for key in sorted(read_results))

@@ -56,6 +56,8 @@ class MetadataPathSample:
     cache_misses: int
     sim_elapsed_s: float
     wall_clock_s: float
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -84,6 +86,7 @@ class MetadataPathSample:
             "cache_hit_rate": self.cache_hit_rate,
             "sim_elapsed_s": self.sim_elapsed_s,
             "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
         }
 
 
@@ -145,6 +148,8 @@ class WritePathSample(PerWriteRpcMetrics):
     sim_write_s: float
     sim_read_s: float
     wall_clock_s: float
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck"
 
     def as_row(self) -> Dict[str, object]:
         """Plain-dict form for tables and the JSON benchmark artifact."""
@@ -164,6 +169,7 @@ class WritePathSample(PerWriteRpcMetrics):
             "sim_write_s": self.sim_write_s,
             "sim_read_s": self.sim_read_s,
             "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
         }
 
 
@@ -208,6 +214,8 @@ class CollectiveSample(PerWriteRpcMetrics):
     latest_rpcs_elided: int
     sim_write_s: float
     wall_clock_s: float
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck"
 
     def as_row(self) -> Dict[str, object]:
         """Plain-dict form for tables and the JSON benchmark artifact."""
@@ -227,6 +235,7 @@ class CollectiveSample(PerWriteRpcMetrics):
             "latest_rpcs_elided": self.latest_rpcs_elided,
             "sim_write_s": self.sim_write_s,
             "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
         }
 
 
@@ -263,6 +272,8 @@ class CollectiveReadSample:
     #: never-written bytes shipped as compact hole descriptors instead of
     #: literal zeros (zero-extent elision: the ``exchange_bytes`` drop)
     hole_bytes_elided: int = 0
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck" 
 
     @property
     def metadata_rpcs_per_read(self) -> float:
@@ -290,6 +301,7 @@ class CollectiveReadSample:
             "post_latest_rpcs": self.post_latest_rpcs,
             "sim_read_s": self.sim_read_s,
             "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
         }
 
 
@@ -333,6 +345,8 @@ class SharedCacheSample:
     prefetched_nodes: int
     sim_read_s: float
     wall_clock_s: float
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck"
 
     @property
     def lookups(self) -> int:
@@ -375,6 +389,7 @@ class SharedCacheSample:
             "prefetched_nodes": self.prefetched_nodes,
             "sim_read_s": self.sim_read_s,
             "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
         }
 
 

@@ -218,6 +218,7 @@ def run_shared_cache_point(pattern: str,
         sim_read_s=(max(span[1] for span in read_spans.values())
                     - read_started) if read_spans else 0.0,
         wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
     )
     _check_lookup_partition(sample, private_tier_lookups, shared_tier_lookups,
                             private_cache, shared)

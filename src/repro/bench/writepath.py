@@ -232,6 +232,7 @@ def run_write_path_point(mode: str,
         sim_write_s=sim_write_elapsed,
         sim_read_s=sim_read_elapsed,
         wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
     )
     digest = tuple(b"".join(read_results[key]) for key in sorted(read_results))
     return WritePathResult(sample=sample, read_digest=digest)

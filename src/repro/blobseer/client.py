@@ -38,6 +38,7 @@ internal vectored machinery defined here.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.blobseer.blob import BlobDescriptor
@@ -469,13 +470,10 @@ class BlobClient:
             for extent, data in zip(extents, pieces):
                 fetched.append((extent.offset, extent.length, data))
 
-        fetch_processes = [
-            self.cluster.sim.process(fetch_from(provider_id, extents),
-                                     name=f"{self.name}:get:{provider_id}")
-            for provider_id, extents in sorted(per_provider.items())
-        ]
-        if fetch_processes:
-            yield self.cluster.sim.all_of(fetch_processes)
+        if per_provider:
+            yield self.cluster.sim.fanout(
+                [fetch_from(provider_id, extents)
+                 for provider_id, extents in sorted(per_provider.items())])
 
         results = self._assemble(vector, fetched)
         total = vector.total_bytes()
@@ -533,12 +531,9 @@ class BlobClient:
                     for request, node in zip(shard_requests, nodes):
                         results[request] = node
 
-                shard_processes = [
-                    self.cluster.sim.process(fetch_shard(index, shard_requests),
-                                             name=f"{self.name}:meta:{index}")
-                    for index, shard_requests in sorted(by_shard.items())
-                ]
-                yield self.cluster.sim.all_of(shard_processes)
+                yield self.cluster.sim.fanout(
+                    [fetch_shard(index, shard_requests)
+                     for index, shard_requests in sorted(by_shard.items())])
                 planner.metadata_rpcs += len(by_shard)
             elif requests:
                 shard_count = len(self.deployment.metadata_providers)
@@ -577,18 +572,32 @@ class BlobClient:
 
     @staticmethod
     def _assemble(vector: IOVector, fetched: List[Tuple[int, int, bytes]]) -> List[bytes]:
-        """Scatter fetched extents back into one buffer per vector request."""
+        """Scatter fetched extents back into one buffer per vector request.
+
+        Fetched extents never overlap each other (the read plan partitions
+        the wanted ranges), so after sorting them by offset each request only
+        needs the slice of extents its range intersects — found with a bisect
+        instead of scanning the full extent list per request, which turned a
+        whole-file verify read into an O(requests x extents) quadratic walk.
+        """
+        extents = sorted(fetched, key=lambda item: item[0])
+        ends = [offset + length for offset, length, _data in extents]
         results: List[bytes] = []
         for request in vector:
             buffer = bytearray(request.size)
-            req_region = Region(request.offset, request.size)
-            for offset, length, data in fetched:
-                overlap = req_region.intersect(Region(offset, length))
-                if overlap.empty:
-                    continue
-                src_start = overlap.offset - offset
-                dst_start = overlap.offset - request.offset
-                buffer[dst_start:dst_start + overlap.size] = \
-                    data[src_start:src_start + overlap.size]
+            req_start = request.offset
+            req_end = req_start + request.size
+            index = bisect_right(ends, req_start)
+            while index < len(extents):
+                offset, length, data = extents[index]
+                if offset >= req_end:
+                    break
+                lo = max(req_start, offset)
+                hi = min(req_end, offset + length)
+                if hi > lo:
+                    src_start = lo - offset
+                    buffer[lo - req_start:hi - req_start] = \
+                        data[src_start:src_start + (hi - lo)]
+                index += 1
             results.append(bytes(buffer))
         return results

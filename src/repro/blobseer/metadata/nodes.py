@@ -71,11 +71,14 @@ class LeafSegment:
             raise InvalidRegion(
                 f"invalid leaf segment ({self.rel_offset}, {self.length}, "
                 f"chunk_offset={self.chunk_offset})")
+        # precomputed plain attribute (not a property): ``rel_end`` is read
+        # on every overlay/resolve sweep step, where descriptor overhead
+        # alone is measurable
+        object.__setattr__(self, "rel_end", self.rel_offset + self.length)
 
-    @property
-    def rel_end(self) -> int:
-        """First byte after the piece (relative to the leaf start)."""
-        return self.rel_offset + self.length
+    #: first byte after the piece (relative to the leaf start); set in
+    #: ``__post_init__``, annotated here for introspection only
+    rel_end: int = field(init=False, compare=False, repr=False, default=0)
 
 
 @dataclass(frozen=True)

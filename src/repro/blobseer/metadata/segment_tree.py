@@ -63,25 +63,40 @@ class WritePiece:
 
 
 def split_vector_into_pieces(blob: BlobDescriptor, vector: IOVector) -> List[WritePiece]:
-    """Split a write vector into chunk-aligned pieces (one future chunk each)."""
+    """Split a write vector into chunk-aligned pieces (one future chunk each).
+
+    The chunk walk is inlined arithmetic (no intermediate ``Region`` objects)
+    — fine-grained collective stripes split into tens of thousands of pieces,
+    making this one of the hottest loops of the whole write path.
+    """
     pieces: List[WritePiece] = []
+    append = pieces.append
+    chunk_size = blob.chunk_size
     for request_index, request in enumerate(vector):
         if not request.is_write:
             raise InvalidRegion("split_vector_into_pieces() needs a write vector")
-        if request.size == 0:
+        size = request.size
+        if size == 0:
             continue
-        blob.validate_access(request.offset, request.size)
+        offset = request.offset
+        blob.validate_access(offset, size)
+        data = request.data
         consumed = 0
-        for piece_region in request.region.chunk_aligned_pieces(blob.chunk_size):
-            payload = request.data[consumed:consumed + piece_region.size]
-            pieces.append(WritePiece(
-                leaf_offset=blob.leaf_offset(piece_region.offset),
-                rel_offset=piece_region.offset % blob.chunk_size,
-                length=piece_region.size,
-                data=payload,
+        cursor = offset
+        end = offset + size
+        while cursor < end:
+            rel = cursor % chunk_size
+            piece_end = min(cursor - rel + chunk_size, end)
+            length = piece_end - cursor
+            append(WritePiece(
+                leaf_offset=cursor - rel,
+                rel_offset=rel,
+                length=length,
+                data=data[consumed:consumed + length],
                 request_index=request_index,
             ))
-            consumed += piece_region.size
+            consumed += length
+            cursor = piece_end
     return pieces
 
 
@@ -93,10 +108,14 @@ def overlay_segments(existing: Sequence[LeafSegment],
     two); the result stays sorted by ``rel_offset`` and non-overlapping.
     """
     result: List[LeafSegment] = []
+    after: List[LeafSegment] = []
     new_start, new_end = new.rel_offset, new.rel_end
     for segment in existing:
-        if segment.rel_end <= new_start or segment.rel_offset >= new_end:
+        if segment.rel_end <= new_start:
             result.append(segment)
+            continue
+        if segment.rel_offset >= new_end:
+            after.append(segment)
             continue
         # left survivor
         if segment.rel_offset < new_start:
@@ -107,18 +126,22 @@ def overlay_segments(existing: Sequence[LeafSegment],
                 chunk_offset=segment.chunk_offset,
                 provider_id=segment.provider_id,
             ))
-        # right survivor
+        # right survivor (at most one: the last overlapped segment; any
+        # existing segment after it starts past its end, hence past new_end)
         if segment.rel_end > new_end:
             cut = new_end - segment.rel_offset
-            result.append(LeafSegment(
+            after.append(LeafSegment(
                 rel_offset=new_end,
                 length=segment.rel_end - new_end,
                 chunk=segment.chunk,
                 chunk_offset=segment.chunk_offset + cut,
                 provider_id=segment.provider_id,
             ))
+    # ``existing`` is sorted, so survivors before ``new`` landed in
+    # ``result`` and survivors after it in ``after`` — concatenation is
+    # already sorted, no per-overlay sort needed
     result.append(new)
-    result.sort(key=lambda segment: segment.rel_offset)
+    result.extend(after)
     return result
 
 

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.cluster.rpc import Service
 from repro.errors import ProviderUnavailable
-from repro.simengine.rand import DeterministicRNG
+from repro.simengine.rand import SCOPE_WORKLOAD, DeterministicRNG
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import Node
@@ -83,7 +83,9 @@ class RandomAllocation(AllocationStrategy):
 
     def select(self, providers: Sequence[str], sizes: Sequence[int],
                load: Dict[str, int]) -> List[str]:
-        stream = self._rng.stream("allocation")
+        # placement shapes which providers hold data — workload-scoped,
+        # so toggling cost-only streams (network jitter) never moves it
+        stream = self._rng.scope(SCOPE_WORKLOAD).stream("allocation")
         return [providers[int(stream.integers(0, len(providers)))] for _ in sizes]
 
 

@@ -117,7 +117,7 @@ class WriteCoalescer:
         # per-blob watchdog generation: armed when a write enters an empty
         # queue; a newer arm invalidates older timers so no batch is ever
         # flushed by a timer that predates it
-        self._watchdog_generation: Dict[str, int] = {}
+        self._watchdog_timer: Dict[str, object] = {}
         # per-blob flush-in-progress gate: a batch stays in ``_pending``
         # until its commit's round-trips return, so a second flush entering
         # that window (watchdog vs explicit, in either order) must wait for
@@ -208,32 +208,39 @@ class WriteCoalescer:
 
     def _arm_watchdog(self, blob_id: str,
                       delay: Optional[float] = None) -> None:
-        """Start the max-delay timer (``delay`` overrides for retry backoff)."""
-        generation = self._invalidate_watchdog(blob_id)
-        sim = self.client.cluster.sim
-        sim.process(self._watchdog(blob_id, generation,
-                                   delay if delay is not None
-                                   else self.flush_max_delay),
-                    name=f"{self.client.name}:flush-timer:{blob_id}")
+        """Start the max-delay timer (``delay`` overrides for retry backoff).
 
-    def _invalidate_watchdog(self, blob_id: str) -> int:
-        """Cancel any armed timer of the BLOB; returns the new generation."""
-        generation = self._watchdog_generation.get(blob_id, 0) + 1
-        self._watchdog_generation[blob_id] = generation
-        return generation
-
-    def _watchdog(self, blob_id: str, generation: int, delay: float):
-        """Flush the queue once its oldest write has waited ``delay``.
-
-        The generation check makes an explicit/auto flush in the meantime
-        cancel the timer: a fresh batch started after the flush gets its own
-        timer, so no batch is ever cut short.
+        The timer is a cancellable :class:`~repro.simengine.Timer`, so an
+        explicit/auto flush in the meantime disarms it in O(1) (lazy queue
+        removal) instead of leaving a generation-checked process to wake up
+        and discover it has nothing to do — the watchdog used to be the
+        scheduler's single largest source of dead events.
         """
-        yield self.client.cluster.sim.timeout(delay)
-        if self._watchdog_generation.get(blob_id) != generation \
-                or not self._pending.get(blob_id):
+        self._invalidate_watchdog(blob_id)
+        sim = self.client.cluster.sim
+        self._watchdog_timer[blob_id] = sim.call_later(
+            delay if delay is not None else self.flush_max_delay,
+            self._watchdog_fired, blob_id)
+
+    def _invalidate_watchdog(self, blob_id: str) -> None:
+        """Cancel the BLOB's armed timer (if any): a flush that ran in the
+        meantime means a fresh batch gets its own timer, so no batch is ever
+        cut short."""
+        timer = self._watchdog_timer.pop(blob_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _watchdog_fired(self, blob_id: str) -> None:
+        """Timer callback: flush the queue whose oldest write waited out."""
+        self._watchdog_timer.pop(blob_id, None)
+        if not self._pending.get(blob_id):
             return
         self.stats.delay_flushes += 1
+        self.client.cluster.sim.process(
+            self._watchdog_flush(blob_id),
+            name=f"{self.client.name}:flush-timer:{blob_id}")
+
+    def _watchdog_flush(self, blob_id: str):
         try:
             yield from self.flush(blob_id)
         except Exception:

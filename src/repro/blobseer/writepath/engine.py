@@ -112,24 +112,24 @@ class PipelinedCommitEngine:
             piece.chunk = client._chunk_keys.next_key()
             piece.provider_id = provider_id
             per_provider.setdefault(provider_id, []).append(piece)
-        upload_processes = []
+        upload_calls = []
         for provider_id, provider_pieces in sorted(per_provider.items()):
             service = deployment.data_provider(provider_id)
             payload = [(piece.chunk, piece.data) for piece in provider_pieces]
             payload_bytes = sum(piece.length for piece in provider_pieces)
-            upload_processes.append(sim.process(
+            upload_calls.append(
                 client._rpc(service, "put_chunks", payload_bytes,
-                            client.cluster.config.control_message_size, payload),
-                name=f"{client.name}:put:{provider_id}"))
+                            client.cluster.config.control_message_size, payload))
 
         # 4. version ticket — overlapped with the uploads when pipelining
         #    (the ticket is a tiny control message; the uploads dominate)
         if self.pipelining:
+            uploads = sim.fanout(upload_calls)
             ticket_process = sim.process(
                 self._wcontrol(deployment.version_manager, "assign_ticket", blob_id),
                 name=f"{client.name}:ticket")
             try:
-                yield sim.all_of(upload_processes + [ticket_process])
+                yield sim.all_of([uploads, ticket_process])
             except Exception:
                 # an upload failed while the ticket was (possibly already)
                 # assigned; release it or every later ticket's publication
@@ -138,8 +138,8 @@ class PipelinedCommitEngine:
                 raise
             version, base_version = ticket_process.value
         else:
-            if upload_processes:
-                yield sim.all_of(upload_processes)
+            if upload_calls:
+                yield sim.fanout(upload_calls)
             version, base_version = yield from self._wcontrol(
                 deployment.version_manager, "assign_ticket", blob_id)
 
@@ -314,15 +314,11 @@ class PipelinedCommitEngine:
         control_size = client.cluster.config.control_message_size
         client.metadata_put_rpcs += len(by_shard)
         if self.pipelining:
-            store_processes = [
-                client.cluster.sim.process(
-                    client._rpc(deployment.metadata_providers[index], "put_nodes",
-                                len(shard_nodes) * node_size, control_size,
-                                shard_nodes),
-                    name=f"{client.name}:putmeta:{index}")
-                for index, shard_nodes in sorted(by_shard.items())
-            ]
-            yield client.cluster.sim.all_of(store_processes)
+            yield client.cluster.sim.fanout(
+                [client._rpc(deployment.metadata_providers[index], "put_nodes",
+                             len(shard_nodes) * node_size, control_size,
+                             shard_nodes)
+                 for index, shard_nodes in sorted(by_shard.items())])
         else:
             for index, shard_nodes in sorted(by_shard.items()):
                 yield from client._rpc(

@@ -6,7 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.disk import Disk
-from repro.cluster.network import Network
+from repro.cluster.network import Network, QueuedNetwork
 from repro.cluster.node import Node
 from repro.cluster.rpc import RpcTransport
 from repro.errors import SimulationError
@@ -54,9 +54,21 @@ class Cluster:
     def __init__(self, config: Optional[ClusterConfig] = None,
                  sim: Optional[Simulator] = None, seed: int = 0):
         self.config = config or ClusterConfig()
-        self.sim = sim or Simulator(seed=seed)
-        self.network = Network(self.sim, self.config.network_latency,
-                               self.config.network_bandwidth)
+        if sim is None:
+            scheduler = self.config.scheduler or (
+                "heapq" if self.config.engine == "legacy" else "calendar")
+            sim = Simulator(seed=seed, scheduler=scheduler)
+        self.sim = sim
+        if self.config.network_model == "queued":
+            self.network = QueuedNetwork(self.sim, self.config)
+        elif self.config.network_model == "bottleneck":
+            self.network = Network(self.sim, self.config.network_latency,
+                                   self.config.network_bandwidth,
+                                   engine=self.config.engine)
+        else:
+            raise SimulationError(
+                f"unknown network_model {self.config.network_model!r}; "
+                "use 'bottleneck' or 'queued'")
         self.rpc = RpcTransport(self)
         self.nodes: Dict[str, Node] = {}
 
@@ -69,7 +81,8 @@ class Cluster:
         disk = None
         if with_disk:
             disk = Disk(self.sim, self.config.disk_bandwidth,
-                        self.config.disk_overhead, name=f"disk:{name}")
+                        self.config.disk_overhead, name=f"disk:{name}",
+                        engine=self.config.engine)
         node = Node(self.sim, name, self.network, disk=disk, role=role)
         self.nodes[name] = node
         return node

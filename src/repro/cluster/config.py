@@ -21,6 +21,34 @@ GiB = 1024 * MiB
 class ClusterConfig:
     """Hardware parameters of the simulated cluster."""
 
+    #: simulation engine profile: ``"fast"`` (analytic FIFO reservations, a
+    #: couple of pooled scheduler events per transfer/IO) or ``"legacy"``
+    #: (the seed's event-per-hop resource machinery — kept so perf baselines
+    #: can be taken against true seed behaviour).  Timings are identical.
+    engine: str = "fast"
+    #: simulator queue backend: ``"calendar"`` or ``"heapq"``; ``None`` picks
+    #: calendar for the fast engine and heapq for the legacy engine
+    scheduler: Optional[str] = None
+    #: network cost model: ``"bottleneck"`` (seed full-bisection switch with
+    #: half-duplex NICs) or ``"queued"`` (per-link FIFO queues over a two-tier
+    #: leaf-switch topology with a CoDel standing-queue signal)
+    network_model: str = "bottleneck"
+    #: queued model: nodes per leaf switch (grouped in creation order)
+    nodes_per_switch: int = 16
+    #: queued model: one-way latency between switches; ``None`` = 2.5x the
+    #: intra-switch ``network_latency``
+    cross_switch_latency: Optional[float] = None
+    #: queued model: bandwidth of each switch uplink/downlink; ``None`` = 4x
+    #: the NIC ``network_bandwidth``
+    switch_bandwidth: Optional[float] = None
+    #: queued model: CoDel target standing-queue delay (seconds)
+    codel_target: float = 1e-3
+    #: queued model: CoDel observation interval (seconds)
+    codel_interval: float = 20e-3
+    #: queued model: fractional uniform jitter applied to propagation
+    #: latency (0 disables).  Drawn from the ``network`` RNG scope, so it
+    #: never perturbs workload bytes
+    network_jitter: float = 0.0
     #: one-way network latency per message (seconds)
     network_latency: float = 100e-6
     #: NIC bandwidth per node (bytes/second); GbE ~ 117 MiB/s

@@ -19,7 +19,7 @@ class Disk:
     """
 
     def __init__(self, sim: "Simulator", bandwidth: float, overhead: float,
-                 name: str = "disk"):
+                 name: str = "disk", engine: str = "fast"):
         if bandwidth <= 0:
             raise ValueError("disk bandwidth must be positive")
         if overhead < 0:
@@ -28,7 +28,10 @@ class Disk:
         self.bandwidth = float(bandwidth)
         self.overhead = float(overhead)
         self.name = name
-        self._device = Resource(sim, capacity=1)
+        self.engine = engine
+        #: when the last reserved I/O finishes (analytic FIFO queue)
+        self.free_at: float = 0.0
+        self._device = Resource(sim, capacity=1) if engine == "legacy" else None
         #: total bytes read + written through this disk
         self.bytes_transferred: int = 0
         #: number of I/O operations served
@@ -41,9 +44,27 @@ class Disk:
         return self.overhead + nbytes / self.bandwidth
 
     def io(self, nbytes: int):
-        """Simulated-process generator performing one I/O of ``nbytes``."""
+        """Simulated-process generator performing one I/O of ``nbytes``.
+
+        The fast engine reserves the device's FIFO queue analytically
+        (``free_at``) and sleeps once until the I/O completes — the same
+        schedule the legacy capacity-1 resource produces, without the
+        request/grant/release events.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if self._device is None:
+            sim = self.sim
+            service = self.overhead + nbytes / self.bandwidth
+            now = sim.now
+            start = self.free_at if self.free_at > now else now
+            finish = start + service
+            self.free_at = finish
+            self.busy_time += service
+            self.bytes_transferred += nbytes
+            self.operations += 1
+            yield sim.sleep(finish - now)
+            return
         request = self._device.request()
         yield request
         start = self.sim.now

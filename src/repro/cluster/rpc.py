@@ -87,6 +87,26 @@ class RpcTransport:
         return result
 
 
+    def call_batch(self, caller: "Node", calls):
+        """Issue several independent RPCs concurrently; return their results.
+
+        ``calls`` is a sequence of ``(service, method, request_bytes,
+        response_bytes, args)`` tuples (``args`` optional).  All calls start
+        at the current instant and the batch completes when the slowest
+        response lands — one :class:`~repro.simengine.Fanout` transaction
+        instead of one bootstrap/termination event pair per shard.  Results
+        come back in call order.
+        """
+        generators = []
+        for spec in calls:
+            service, method, request_bytes, response_bytes, *rest = spec
+            args = rest[0] if rest else ()
+            generators.append(self.call(caller, service, method,
+                                        request_bytes, response_bytes, *args))
+        results = yield self.cluster.sim.fanout(generators)
+        return results
+
+
 def remote_call(cluster: "Cluster", caller: "Node", service: Service, method: str,
                 request_bytes: int, response_bytes: int, *args: Any, **kwargs: Any):
     """Convenience wrapper around :meth:`RpcTransport.call`."""

@@ -20,7 +20,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import InvalidRegion
+
+#: region count above which sort-based set operations switch to the
+#: vectorized (numpy) kernel; below it plain-Python merges win
+_VECTOR_THRESHOLD = 64
+
+
+def _coalesce_runs(starts: np.ndarray, ends: np.ndarray) -> List["Region"]:
+    """Coalesce sorted ``[start, end)`` interval arrays into canonical Regions.
+
+    ``starts`` must already be sorted ascending; overlapping *and* adjacent
+    intervals merge, matching the linear-merge semantics of
+    :meth:`RegionList.union`.  One running-maximum pass finds run boundaries
+    without any per-interval Python work.
+    """
+    if len(starts) == 0:
+        return []
+    running = np.maximum.accumulate(ends)
+    breaks = np.empty(len(starts), dtype=bool)
+    breaks[0] = True
+    np.greater(starts[1:], running[:-1], out=breaks[1:])
+    head = np.flatnonzero(breaks)
+    tail = np.append(head[1:], len(starts)) - 1
+    run_starts = starts[head].tolist()
+    run_ends = running[tail].tolist()
+    return [Region(int(start), int(end - start))
+            for start, end in zip(run_starts, run_ends)]
 
 
 @dataclass(frozen=True, order=True)
@@ -249,6 +277,19 @@ class RegionList:
         if self.is_normalized():
             self._normalized = self
             return self
+        if len(self._regions) >= _VECTOR_THRESHOLD:
+            starts = np.fromiter((r.offset for r in self._regions),
+                                 dtype=np.int64, count=len(self._regions))
+            sizes = np.fromiter((r.size for r in self._regions),
+                                dtype=np.int64, count=len(self._regions))
+            keep = sizes > 0
+            starts, sizes = starts[keep], sizes[keep]
+            order = np.argsort(starts, kind="stable")
+            starts = starts[order]
+            ends = starts + sizes[order]
+            result = RegionList._from_normalized(_coalesce_runs(starts, ends))
+            self._normalized = result
+            return result
         non_empty = sorted(
             (region for region in self._regions if not region.empty),
             key=lambda region: (region.offset, region.end),
@@ -292,6 +333,42 @@ class RegionList:
             else:
                 merged.append(region)
         return RegionList._from_normalized(merged)
+
+    @classmethod
+    def union_all(cls, lists: Sequence["RegionList"]) -> "RegionList":
+        """Normalized union of many region lists in one pass.
+
+        Replaces the O(n²) ``result = result.union(lst)`` accumulation that
+        dominated collective-read planning: all offsets are gathered into flat
+        arrays, sorted once, and coalesced with a running-maximum sweep.
+        Small inputs stay on the pairwise linear merge, which wins below the
+        vector threshold.
+        """
+        sources = [lst for lst in lists if lst._regions]
+        if not sources:
+            return cls._from_normalized(())
+        if len(sources) == 1:
+            return sources[0].normalized()
+        total = sum(len(lst._regions) for lst in sources)
+        if total < _VECTOR_THRESHOLD:
+            result = sources[0]
+            for other in sources[1:]:
+                result = result.union(other)
+            return result.normalized()
+        starts = np.empty(total, dtype=np.int64)
+        sizes = np.empty(total, dtype=np.int64)
+        index = 0
+        for lst in sources:
+            for region in lst._regions:
+                starts[index] = region.offset
+                sizes[index] = region.size
+                index += 1
+        keep = sizes > 0
+        starts, sizes = starts[keep], sizes[keep]
+        order = np.argsort(starts, kind="stable")
+        starts = starts[order]
+        ends = starts + sizes[order]
+        return cls._from_normalized(_coalesce_runs(starts, ends))
 
     def intersection(self, other: "RegionList") -> "RegionList":
         """Normalized set of bytes present in both region sets (linear merge)."""
@@ -377,14 +454,41 @@ class RegionList:
 
     def clip(self, bounds: Region) -> "RegionList":
         """Regions clipped to ``bounds`` (pieces outside are dropped)."""
-        clipped: List[Region] = []
-        for region in self._regions:
+        regions = self._regions
+        if self._normalized is self:
+            # canonical fast path: the regions are sorted and disjoint, so
+            # only a bisected window can overlap the bounds; regions fully
+            # inside are reused untouched and only the (at most two)
+            # boundary regions are clamped.  Clipping a canonical list only
+            # shrinks/drops runs, so the result is still canonical.
+            b_start, b_end = bounds.offset, bounds.end
+            if b_end <= b_start or not regions:
+                return RegionList._from_normalized(())
+            lo, hi = 0, len(regions)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if regions[mid].end <= b_start:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            clipped: List[Region] = []
+            for region in regions[lo:]:
+                offset = region.offset
+                if offset >= b_end:
+                    break
+                end = region.end
+                start = offset if offset > b_start else b_start
+                stop = end if end < b_end else b_end
+                if start == offset and stop == end:
+                    clipped.append(region)
+                elif stop > start:
+                    clipped.append(Region(start, stop - start))
+            return RegionList._from_normalized(clipped)
+        clipped = []
+        for region in regions:
             piece = region.intersect(bounds)
             if not piece.empty:
                 clipped.append(piece)
-        if self._normalized is self:
-            # clipping a canonical list only shrinks/drops runs: still canonical
-            return RegionList._from_normalized(clipped)
         return RegionList(clipped)
 
     def chunk_aligned(self, chunk_size: int) -> "RegionList":

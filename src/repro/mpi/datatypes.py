@@ -43,7 +43,20 @@ class Datatype:
         raise NotImplementedError
 
     def flatten(self) -> RegionList:
-        """Byte regions of one instance, relative to its origin, coalesced."""
+        """Byte regions of one instance, relative to its origin, coalesced.
+
+        The result is memoized on the instance: datatypes are immutable, and
+        file views flatten the same filetype on every access, so recomputing
+        the type map per access would dominate collective planning.
+        """
+        cached = self.__dict__.get("_flat")
+        if cached is None:
+            cached = self._flatten()
+            object.__setattr__(self, "_flat", cached)
+        return cached
+
+    def _flatten(self) -> RegionList:
+        """Compute the type map (subclass hook behind the memoized API)."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -86,7 +99,7 @@ class BasicType(Datatype):
     def extent(self) -> int:
         return self.width
 
-    def flatten(self) -> RegionList:
+    def _flatten(self) -> RegionList:
         return RegionList([(0, self.width)])
 
 
@@ -115,7 +128,7 @@ class Contiguous(Datatype):
     def extent(self) -> int:
         return self.count * self.base.extent
 
-    def flatten(self) -> RegionList:
+    def _flatten(self) -> RegionList:
         return self.base.tiled(self.count)
 
 
@@ -146,7 +159,7 @@ class Vector(Datatype):
             return 0
         return ((self.count - 1) * self.stride + self.blocklength) * self.base.extent
 
-    def flatten(self) -> RegionList:
+    def _flatten(self) -> RegionList:
         unit = self.base.extent
         block = self.base.tiled(self.blocklength)
         regions: List[Region] = []
@@ -188,7 +201,7 @@ class Indexed(Datatype):
                   in zip(self.displacements, self.blocklengths))
         return end * self.base.extent
 
-    def flatten(self) -> RegionList:
+    def _flatten(self) -> RegionList:
         unit = self.base.extent
         block_cache = {}
         regions: List[Region] = []
@@ -248,7 +261,7 @@ class Subarray(Datatype):
             total *= size
         return total
 
-    def flatten(self) -> RegionList:
+    def _flatten(self) -> RegionList:
         unit = self.base.extent
         ndims = len(self.sizes)
 

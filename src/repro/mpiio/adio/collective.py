@@ -79,6 +79,7 @@ against the segment tree independently — ``N`` ``latest`` round-trips and
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -149,11 +150,19 @@ def partition_file_domain(lo: int, hi: int, count: int,
     return domains
 
 
-def _domain_index(offset: int, domains: List[Tuple[int, int]]) -> int:
-    """Index of the stripe containing ``offset``."""
-    for index, (start, end) in enumerate(domains):
-        if start <= offset < end:
-            return index
+def _domain_index(offset: int, domains: List[Tuple[int, int]],
+                  ends: Optional[List[int]] = None) -> int:
+    """Index of the stripe containing ``offset``.
+
+    Stripes are contiguous and sorted, so a binary search over the (non-
+    decreasing) end offsets finds the owner; callers splitting many pieces
+    pass the precomputed ``ends`` list once instead of per lookup.
+    """
+    if ends is None:
+        ends = [end for _start, end in domains]
+    index = bisect_right(ends, offset)
+    if index < len(domains) and domains[index][0] <= offset:
+        return index
     raise MPIIOError(f"offset {offset} outside the partitioned file domain")
 
 
@@ -200,6 +209,107 @@ def _description_bytes(contributions: Dict[int, Tuple],
     return sum(EXTENT_DESCRIPTION_BYTES * len(entry[1]) + per_entry_extra
                if entry[0] == "ok" else 64
                for entry in contributions.values())
+
+
+def _shared_memo(gathered, key, compute):
+    """Memoize ``compute()`` on an allgather result shared by every rank.
+
+    Each rank of a simulated collective derives the *same* planning from the
+    *same* gathered descriptions; caching the derivation on the shared
+    :class:`~repro.mpi.simcomm.SharedList` runs it once per collective
+    instead of once per rank.  Falls back to plain computation when the
+    result is not a memo-carrying list (single tests driving the protocol
+    with hand-built lists).
+    """
+    memo = getattr(gathered, "memo", None)
+    if memo is None:
+        return compute()
+    value = memo.get(key)
+    if value is None:
+        value = memo[key] = compute()
+    return value
+
+
+def _scan_write_gather(gathered) -> Tuple[list, list, list, int, int]:
+    """One pass over the opening gather: errors, extents, data hull.
+
+    Returns ``(early_errors, extents_by_rank, data_extents, lo, hi)``;
+    ``lo``/``hi`` are 0 when no rank brought data bytes.
+    """
+    early_errors: list = []
+    extents_by_rank: list = []
+    data_extents: list = []
+    lo = None
+    hi = 0
+    for entry in gathered:
+        if entry[0] == "err":
+            early_errors.append(entry[1])
+            extents_by_rank.append(())
+            continue
+        extents = entry[1]
+        extents_by_rank.append(extents)
+        for offset, size in extents:
+            if size:
+                data_extents.append((offset, size))
+                if lo is None or offset < lo:
+                    lo = offset
+                end = offset + size
+                if end > hi:
+                    hi = end
+    return early_errors, extents_by_rank, data_extents, lo or 0, hi
+
+
+def _plan_write_partition(size: int, count: int, lo: int, hi: int,
+                          chunk_size: int, extents_by_rank) -> Tuple[
+                              List[int], List[Tuple[int, int]], List[int], List[int]]:
+    """Aggregator owners, stripe domains and write attribution for one job.
+
+    Each rank's one logical write is attributed to the aggregator owning its
+    first data byte, so the attributions sum to the number of data-bearing
+    ranks however the stripes slice them.
+    """
+    owners = aggregator_ranks(size, count)
+    domains = partition_file_domain(lo, hi, count, chunk_size)
+    domain_ends = [end for _start, end in domains]
+    attributed = [0] * count
+    for extents in extents_by_rank:
+        first = next((offset for offset, size in extents if size), None)
+        if first is not None:
+            attributed[_domain_index(first, domains, domain_ends)] += 1
+    return owners, domains, domain_ends, attributed
+
+
+def _scan_read_gather(gathered) -> Tuple[list, list, int, list, int, int]:
+    """One pass over a read collective's opening gather.
+
+    Returns ``(early_errors, extents_by_rank, pinned, data_extents, lo,
+    hi)``; ``pinned`` is the maximum watermark the healthy ranks brought
+    (meaningless, but safe, when any rank reported an error).
+    """
+    early_errors: list = []
+    extents_by_rank: list = []
+    data_extents: list = []
+    pinned = 0
+    lo = None
+    hi = 0
+    for entry in gathered:
+        if entry[0] == "err":
+            early_errors.append(entry[1])
+            extents_by_rank.append(())
+            continue
+        extents = entry[1]
+        extents_by_rank.append(extents)
+        if entry[2] > pinned:
+            pinned = entry[2]
+        for offset, size in extents:
+            if size:
+                data_extents.append((offset, size))
+                if lo is None or offset < lo:
+                    lo = offset
+                end = offset + size
+                if end > hi:
+                    hi = end
+    return early_errors, extents_by_rank, pinned, data_extents, lo or 0, hi
 
 
 class _CollectiveParticipant:
@@ -289,7 +399,8 @@ class CollectiveAggregator(_CollectiveParticipant):
                 EXTENT_DESCRIPTION_BYTES * len(opening[1])
         gathered = yield from comm.allgather(rank, opening,
                                              payload_bytes=_description_bytes)
-        early_errors = [entry[1] for entry in gathered if entry[0] == "err"]
+        early_errors, extents_by_rank, data_extents, lo, hi = _shared_memo(
+            gathered, "write_scan", lambda: _scan_write_gather(gathered))
         if early_errors:
             # another rank's phase-0 flush may have published while ours
             # failed; a pre-collective hint is not trustworthy after a
@@ -300,9 +411,6 @@ class CollectiveAggregator(_CollectiveParticipant):
             raise MPIIOError(
                 "collective write aborted before the exchange: "
                 + "; ".join(early_errors))
-        extents_by_rank = [entry[1] for entry in gathered]
-        data_extents = [(offset, size) for extents in extents_by_rank
-                        for offset, size in extents if size]
         if not data_extents:
             # collectively zero bytes (empty vectors, or only zero-size
             # requests): nothing to exchange or commit anywhere
@@ -314,48 +422,41 @@ class CollectiveAggregator(_CollectiveParticipant):
         # bad aggregator setting) still enters the exchange empty-handed and
         # reports through the closing phase, so its peers never hang
         owners: List[int] = []
-        send: List[List[Tuple[int, int, bytes]]] = [[] for _ in range(comm.size)]
+        send: Dict[int, List[Tuple[int, int, bytes]]] = {}
         try:
             blob = yield from client._descriptor(blob_id)
-            lo = min(offset for offset, _size in data_extents)
-            hi = max(offset + size for offset, size in data_extents)
             count = self.resolved_count(comm.size)
-            owners = aggregator_ranks(comm.size, count)
-            domains = partition_file_domain(lo, hi, count, blob.chunk_size)
-
-            # each rank's one logical write is attributed to the aggregator
-            # owning its first data byte, so the attributions sum to the
-            # number of data-bearing ranks however the stripes slice them
-            attributed = [0] * count
-            for extents in extents_by_rank:
-                first = next((offset for offset, size in extents if size),
-                             None)
-                if first is not None:
-                    attributed[_domain_index(first, domains)] += 1
+            owners, domains, domain_ends, attributed = _shared_memo(
+                gathered, ("write_plan", count, blob.chunk_size),
+                lambda: _plan_write_partition(comm.size, count, lo, hi,
+                                              blob.chunk_size,
+                                              extents_by_rank))
 
             # phase 2: ship every piece to the aggregator owning its stripe
+            # (a sparse exchange — most ranks only touch a few stripes)
             for sequence, request in enumerate(vector):
                 if request.size == 0:
                     continue
                 start, end = request.offset, request.offset + request.size
-                index = _domain_index(start, domains)
+                index = _domain_index(start, domains, domain_ends)
                 while start < end:
                     cut = min(end, domains[index][1])
                     data = request.data[start - request.offset:
                                         cut - request.offset]
-                    send[owners[index]].append((sequence, start, data))
+                    send.setdefault(owners[index], []).append(
+                        (sequence, start, data))
                     start = cut
                     index += 1
         except Exception as exc:
             failure = exc
             owners = []
-            send = [[] for _ in range(comm.size)]
+            send = {}
         # pieces addressed to this rank itself are a local copy, not traffic
         self.stats.bytes_sent += sum(_piece_bytes(piece)
-                                     for destination, pieces in enumerate(send)
+                                     for destination, pieces in send.items()
                                      for piece in pieces
                                      if destination != rank)
-        received = yield from comm.alltoallv(
+        received = yield from comm.alltoallv_sparse(
             rank, send,
             sizeof=lambda pieces: sum(_piece_bytes(piece) for piece in pieces))
 
@@ -396,7 +497,7 @@ class CollectiveAggregator(_CollectiveParticipant):
 
     # ------------------------------------------------------------------
     def _commit_stripe(self, blob_id: str,
-                       received: List[List[Tuple[int, int, bytes]]],
+                       received: Dict[int, List[Tuple[int, int, bytes]]],
                        attributed_writes: int, self_rank: int):
         """Merge the received pieces and publish them as one snapshot batch.
 
@@ -408,7 +509,7 @@ class CollectiveAggregator(_CollectiveParticipant):
         empty).
         """
         pieces = [(source, sequence, offset, data)
-                  for source, items in enumerate(received)
+                  for source, items in sorted(received.items())
                   for sequence, offset, data in items
                   if data]
         if not pieces:
@@ -544,7 +645,13 @@ class CollectiveReader(_CollectiveParticipant):
             rank, opening,
             payload_bytes=lambda contributions:
                 _description_bytes(contributions, per_entry_extra=8))
-        early_errors = [entry[1] for entry in gathered if entry[0] == "err"]
+        # the group's pinned snapshot: every contribution is a *published*
+        # version (watermarks and hints only ever record published ones),
+        # so the maximum is published too — and at least as new as every
+        # rank's own commits
+        early_errors, extents_by_rank, pinned, data_extents, lo, hi = \
+            _shared_memo(gathered, "read_scan",
+                         lambda: _scan_read_gather(gathered))
         if early_errors:
             # a rank that failed before consuming its hint must not keep it:
             # a peer's phase-0 barrier may have published in the meantime
@@ -554,14 +661,6 @@ class CollectiveReader(_CollectiveParticipant):
             raise MPIIOError(
                 "collective read aborted before the exchange: "
                 + "; ".join(early_errors))
-        extents_by_rank = [entry[1] for entry in gathered]
-        #: the group's pinned snapshot: every contribution is a *published*
-        #: version (watermarks and hints only ever record published ones),
-        #: so the maximum is published too — and at least as new as every
-        #: rank's own commits
-        pinned = max(entry[2] for entry in gathered)
-        data_extents = [(offset, size) for extents in extents_by_rank
-                        for offset, size in extents if size]
         if not data_extents:
             # collectively zero bytes: nothing to resolve or ship anywhere,
             # but the group still synchronized on the pinned version
@@ -573,23 +672,33 @@ class CollectiveReader(_CollectiveParticipant):
         # phase 2 (resolvers): resolve + fetch this rank's stripe of the
         # union extent.  A rank failing here still enters the data exchange
         # empty-handed and reports through the closing phase, so its peers
-        # never hang mid-collective.
-        send: List[Tuple[List[Tuple[int, bytes]], list, list]] = \
-            [([], [], []) for _ in range(comm.size)]
+        # never hang mid-collective.  Non-resolver ranks ship nothing at
+        # all — the exchange is sparse on their side.
+        send: Dict[int, Tuple[List[Tuple[int, bytes]], list, list]] = {}
         if failure is None:
             try:
                 blob = yield from client._descriptor(blob_id)
-                lo = min(offset for offset, _size in data_extents)
-                hi = max(offset + size for offset, size in data_extents)
-                domains = partition_file_domain(lo, hi, len(owners),
-                                                blob.chunk_size)
+                domains = _shared_memo(
+                    gathered, ("read_domains", len(owners), blob.chunk_size),
+                    lambda: partition_file_domain(lo, hi, len(owners),
+                                                  blob.chunk_size))
                 if rank in owners:
+                    # the normalized per-rank wanted lists are identical for
+                    # every resolver — derive them once per collective, then
+                    # each resolver clips them to its own stripe
+                    wanted_full = _shared_memo(
+                        gathered, "read_wanted",
+                        lambda: [RegionList.from_tuples(
+                                     [(offset, length)
+                                      for offset, length in extents if length]
+                                 ).normalized()
+                                 for extents in extents_by_rank])
                     send = yield from self._resolve_stripe(
                         blob_id, pinned, domains[owners.index(rank)],
-                        extents_by_rank, comm.size, rank)
+                        wanted_full, comm.size, rank)
             except Exception as exc:
                 failure = exc
-                send = [([], [], []) for _ in range(comm.size)]
+                send = {}
 
         # phase 3: scatter fetched pieces (and the plan trace) to the ranks.
         # Never-written ranges travel as (offset, length) hole descriptors —
@@ -601,9 +710,10 @@ class CollectiveReader(_CollectiveParticipant):
                     + len(plan) * node_size)
 
         self.stats.bytes_sent += sum(item_bytes(item)
-                                     for destination, item in enumerate(send)
+                                     for destination, item in send.items()
                                      if destination != rank)
-        received = yield from comm.alltoallv(rank, send, sizeof=item_bytes)
+        received = yield from comm.alltoallv_sparse(rank, send,
+                                                    sizeof=item_bytes)
 
         # phase 4: share outcomes; only a group-approved plan touches caches
         closing = ("ok", pinned)
@@ -621,7 +731,7 @@ class CollectiveReader(_CollectiveParticipant):
             raise MPIIOError("collective read failed: " + "; ".join(errors))
 
         self.stats.bytes_received += sum(
-            item_bytes(item) for source, item in enumerate(received)
+            item_bytes(item) for source, item in received.items()
             if source != rank)
         # the group pin is a published version every rank must remember
         # *before* absorbing the plan: recording it re-plants the one-shot
@@ -630,9 +740,11 @@ class CollectiveReader(_CollectiveParticipant):
         client.note_collective_read(blob_id, pinned)
         # cache warming from the broadcast plan: resolved lookups of the
         # pinned (published, immutable) snapshot, deduplicated across the
-        # resolvers that shipped them
+        # resolvers that shipped them (in source-rank order, so absorption
+        # is deterministic)
+        inbound = [item for _source, item in sorted(received.items())]
         absorbed: Dict = {}
-        for _pieces, _holes, plan in received:
+        for _pieces, _holes, plan in inbound:
             for request, node in plan:
                 absorbed.setdefault(request, node)
         if absorbed:
@@ -641,10 +753,10 @@ class CollectiveReader(_CollectiveParticipant):
         # hole descriptors materialize locally — the zeros never crossed
         # the interconnect
         fetched = [(offset, len(data), data)
-                   for pieces, _holes, _plan in received
+                   for pieces, _holes, _plan in inbound
                    for offset, data in pieces]
         fetched.extend((offset, length, b"\x00" * length)
-                       for _pieces, piece_holes, _plan in received
+                       for _pieces, piece_holes, _plan in inbound
                        for offset, length in piece_holes)
         results = client._assemble(vector, fetched)
         self.stats.collectives += 1
@@ -653,7 +765,7 @@ class CollectiveReader(_CollectiveParticipant):
     # ------------------------------------------------------------------
     def _resolve_stripe(self, blob_id: str, version: int,
                         domain: Tuple[int, int],
-                        extents_by_rank: List[List[Tuple[int, int]]],
+                        wanted_full: List[RegionList],
                         size: int, rank: int):
         """Resolve and fetch one stripe; cut the bytes per destination rank.
 
@@ -661,27 +773,20 @@ class CollectiveReader(_CollectiveParticipant):
         ReadPlanner` walk over the union of every rank's wanted bytes within
         the stripe (each metadata node resolved once however many ranks want
         it), one parallel chunk fetch, then per-rank extraction.  Returns
-        the ``send`` list for the data exchange: ``(pieces, holes, plan)``
-        per destination — ``holes`` are the never-written ranges within that
-        rank's wanted bytes, shipped as ``(offset, length)`` descriptors
-        instead of literal zero payloads (zero-extent elision), and ``plan``
-        is the traversal trace every rank uses to warm its cache.
+        the ``send`` map for the sparse data exchange: ``(pieces, holes,
+        plan)`` per destination — ``holes`` are the never-written ranges
+        within that rank's wanted bytes, shipped as ``(offset, length)``
+        descriptors instead of literal zero payloads (zero-extent elision),
+        and ``plan`` is the traversal trace every rank uses to warm its
+        cache (shipped to every rank, wanted bytes or not).
         """
         start, end = domain
-        send: List[Tuple[List[Tuple[int, bytes]], list, list]] = \
-            [([], [], []) for _ in range(size)]
+        send: Dict[int, Tuple[List[Tuple[int, bytes]], list, list]] = {}
         if end <= start:
             return send
         stripe = Region(start, end - start)
-        wanted_by_rank = [
-            RegionList.from_tuples(
-                [(offset, length) for offset, length in extents if length]
-            ).clip(stripe).normalized()
-            for extents in extents_by_rank
-        ]
-        union = RegionList(())
-        for wanted in wanted_by_rank:
-            union = union.union(wanted)
+        wanted_by_rank = [full.clip(stripe) for full in wanted_full]
+        union = RegionList.union_all(wanted_by_rank)
         if len(union) == 0:
             return send
 
@@ -693,7 +798,8 @@ class CollectiveReader(_CollectiveParticipant):
         self.stats.stripes_resolved += 1
         plan = list(trace.items())
         self.stats.plan_nodes_shipped += len(plan) * (size - 1)
-        hole_list = RegionList(zero_extents)
+        hole_list = RegionList(zero_extents).normalized()
+        have_holes = len(hole_list) > 0
 
         buffers = list(zip(union, pieces))
         for destination, wanted in enumerate(wanted_by_rank):
@@ -707,6 +813,13 @@ class CollectiveReader(_CollectiveParticipant):
                 while buffers[index][0].end < region.end:
                     index += 1
                 source, data = buffers[index]
+                if not have_holes:
+                    # common case (fully written range): the whole region
+                    # cuts straight out of its union buffer
+                    offset = region.offset - source.offset
+                    cut.append((region.offset,
+                                data[offset:offset + region.size]))
+                    continue
                 holes_here = hole_list.clip(region)
                 for hole in holes_here:
                     cut_holes.append((hole.offset, hole.size))

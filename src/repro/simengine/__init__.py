@@ -28,9 +28,9 @@ Public surface
 =====================  ======================================================
 """
 
-from repro.simengine.events import Event, Timeout, AllOf, AnyOf, Condition
+from repro.simengine.events import Event, Timeout, Timer, AllOf, AnyOf, Condition
 from repro.simengine.simulator import Simulator
-from repro.simengine.process import Process
+from repro.simengine.process import Fanout, Process
 from repro.simengine.resources import (
     Resource,
     PriorityResource,
@@ -43,7 +43,9 @@ from repro.simengine.rand import DeterministicRNG
 __all__ = [
     "Simulator",
     "Event",
+    "Fanout",
     "Timeout",
+    "Timer",
     "AllOf",
     "AnyOf",
     "Condition",

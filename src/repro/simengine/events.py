@@ -46,11 +46,17 @@ class Event:
     requested through :meth:`Simulator.schedule`).
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    #: class-level default; only :class:`Timer` instances can flip this
+    _cancelled = False
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        self._defused = False
 
     # -- state inspection -------------------------------------------------
     @property
@@ -126,6 +132,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` units of simulated time in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
@@ -141,6 +149,63 @@ class Timeout(Event):
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise SimulationError("a Timeout is triggered at construction time")
+
+
+class _Sleep(Event):
+    """A pooled, engine-internal timeout (see :meth:`Simulator.sleep`).
+
+    Unlike :class:`Timeout`, processed instances are recycled by the
+    simulator, so hot paths that sleep millions of times allocate a handful
+    of objects.  The contract: a sleep must be yielded immediately by exactly
+    one process and never stored, waited on twice, or combined into
+    conditions.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", value: Any = None):
+        self.sim = sim
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+
+
+class Timer(Event):
+    """A cancellable one-shot timer (see :meth:`Simulator.call_later`).
+
+    The timer fires ``fn(*args)`` when processed.  :meth:`cancel` is O(1):
+    the queue entry stays where it is and is discarded lazily when the
+    scheduler encounters it, which is what makes generation-invalidated
+    watchdog timers cheap.
+    """
+
+    __slots__ = ("_fn", "_args", "_cancelled")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], args: tuple = ()):
+        super().__init__(sim)
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._ok = True
+        self._value = None
+        self.callbacks.append(self._invoke)
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is scheduled and not cancelled."""
+        return not self._cancelled and self.callbacks is not None
+
+    def cancel(self) -> bool:
+        """Cancel the timer; returns False if already fired or cancelled."""
+        if self._cancelled or self.callbacks is None:
+            return False
+        self._cancelled = True
+        self.sim._queue.note_cancel()
+        return True
+
+    def _invoke(self, _event: Event) -> None:
+        self._fn(*self._args)
 
 
 class Condition(Event):

@@ -32,6 +32,8 @@ class Process(Event):
         Optional human-readable name used in error messages and tracing.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: Optional[str] = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -120,3 +122,81 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"
         return f"<Process {self.name!r} {state}>"
+
+
+class Fanout(Event):
+    """Run several generators concurrently as one scheduler transaction.
+
+    Semantically ``AllOf([sim.process(g) for g in generators])`` — every
+    branch starts at the current instant in list order, the fanout succeeds
+    with the list of branch return values once all complete, and fails as
+    soon as any branch fails (later sibling failures are absorbed, exactly
+    like a condition's) — but the K bootstrap events, K process-termination
+    events and the condition bookkeeping collapse into one bootstrap event
+    plus this event.  This is the shape of every RPC fan-out: one client
+    hitting K shards and continuing when the slowest answers.
+    """
+
+    __slots__ = ("results", "_remaining")
+
+    def __init__(self, sim: "Simulator", generators):
+        super().__init__(sim)
+        branches = [_Branch(self, index, generator)
+                    for index, generator in enumerate(generators)]
+        self.results: list = [None] * len(branches)
+        self._remaining = len(branches)
+        if not branches:
+            self.succeed(self.results)
+            return
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        for branch in branches:
+            bootstrap.callbacks.append(branch._step)
+        sim.schedule(bootstrap, priority=sim.PRIORITY_URGENT)
+
+    def _done(self, index: int, value: Any) -> None:
+        self.results[index] = value
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed(self.results)
+
+    def _failed(self, exc: BaseException) -> None:
+        # first failure propagates to the waiter; siblings' failures after
+        # that are absorbed, mirroring Condition._check
+        if not self.triggered:
+            self.fail(exc)
+
+
+class _Branch:
+    """One generator driven inside a :class:`Fanout` (not itself an event)."""
+
+    __slots__ = ("_fanout", "_index", "_generator")
+
+    def __init__(self, fanout: Fanout, index: int, generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Fanout requires generators, got {type(generator).__name__}")
+        self._fanout = fanout
+        self._index = index
+        self._generator = generator
+
+    def _step(self, event: Event) -> None:
+        try:
+            if event._ok:
+                yielded = self._generator.send(event._value)
+            else:
+                event._defused = True
+                yielded = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._fanout._done(self._index, stop.value)
+            return
+        except BaseException as exc:
+            self._fanout._failed(exc)
+            return
+        if not isinstance(yielded, Event) or yielded.sim is not self._fanout.sim:
+            self._fanout._failed(SimulationError(
+                f"fanout branch yielded {yielded!r}; branches must yield "
+                "events of the owning simulator"))
+            return
+        yielded.add_callback(self._step)

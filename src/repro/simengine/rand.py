@@ -5,6 +5,14 @@ components (each data provider's latency jitter, each client's workload
 shuffle) must not share a single RNG whose consumption order would couple
 them.  :class:`DeterministicRNG` derives an independent, stable
 ``numpy.random.Generator`` per *named stream* from a single root seed.
+
+Streams are further grouped into per-subsystem *scopes* so whole families of
+draws stay isolated: everything that shapes the workload (offsets, sizes,
+placement) lives under the ``"workload"`` scope, everything that only
+perturbs costs (queued-network jitter) under ``"network"``, and fault
+injection under ``"fault"``.  Because a scope is just a name prefix, turning
+the queued network model's jitter on or off can never change a single
+workload byte — that invariant is pinned by a regression test.
 """
 
 from __future__ import annotations
@@ -14,6 +22,36 @@ from typing import Dict
 
 import numpy as np
 
+#: conventional per-subsystem scopes (see module docstring)
+SCOPE_WORKLOAD = "workload"
+SCOPE_NETWORK = "network"
+SCOPE_FAULT = "fault"
+
+
+class RNGScope:
+    """A view of a :class:`DeterministicRNG` that prefixes stream names."""
+
+    __slots__ = ("_rng", "_prefix")
+
+    def __init__(self, rng: "DeterministicRNG", prefix: str):
+        self._rng = rng
+        self._prefix = prefix
+
+    def stream(self, name: str) -> np.random.Generator:
+        return self._rng.stream(f"{self._prefix}:{name}")
+
+    def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(f"{self._prefix}:{name}", low, high)
+
+    def exponential(self, name: str, mean: float) -> float:
+        return self._rng.exponential(f"{self._prefix}:{name}", mean)
+
+    def integers(self, name: str, low: int, high: int) -> int:
+        return self._rng.integers(f"{self._prefix}:{name}", low, high)
+
+    def shuffled(self, name: str, items):
+        return self._rng.shuffled(f"{self._prefix}:{name}", items)
+
 
 class DeterministicRNG:
     """Factory of named, independent, reproducible random streams."""
@@ -21,6 +59,10 @@ class DeterministicRNG:
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+
+    def scope(self, prefix: str) -> RNGScope:
+        """A per-subsystem view whose streams live under ``prefix:``."""
+        return RNGScope(self, prefix)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for stream ``name``.

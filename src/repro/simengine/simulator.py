@@ -2,28 +2,37 @@
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.simengine.events import AllOf, AnyOf, Event, Timeout
-from repro.simengine.process import Process
+from repro.simengine.events import AllOf, AnyOf, Event, Timeout, Timer, _Sleep
+from repro.simengine.process import Fanout, Process
 from repro.simengine.rand import DeterministicRNG
+from repro.simengine.scheduler import CalendarQueue, HeapQueue
+
+#: recycled :class:`_Sleep` instances kept per simulator
+_SLEEP_POOL_CAP = 128
 
 
 class Simulator:
     """Event loop, priority queue and clock of the simulation.
 
-    The simulator owns a heap of ``(time, priority, sequence, event)`` tuples.
-    ``sequence`` is a monotonically increasing tie-breaker that makes the
-    execution order of same-time events deterministic (insertion order), which
-    in turn makes every benchmark run reproducible.
+    The simulator owns a queue of ``(time, priority, sequence, event)``
+    entries.  ``sequence`` is a monotonically increasing tie-breaker that
+    makes the execution order of same-time events deterministic (insertion
+    order), which in turn makes every benchmark run reproducible.
 
     Parameters
     ----------
     seed:
         Root seed for :class:`~repro.simengine.rand.DeterministicRNG`.  Every
         component that needs randomness derives a named stream from it.
+    scheduler:
+        Queue backend: ``"calendar"`` (default) uses the calendar/slot
+        scheduler with an O(1)-amortized fast path for events firing at the
+        current instant; ``"heapq"`` uses the seed binary-heap scheduler.
+        Both drain in exactly the same ``(time, priority, sequence)`` order,
+        so results are identical — only wall-clock speed differs.
     """
 
     #: priority used by normal events
@@ -31,10 +40,19 @@ class Simulator:
     #: priority used by urgent (engine-internal) events
     PRIORITY_URGENT = 0
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, scheduler: str = "calendar"):
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        if scheduler == "calendar":
+            self._queue = CalendarQueue()
+        elif scheduler == "heapq":
+            self._queue = HeapQueue()
+        else:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; use 'calendar' or 'heapq'")
+        #: name of the active queue backend
+        self.scheduler = scheduler
         self._seq: int = 0
+        self._sleep_pool: list = []
         self.rng = DeterministicRNG(seed)
         #: number of events processed so far (useful for debugging/metrics)
         self.processed_events: int = 0
@@ -58,6 +76,35 @@ class Simulator:
         """Create an event firing ``delay`` simulated time units from now."""
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A pooled timeout for hot paths.
+
+        Semantically identical to :meth:`timeout`, but processed instances
+        are recycled.  The returned event must be yielded immediately by
+        exactly one process — never stored, shared, or put in a condition.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative sleep delay: {delay!r}")
+        pool = self._sleep_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+        else:
+            ev = _Sleep(self, value)
+        seq = self._seq
+        self._seq = seq + 1
+        self._queue.push(self._now + delay, self.PRIORITY_NORMAL, seq, ev)
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Run ``fn(*args)`` after ``delay`` time units; returns a cancellable
+        :class:`Timer`.  ``timer.cancel()`` is O(1) (lazy removal), which
+        makes frequently re-armed watchdogs cheap."""
+        timer = Timer(self, fn, args)
+        self.schedule(timer, delay=delay)
+        return timer
+
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start running ``generator`` as a simulated process."""
         return Process(self, generator, name=name)
@@ -65,6 +112,14 @@ class Simulator:
     def all_of(self, events) -> AllOf:
         """Event that fires when all ``events`` have fired successfully."""
         return AllOf(self, events)
+
+    def fanout(self, generators) -> Fanout:
+        """Run ``generators`` concurrently; the returned event fires with the
+        list of their return values when the slowest finishes.  Equivalent to
+        ``all_of`` over one process per generator, but the whole fan-out is
+        one scheduler transaction (a single bootstrap event) — the cheap way
+        to hit K shards in parallel."""
+        return Fanout(self, generators)
 
     def any_of(self, events) -> AnyOf:
         """Event that fires when any of ``events`` has fired successfully."""
@@ -78,20 +133,26 @@ class Simulator:
         """Put a triggered event on the queue ``delay`` units in the future."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        self._queue.push(self._now + delay, priority, seq, event)
+
+    def cancel(self, timer: Timer) -> bool:
+        """Cancel a :class:`Timer` created by :meth:`call_later`."""
+        if not isinstance(timer, Timer):
+            raise SimulationError("only Timer events (call_later) can be cancelled")
+        return timer.cancel()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        return self._queue.peek()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to its time)."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = queue.pop()
         self._now = when
         self.processed_events += 1
 
@@ -101,11 +162,13 @@ class Simulator:
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not getattr(event, "_defused", False):
+        if event._ok:
+            if event.__class__ is _Sleep and len(self._sleep_pool) < _SLEEP_POOL_CAP:
+                self._sleep_pool.append(event)
+        elif not event._defused:
             # An unhandled failure (nobody waited on the event): surface it so
             # bugs in simulated services do not silently disappear.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Optional[float] = None,
             stop_event: Optional[Event] = None) -> Any:

@@ -5,6 +5,8 @@ read-back every conformance/property/fault-injection assertion is built on
 (underscore-prefixed so pytest does not collect it as a test module).
 """
 
+from dataclasses import replace
+
 from repro.blobseer.deployment import BlobSeerDeployment
 from repro.cluster import Cluster, ClusterConfig
 from repro.vstore.client import VectoredClient
@@ -12,9 +14,11 @@ from repro.vstore.client import VectoredClient
 QUICK = ClusterConfig(network_latency=1e-5, disk_overhead=1e-4)
 
 
-def make_quick_deployment(seed=3, chunk_size=1024):
+def make_quick_deployment(seed=3, chunk_size=1024,
+                          network_model="bottleneck"):
     """A small fast-network BlobSeer deployment on a fresh cluster."""
-    cluster = Cluster(config=QUICK, seed=seed)
+    cluster = Cluster(config=replace(QUICK, network_model=network_model),
+                      seed=seed)
     deployment = BlobSeerDeployment(cluster, num_providers=3,
                                     num_metadata_providers=2,
                                     chunk_size=chunk_size)

@@ -77,8 +77,9 @@ def serial_oracle(pattern, file_size=FILE_SIZE):
     return bytes(content)
 
 
-def make_deployment(seed=3):
-    return make_quick_deployment(seed=seed, chunk_size=CHUNK)
+def make_deployment(seed=3, network_model="bottleneck"):
+    return make_quick_deployment(seed=seed, chunk_size=CHUNK,
+                                 network_model=network_model)
 
 
 def read_back(cluster, deployment, file_size=FILE_SIZE):
@@ -96,9 +97,9 @@ def rank_view(pairs):
 # ----------------------------------------------------------------------
 # the three write modes
 # ----------------------------------------------------------------------
-def write_serial(pattern):
+def write_serial(pattern, network_model="bottleneck"):
     """Reference mode: immediate vectored writes in rank order, one client."""
-    cluster, deployment = make_deployment()
+    cluster, deployment = make_deployment(network_model=network_model)
     client = VectoredClient(deployment, cluster.add_node("serial"),
                             name="serial")
 
@@ -113,9 +114,9 @@ def write_serial(pattern):
     return read_back(cluster, deployment)
 
 
-def write_per_rank_coalesced(pattern):
+def write_per_rank_coalesced(pattern, network_model="bottleneck"):
     """PR-2 mode: per-rank queues, flushed in rank order for determinism."""
-    cluster, deployment = make_deployment()
+    cluster, deployment = make_deployment(network_model=network_model)
     num_ranks = len(pattern)
 
     def rank_main(ctx):
@@ -138,9 +139,9 @@ def write_per_rank_coalesced(pattern):
     return read_back(cluster, deployment)
 
 
-def write_collective(pattern, num_aggregators):
+def write_collective(pattern, num_aggregators, network_model="bottleneck"):
     """Tentpole mode: one ``write_at_all`` through two-phase buffering."""
-    cluster, deployment = make_deployment()
+    cluster, deployment = make_deployment(network_model=network_model)
     num_ranks = len(pattern)
     drivers = {}
 
@@ -186,6 +187,25 @@ def test_three_write_modes_produce_identical_bytes(seed, num_ranks,
     assert serial == expected, "serial backend mode diverged from the oracle"
     assert per_rank == expected, "per-rank coalesced mode diverged"
     assert collective == expected, "collective-buffered mode diverged"
+
+
+@pytest.mark.parametrize("seed,num_ranks,num_aggregators", [
+    (7, 3, 2), (23, 4, 2), (42, 5, 3),
+])
+def test_write_modes_conform_under_queued_network(seed, num_ranks,
+                                                  num_aggregators):
+    """The same gate under ``network_model="queued"``: per-link FIFO queues,
+    switch tiers and CoDel shape timing only — every write mode still lands
+    exactly the oracle bytes."""
+    pattern = random_pattern(seed * 101 + num_ranks, num_ranks)
+    expected = serial_oracle(pattern)
+
+    assert write_serial(pattern, network_model="queued") == expected
+    assert write_per_rank_coalesced(pattern, network_model="queued") \
+        == expected
+    collective, _deployment, _drivers = write_collective(
+        pattern, num_aggregators, network_model="queued")
+    assert collective == expected
 
 
 def test_collective_commits_one_batch_per_active_aggregator():

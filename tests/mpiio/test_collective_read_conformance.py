@@ -82,8 +82,9 @@ def read_view(regions):
     return Indexed(blocklengths, displacements, base=BYTE), total
 
 
-def make_deployment(seed=3):
-    return make_quick_deployment(seed=seed, chunk_size=CHUNK)
+def make_deployment(seed=3, network_model="bottleneck"):
+    return make_quick_deployment(seed=seed, chunk_size=CHUNK,
+                                 network_model=network_model)
 
 
 def seed_content(cluster, deployment, write_pattern):
@@ -106,10 +107,10 @@ def seed_content(cluster, deployment, write_pattern):
 # the two read modes
 # ----------------------------------------------------------------------
 def run_read_job(read_pattern, *, collective, num_resolvers=None,
-                 content_seed=11):
+                 content_seed=11, network_model="bottleneck"):
     """Seed contents, then read them through one MPI job; returns results."""
     num_ranks = len(read_pattern)
-    cluster, deployment = make_deployment()
+    cluster, deployment = make_deployment(network_model=network_model)
     write_pattern = random_pattern(content_seed, num_ranks,
                                    empty_rank_chance=0.0)
     content = seed_content(cluster, deployment, write_pattern)
@@ -161,6 +162,30 @@ def test_both_read_modes_produce_identical_bytes(seed, num_ranks,
     expected = expected_reads(content, read_pattern)
     assert independent == expected, "independent read mode diverged"
     assert collective == expected, "collective read mode diverged"
+
+
+@pytest.mark.parametrize("seed,num_ranks,num_resolvers", [
+    (9, 3, 2), (27, 4, 2), (55, 5, 3),
+])
+def test_read_modes_conform_under_queued_network(seed, num_ranks,
+                                                 num_resolvers):
+    """The same gate under ``network_model="queued"``: link queues and
+    switch tiers change timing only — both read modes still return exactly
+    the seeded bytes."""
+    read_pattern = random_read_pattern(seed * 103 + num_ranks, num_ranks)
+    content_seed = seed * 31 + num_ranks
+
+    independent, content, _drivers, _deployment = run_read_job(
+        read_pattern, collective=False, content_seed=content_seed,
+        network_model="queued")
+    collective, content2, _drivers2, _deployment2 = run_read_job(
+        read_pattern, collective=True, num_resolvers=num_resolvers,
+        content_seed=content_seed, network_model="queued")
+
+    assert content == content2
+    expected = expected_reads(content, read_pattern)
+    assert independent == expected
+    assert collective == expected
 
 
 def test_reads_concurrent_with_queued_writes_observe_them():

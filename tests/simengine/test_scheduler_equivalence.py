@@ -1,0 +1,119 @@
+"""Property test: both queue backends drain in exactly the same order.
+
+The simulator's results must be a function of the schedule alone, never of
+the queue backend — ``(time, priority, seq)`` order, lazy-cancel semantics
+and emptiness must agree between :class:`CalendarQueue` and
+:class:`HeapQueue` on *any* interleaving of pushes, pops and cancels.  The
+delay palette deliberately covers the calendar queue's structural
+boundaries: zero (the same-instant fast path), the slot width and its
+neighbours, and delays beyond the ring horizon (the overflow heap).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simengine.scheduler import CalendarQueue, HeapQueue
+from repro.simengine.simulator import Simulator
+
+#: slot width / ring horizon of the default CalendarQueue (64e-6 * 8192)
+_SLOT = 64e-6
+_HORIZON = _SLOT * 8192
+
+DELAYS = st.one_of(
+    st.sampled_from([0.0, 1e-9, _SLOT - 1e-9, _SLOT, _SLOT + 1e-9,
+                     1e-3, _HORIZON - 1e-6, _HORIZON + 1e-3, 2.0]),
+    st.floats(min_value=0.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), DELAYS, st.integers(0, 1)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("cancel"), st.integers(0, 2 ** 30)),
+        st.tuples(st.just("peek")),
+    ),
+    max_size=200,
+)
+
+
+class _Entry:
+    """Minimal stand-in for an Event: the queues only read ``_cancelled``."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_backends_drain_identically(ops):
+    calendar, heap = CalendarQueue(), HeapQueue()
+    now = 0.0
+    seq = 0
+    #: seq -> (calendar entry, heap entry) for live (pushed, unpopped) pairs
+    live = {}
+    for op in ops:
+        if op[0] == "push":
+            _, delay, priority = op
+            pair = (_Entry(), _Entry())
+            calendar.push(now + delay, priority, seq, pair[0])
+            heap.push(now + delay, priority, seq, pair[1])
+            live[seq] = pair
+            seq += 1
+        elif op[0] == "pop":
+            assert len(calendar) == len(heap)
+            if not len(calendar):
+                continue
+            time_a, prio_a, seq_a, entry_a = calendar.pop()
+            time_b, prio_b, seq_b, entry_b = heap.pop()
+            assert (time_a, prio_a, seq_a) == (time_b, prio_b, seq_b)
+            assert time_a >= now
+            pair = live.pop(seq_a)
+            assert entry_a is pair[0] and entry_b is pair[1]
+            now = time_a
+        elif op[0] == "cancel":
+            if not live:
+                continue
+            key = sorted(live)[op[1] % len(live)]
+            pair = live.pop(key)
+            for entry, queue in zip(pair, (calendar, heap)):
+                entry._cancelled = True
+                queue.note_cancel()
+        else:  # peek
+            assert calendar.peek() == heap.peek()
+    # drain whatever is left: the tails must match entry by entry
+    assert len(calendar) == len(heap) == len(live)
+    while len(calendar):
+        tail_a = calendar.pop()
+        tail_b = heap.pop()
+        assert tail_a[:3] == tail_b[:3]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(DELAYS, st.booleans()), min_size=1, max_size=40))
+def test_simulator_traces_identical_under_both_schedulers(plan):
+    """End-to-end: the same process workload (timeouts, timers, cancels)
+    produces the identical execution trace under either scheduler."""
+
+    def run(backend):
+        sim = Simulator(scheduler=backend)
+        trace = []
+        timers = []
+
+        def record(tag):
+            trace.append((sim.now, "timer", tag))
+
+        def driver():
+            for index, (delay, cancel_previous) in enumerate(plan):
+                timers.append(sim.call_later(delay, record, index))
+                if cancel_previous and len(timers) >= 2:
+                    timers[-2].cancel()
+                yield sim.timeout(delay / 3)
+                trace.append((sim.now, "slept", index))
+
+        sim.process(driver())
+        sim.run_all()
+        return trace, sim.processed_events, sim.now
+
+    assert run("calendar") == run("heapq")
