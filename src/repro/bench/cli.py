@@ -12,6 +12,11 @@ Run any experiment of EXPERIMENTS.md from the shell::
     python -m repro.bench all
 
 The tables are printed in the same format EXPERIMENTS.md uses.
+
+``trace`` is the observability entry point — it runs one traced
+collective I/O job and dumps a Perfetto-loadable Chrome trace::
+
+    python -m repro.bench trace --ranks 8 --out trace_collective.json --validate
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.producer_consumer import run_fut1_producer_consumer
 from repro.bench.reporting import format_table
+from repro.bench.tracecmd import add_trace_arguments, run_trace
 
 
 def _int_list(text: str) -> List[int]:
@@ -44,8 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's experiments on the simulated cluster.")
     parser.add_argument("experiment",
                         choices=["exp1", "exp1b", "exp2", "exp3",
-                                 "abl1", "abl2", "abl3", "fut1", "all"],
-                        help="which experiment to run")
+                                 "abl1", "abl2", "abl3", "fut1", "all",
+                                 "trace"],
+                        help="which experiment to run ('trace' exports a "
+                             "Chrome trace of one collective I/O job)")
     parser.add_argument("--clients", type=_int_list, default=[1, 2, 4, 8],
                         help="comma-separated client counts (default: 1,2,4,8)")
     parser.add_argument("--storage-nodes", type=int, default=8,
@@ -66,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="iterations for fut1 (default: 3)")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default: 0)")
+    add_trace_arguments(parser)
     return parser
 
 
@@ -119,6 +128,9 @@ def run_experiment(name: str, args: argparse.Namespace) -> List[str]:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "trace":
+        run_trace(args)
+        return 0
     for table in run_experiment(args.experiment, args):
         print(table)
         print()

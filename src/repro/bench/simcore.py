@@ -43,6 +43,8 @@ from repro.mpi.datatypes import BYTE, Indexed
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.obs.export import dump_chrome_trace
+from repro.obs.views import collect_all
 from repro.simengine.simulator import Simulator
 from repro.vstore.client import VectoredClient
 
@@ -117,7 +119,8 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
                             num_providers: int = 8,
                             num_metadata_providers: int = 2,
                             chunk_size: int = 16 * 1024,
-                            seed: int = 0) -> Dict[str, object]:
+                            seed: int = 0,
+                            trace_path: Optional[str] = None) -> Dict[str, object]:
     """Run one interleaved collective write/read point; return its row.
 
     Every rank owns ``blocks_per_rank`` blocks of ``block_size`` bytes at
@@ -127,6 +130,11 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
     row's ``read_digest`` hashes the final file contents read back by an
     independent client, so two runs moved the same bytes iff their digests
     match (regardless of ``network_model`` or scheduler).
+
+    The row's ``metrics`` embeds the unified registry snapshot (collected
+    *after* the run — pull-based, so it never perturbs the measurement)
+    with every partition identity re-asserted.  ``trace_path`` dumps the
+    run's Chrome trace there when ``config.tracing`` is on.
     """
     stride = num_ranks * block_size
     file_size = blocks_per_rank * stride
@@ -135,12 +143,17 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
         cluster, num_providers=num_providers,
         num_metadata_providers=num_metadata_providers,
         chunk_size=chunk_size, node_prefix="sc")
+    drivers: List[VersioningDriver] = []
+    comms: List[object] = []
 
     def rank_main(ctx):
         driver = VersioningDriver(
             deployment, ctx.node, rank_name=f"sc{ctx.rank}",
             write_coalescing=True, collective_buffering=True,
             collective_aggregators=num_aggregators)
+        drivers.append(driver)
+        if ctx.rank == 0:
+            comms.append(ctx.comm)
         handle = yield from File.open(driver, PATH, rank=ctx.rank,
                                       comm=ctx.comm, size_hint=file_size)
         displacements = [index * stride + ctx.rank * block_size
@@ -171,6 +184,19 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
     process = cluster.sim.process(read_back())
     content = cluster.sim.run(stop_event=process)
 
+    # pull the scattered stats surfaces into the unified registry and
+    # re-assert the partition identities on this run's values.  The
+    # verifier client is included, so the collected client set is complete.
+    registry = collect_all(
+        cluster.obs.registry, cluster=cluster, deployment=deployment,
+        clients=[driver.client for driver in drivers] + [verifier],
+        drivers=drivers, comms=comms, complete_clients=True)
+    registry.assert_identities()
+
+    if trace_path and cluster.obs.tracing:
+        dump_chrome_trace(cluster.obs.tracer, trace_path,
+                          telemetry=cluster.obs.link_telemetry)
+
     events = cluster.sim.processed_events
     return {
         "kind": "collective_io",
@@ -188,6 +214,8 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
         "processed_events": events,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
         "read_digest": hashlib.sha256(content).hexdigest(),
+        "tracing": config.tracing,
+        "metrics": registry.snapshot(),
     }
 
 
@@ -321,6 +349,12 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
     headline["label"] = "headline"
     rows.append(headline)
 
+    traced = run_collective_io_point(
+        settings.num_ranks, config=ClusterConfig(tracing=True),
+        **point_kwargs)
+    traced["label"] = "headline-traced"
+    rows.append(traced)
+
     queued = run_collective_io_point(
         settings.num_ranks, config=ClusterConfig(network_model="queued"),
         **point_kwargs)
@@ -364,6 +398,9 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
     speedup = (round(seed_wall / headline["wall_clock_s"], 2)
                if comparable and headline["wall_clock_s"] > 0 else None)
 
+    overhead = (round((traced["wall_clock_s"] - headline["wall_clock_s"])
+                      / headline["wall_clock_s"] * 100, 1)
+                if headline["wall_clock_s"] > 0 else None)
     return {
         "rows": rows,
         "seed_reference": {
@@ -374,4 +411,12 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
         "speedup_vs_seed": speedup,
         "digests_identical_across_network_models":
             headline["read_digest"] == queued["read_digest"],
+        # tracing must not perturb the simulation: the traced headline
+        # replays the identical timeline, event count, bytes and metrics
+        "tracing_overhead_pct": overhead,
+        "tracing_invariant": (
+            traced["read_digest"] == headline["read_digest"]
+            and traced["sim_elapsed_s"] == headline["sim_elapsed_s"]
+            and traced["processed_events"] == headline["processed_events"]
+            and traced["metrics"] == headline["metrics"]),
     }

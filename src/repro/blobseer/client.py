@@ -189,18 +189,50 @@ class BlobClient:
         self.metadata_lookup_fetches: int = 0
         #: extra nodes received through speculative child prefetch
         self.metadata_prefetched_nodes: int = 0
+        #: per-rank span context (``None`` unless the cluster traces) — the
+        #: single attribute test every instrumented site guards on
+        tracer = self.cluster.obs.tracer
+        self.trace_ctx = (tracer.context(("rank", self.name),
+                                         node=node.name)
+                          if tracer.enabled else None)
 
     # ------------------------------------------------------------------
     # small helpers
     # ------------------------------------------------------------------
-    def _rpc(self, service, method, request_bytes, response_bytes, *args):
-        result = yield from self.cluster.rpc.call(
-            self.node, service, method, request_bytes, response_bytes, *args)
+    def _rpc(self, service, method, request_bytes, response_bytes, *args,
+             trace_parent=None):
+        """Every RPC of this client funnels through here.
+
+        When tracing, each call gets a detached span on the *serving
+        shard's* lane (so Perfetto shows server-side occupancy), parented
+        under ``trace_parent`` or the rank's current mainline span; the
+        span id rides into the transport so the request/response link
+        transfers attach to it.  Detached because RPCs fan out
+        concurrently within a rank — they must never touch the mainline
+        stack.
+        """
+        ctx = self.trace_ctx
+        if ctx is None:
+            result = yield from self.cluster.rpc.call(
+                self.node, service, method, request_bytes, response_bytes,
+                *args)
+            return result
+        span = ctx.begin_detached(
+            f"rpc.{method}", cat="rpc", lane=("shard", service.node.name),
+            parent=trace_parent if trace_parent is not None else ctx.current,
+            service=service.name)
+        try:
+            result = yield from self.cluster.rpc.call(
+                self.node, service, method, request_bytes, response_bytes,
+                *args, _trace_parent=span.span_id)
+        finally:
+            ctx.end(span)
         return result
 
-    def _control(self, service, method, *args):
+    def _control(self, service, method, *args, trace_parent=None):
         size = self.cluster.config.control_message_size
-        result = yield from self._rpc(service, method, size, size, *args)
+        result = yield from self._rpc(service, method, size, size, *args,
+                                      trace_parent=trace_parent)
         return result
 
     def _descriptor(self, blob_id: str):

@@ -242,7 +242,10 @@ class WriteCoalescer:
 
     def _watchdog_flush(self, blob_id: str):
         try:
-            yield from self.flush(blob_id)
+            # a watchdog flush runs outside the rank mainline: its batch
+            # span must be a root, never parented under whatever the
+            # mainline happens to have open at firing time
+            yield from self.flush(blob_id, _mainline=False)
         except Exception:
             # a background flush has nobody to raise to; the queue stays
             # staged (flush keeps failed batches and re-arms the timer, so
@@ -250,7 +253,7 @@ class WriteCoalescer:
             # flush/barrier surfaces a persistent one)
             self.stats.delay_flush_failures += 1
 
-    def flush(self, blob_id: Optional[str] = None):
+    def flush(self, blob_id: Optional[str] = None, *, _mainline: bool = True):
         """Commit the queued writes (of one BLOB, or all) as merged snapshots.
 
         One batch per BLOB: one ``allocate``, one ticket, one merged metadata
@@ -261,11 +264,17 @@ class WriteCoalescer:
         A failed commit leaves its batch staged: the caller can recover
         (e.g. after a provider comes back) and flush again without losing
         queued data.
+
+        ``_mainline`` marks whether the caller runs in the rank's mainline
+        flow (explicit flush/barrier/auto-flush) — tracing then parents the
+        batch span under the current mainline span; a watchdog flush runs
+        concurrently and gets a root span instead.
         """
         if blob_id is None:
             blob_ids = [key for key, staged in self._pending.items() if staged]
         else:
             blob_ids = [blob_id]
+        ctx = self.client.trace_ctx
         receipts: List["WriteReceipt"] = []
         for key in blob_ids:
             # another flush of this BLOB (a watchdog's, or another process's)
@@ -283,10 +292,17 @@ class WriteCoalescer:
             gate = self.client.cluster.sim.event()
             self._flush_gates[key] = gate
             self._inflight_batch[key] = (len(batch), batch.total_bytes())
+            batch_span = None
+            if ctx is not None:
+                batch_span = ctx.begin_detached(
+                    "coalescer.batch", cat="write",
+                    parent=ctx.current if _mainline else None,
+                    blob=key, writes=len(batch), bytes=batch.total_bytes())
             try:
                 receipt = yield from self.client.writepath.commit(
                     key, batch.merged_vector(),
-                    logical_writes=batch.logical_writes, defer_complete=True)
+                    logical_writes=batch.logical_writes, defer_complete=True,
+                    trace_parent=batch_span)
             except Exception:
                 # the batch stays staged (retryable); keep its latency bound
                 # with backed-off retries — slowing under a persistent fault,
@@ -299,6 +315,8 @@ class WriteCoalescer:
                     self._arm_watchdog(key, self.flush_max_delay * backoff)
                 raise
             finally:
+                if batch_span is not None:
+                    ctx.end(batch_span)
                 del self._flush_gates[key]
                 del self._inflight_batch[key]
                 gate.succeed()

@@ -73,21 +73,28 @@ class PipelinedCommitEngine:
         return sum(len(procs) for procs in self._inflight.values())
 
     # ------------------------------------------------------------------
-    def _wcontrol(self, service, method, *args):
+    def _wcontrol(self, service, method, *args, trace_parent=None):
         """A write-side control round-trip (counted on the client)."""
         self.client.write_control_rpcs += 1
-        result = yield from self.client._control(service, method, *args)
+        result = yield from self.client._control(service, method, *args,
+                                                 trace_parent=trace_parent)
         return result
 
     # ------------------------------------------------------------------
     def commit(self, blob_id: str, vector: IOVector, *,
-               logical_writes: int = 1, defer_complete: bool = False):
+               logical_writes: int = 1, defer_complete: bool = False,
+               trace_parent=None):
         """Commit one write vector (possibly a merged batch) as one snapshot.
 
         ``logical_writes`` records how many queued application writes the
         vector coalesces; ``defer_complete`` (pipelined mode only) launches
         the ``complete`` RPC as a background process so the caller can start
         its next batch immediately — callers must eventually :meth:`drain`.
+
+        ``trace_parent`` is the caller's span (a coalescer batch, usually).
+        The commit span and its stage spans are all *detached* — commits
+        may overlap each other (deferred completes) and overlap the rank
+        mainline, so none of them may touch the context's span stack.
         """
         client = self.client
         sim = client.cluster.sim
@@ -95,6 +102,27 @@ class PipelinedCommitEngine:
         if not vector.is_write or len(vector) == 0:
             raise StorageError("a vectored write needs at least one payload request")
         started_at = sim.now
+        ctx = client.trace_ctx
+        span = None
+        if ctx is not None:
+            span = ctx.begin_detached(
+                "commit", cat="write",
+                parent=trace_parent if trace_parent is not None else ctx.current,
+                blob=blob_id, logical_writes=logical_writes)
+        try:
+            receipt = yield from self._commit_body(
+                blob_id, vector, logical_writes, defer_complete,
+                started_at, ctx, span)
+        finally:
+            if span is not None:
+                ctx.end(span)
+        return receipt
+
+    def _commit_body(self, blob_id: str, vector: IOVector, logical_writes,
+                     defer_complete, started_at, ctx, span):
+        client = self.client
+        sim = client.cluster.sim
+        deployment = client.deployment
         blob = yield from client._descriptor(blob_id)
 
         # 1. chunk-aligned decomposition
@@ -103,7 +131,7 @@ class PipelinedCommitEngine:
         # 2. placement (control-plane RPC to the provider manager)
         sizes = [piece.length for piece in pieces]
         providers = yield from self._wcontrol(
-            deployment.provider_manager, "allocate", sizes)
+            deployment.provider_manager, "allocate", sizes, trace_parent=span)
 
         # 3. fully parallel, uncoordinated chunk uploads — one batched RPC
         #    per destination provider
@@ -112,6 +140,11 @@ class PipelinedCommitEngine:
             piece.chunk = client._chunk_keys.next_key()
             piece.provider_id = provider_id
             per_provider.setdefault(provider_id, []).append(piece)
+        upload_span = None
+        if span is not None and per_provider:
+            upload_span = ctx.begin_detached(
+                "commit.upload", cat="write", parent=span,
+                pieces=len(pieces), providers=len(per_provider))
         upload_calls = []
         for provider_id, provider_pieces in sorted(per_provider.items()):
             service = deployment.data_provider(provider_id)
@@ -119,14 +152,16 @@ class PipelinedCommitEngine:
             payload_bytes = sum(piece.length for piece in provider_pieces)
             upload_calls.append(
                 client._rpc(service, "put_chunks", payload_bytes,
-                            client.cluster.config.control_message_size, payload))
+                            client.cluster.config.control_message_size, payload,
+                            trace_parent=upload_span))
 
         # 4. version ticket — overlapped with the uploads when pipelining
         #    (the ticket is a tiny control message; the uploads dominate)
         if self.pipelining:
             uploads = sim.fanout(upload_calls)
             ticket_process = sim.process(
-                self._wcontrol(deployment.version_manager, "assign_ticket", blob_id),
+                self._wcontrol(deployment.version_manager, "assign_ticket",
+                               blob_id, trace_parent=span),
                 name=f"{client.name}:ticket")
             try:
                 yield sim.all_of([uploads, ticket_process])
@@ -136,12 +171,19 @@ class PipelinedCommitEngine:
                 # would stall behind a write that can never complete
                 yield from self._release_ticket(blob_id, ticket_process)
                 raise
+            # the join covers uploads *and* the (tiny) ticket round-trip;
+            # the upload RPCs carry the exact per-provider intervals
+            if upload_span is not None:
+                ctx.end(upload_span)
             version, base_version = ticket_process.value
         else:
             if upload_calls:
                 yield sim.fanout(upload_calls)
+            if upload_span is not None:
+                ctx.end(upload_span)
             version, base_version = yield from self._wcontrol(
-                deployment.version_manager, "assign_ticket", blob_id)
+                deployment.version_manager, "assign_ticket", blob_id,
+                trace_parent=span)
 
         # 5. copy-on-write metadata, batched per metadata shard.  Any
         #    failure past this point holds an assigned ticket, so the error
@@ -154,8 +196,13 @@ class PipelinedCommitEngine:
             # nothing was stored yet: releasing the ticket is always safe
             yield from self._abort_version(blob_id, version)
             raise
+        store_span = None
+        if span is not None:
+            store_span = ctx.begin_detached(
+                "commit.put_nodes", cat="write", parent=span,
+                nodes=len(nodes), version=version)
         try:
-            yield from self._store_nodes(blob, nodes)
+            yield from self._store_nodes(blob, nodes, trace_parent=store_span)
         except Exception:
             # a partially stored node set must never become reachable
             # through later snapshots' at-or-before lookups: roll it back,
@@ -166,6 +213,8 @@ class PipelinedCommitEngine:
             if rolled_back:
                 yield from self._abort_version(blob_id, version)
             raise
+        if store_span is not None:
+            ctx.end(store_span)
 
         # 5b. write-through cache population: the writer keeps what it built
         if client.write_through_cache and client.metadata_cache is not None:
@@ -173,11 +222,22 @@ class PipelinedCommitEngine:
 
         # 6. completion -> in-order publication at the version manager
         if defer_complete and self.pipelining:
-            process = sim.process(self._complete(blob_id, version, nodes=nodes),
+            if span is not None:
+                # the deferred complete outlives the commit span by design:
+                # flow-linked (causal, exempt from interval nesting)
+                complete_span = ctx.begin_detached(
+                    "commit.complete", cat="write", parent=span,
+                    flow=True, version=version)
+                complete_gen = self._traced_complete(
+                    blob_id, version, nodes, ctx, complete_span)
+            else:
+                complete_gen = self._complete(blob_id, version, nodes=nodes)
+            process = sim.process(complete_gen,
                                   name=f"{client.name}:complete:v{version}")
             self._inflight.setdefault(blob_id, []).append(process)
         else:
-            yield from self._complete(blob_id, version, nodes=nodes)
+            yield from self._complete(blob_id, version, nodes=nodes,
+                                      trace_parent=span)
 
         client.bytes_written += vector.total_bytes()
         client.writes += 1
@@ -197,6 +257,16 @@ class PipelinedCommitEngine:
             started_at=started_at,
             finished_at=sim.now,
         )
+
+    def _traced_complete(self, blob_id: str, version: int, nodes, ctx, span):
+        """Run a deferred ``complete`` under its flow span (closed exactly
+        when the background process finishes, success or not)."""
+        try:
+            result = yield from self._complete(blob_id, version, nodes=nodes,
+                                               trace_parent=span)
+        finally:
+            ctx.end(span)
+        return result
 
     def drain(self, blob_id: str = None):
         """Join every deferred ``complete`` RPC (of one BLOB, or all of them).
@@ -276,7 +346,8 @@ class PipelinedCommitEngine:
             by_shard.setdefault(index, []).append(node)
         return by_shard
 
-    def _complete(self, blob_id: str, version: int, nodes=None):
+    def _complete(self, blob_id: str, version: int, nodes=None,
+                  trace_parent=None):
         """Report completion; remember the returned publication watermark.
 
         When the returned watermark already covers this commit's version,
@@ -289,7 +360,8 @@ class PipelinedCommitEngine:
         publication.
         """
         latest = yield from self._wcontrol(
-            self.client.deployment.version_manager, "complete", blob_id, version)
+            self.client.deployment.version_manager, "complete", blob_id,
+            version, trace_parent=trace_parent)
         self.client.note_published(blob_id, latest)
         client = self.client
         if (nodes and client.write_through_cache
@@ -300,7 +372,8 @@ class PipelinedCommitEngine:
                     node.key.version, node)
         return latest
 
-    def _store_nodes(self, blob: "BlobDescriptor", nodes: List["MetadataNode"]):
+    def _store_nodes(self, blob: "BlobDescriptor", nodes: List["MetadataNode"],
+                     trace_parent=None):
         """Ship the new snapshot's nodes, one ``put_nodes`` RPC per shard.
 
         Pipelined mode issues the per-shard RPCs in parallel (mirroring the
@@ -317,13 +390,14 @@ class PipelinedCommitEngine:
             yield client.cluster.sim.fanout(
                 [client._rpc(deployment.metadata_providers[index], "put_nodes",
                              len(shard_nodes) * node_size, control_size,
-                             shard_nodes)
+                             shard_nodes, trace_parent=trace_parent)
                  for index, shard_nodes in sorted(by_shard.items())])
         else:
             for index, shard_nodes in sorted(by_shard.items()):
                 yield from client._rpc(
                     deployment.metadata_providers[index], "put_nodes",
-                    len(shard_nodes) * node_size, control_size, shard_nodes)
+                    len(shard_nodes) * node_size, control_size, shard_nodes,
+                    trace_parent=trace_parent)
 
     def _prime_cache(self, blob: "BlobDescriptor",
                      nodes: List["MetadataNode"]) -> None:

@@ -10,6 +10,7 @@ from repro.cluster.network import Network, QueuedNetwork
 from repro.cluster.node import Node
 from repro.cluster.rpc import RpcTransport
 from repro.errors import SimulationError
+from repro.obs import Observability
 from repro.simengine import Simulator
 
 
@@ -59,12 +60,18 @@ class Cluster:
                 "heapq" if self.config.engine == "legacy" else "calendar")
             sim = Simulator(seed=seed, scheduler=scheduler)
         self.sim = sim
+        #: tracer + metrics registry + link telemetry (repro.obs); the
+        #: tracer is the shared no-op singleton unless ``config.tracing``
+        self.obs = Observability(
+            self.sim, tracing=self.config.tracing,
+            link_telemetry=self.config.tracing
+            and self.config.network_model == "queued")
         if self.config.network_model == "queued":
-            self.network = QueuedNetwork(self.sim, self.config)
+            self.network = QueuedNetwork(self.sim, self.config, obs=self.obs)
         elif self.config.network_model == "bottleneck":
             self.network = Network(self.sim, self.config.network_latency,
                                    self.config.network_bandwidth,
-                                   engine=self.config.engine)
+                                   engine=self.config.engine, obs=self.obs)
         else:
             raise SimulationError(
                 f"unknown network_model {self.config.network_model!r}; "

@@ -101,6 +101,14 @@ class ClusterConfig:
     #: owns — fewer round-trip levels for slightly more node traffic.
     #: Individual clients can override (``metadata_prefetch=``)
     metadata_prefetch: bool = False
+    #: record causal spans (file op → collective phase → coalescer batch →
+    #: commit stage → RPC → link) plus per-link telemetry on the queued
+    #: network model, exportable as Chrome trace-event JSON
+    #: (:mod:`repro.obs`).  Timestamps come from the simulation clock only,
+    #: so tracing never changes simulated behaviour and traces are
+    #: byte-stable across runs; disabled (the default) costs one attribute
+    #: test per instrumented site
+    tracing: bool = False
 
     def copy(self, **overrides) -> "ClusterConfig":
         """A copy of the config with selected fields replaced."""

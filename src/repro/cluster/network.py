@@ -95,7 +95,7 @@ class Network:
     model = "bottleneck"
 
     def __init__(self, sim: "Simulator", latency: float, bandwidth: float,
-                 engine: str = "fast"):
+                 engine: str = "fast", obs=None):
         if latency < 0:
             raise ValueError("latency must be non-negative")
         if bandwidth <= 0:
@@ -105,6 +105,10 @@ class Network:
         self.bandwidth = float(bandwidth)
         self.engine = engine
         self._nics: Dict[str, NIC] = {}
+        #: span recorder when the cluster traces (None when disabled, the
+        #: zero-cost guard every transfer checks once)
+        self.tracer = (obs.tracer if obs is not None and obs.tracer.enabled
+                       else None)
         #: total bytes moved across the network
         self.bytes_transferred: int = 0
         #: total messages moved across the network
@@ -122,11 +126,15 @@ class Network:
         """Unloaded end-to-end time for a message of ``nbytes``."""
         return self.latency + 2 * (nbytes / self.bandwidth)
 
-    def transfer(self, src: "Node", dst: "Node", nbytes: int):
+    def transfer(self, src: "Node", dst: "Node", nbytes: int,
+                 trace_parent: Optional[int] = None):
         """Generator moving ``nbytes`` from ``src`` to ``dst``.
 
         Local (same-node) transfers cost nothing: services co-located with
         their client short-circuit the network, as a real loopback would.
+        ``trace_parent`` is the span id the NIC-occupation spans attach to
+        when the cluster traces (the legacy engine path is the untraced
+        seed-compatibility baseline and records no spans).
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -138,13 +146,30 @@ class Network:
             yield from self.nic(dst.name).occupy(nbytes)
         else:
             sim = self.sim
+            tracer = self.tracer
             # Sender NIC: reserved in initiation order (the legacy resource
             # enqueued at the same instant), then one sleep to the moment the
             # message has fully arrived at the receiver NIC's queue.
-            src_done = self.nic(src.name).reserve(nbytes)
+            src_nic = self.nic(src.name)
+            if tracer is not None:
+                start = max(src_nic.free_at, sim.now)
+                src_done = src_nic.reserve(nbytes)
+                tracer.complete_span("net.tx", "net", ("link", src_nic.name),
+                                     start, src_done, parent_id=trace_parent,
+                                     args={"bytes": nbytes})
+            else:
+                src_done = src_nic.reserve(nbytes)
             yield sim.sleep(src_done + self.latency - sim.now)
             # Receiver NIC: reserved in arrival order.
-            dst_done = self.nic(dst.name).reserve(nbytes)
+            dst_nic = self.nic(dst.name)
+            if tracer is not None:
+                start = max(dst_nic.free_at, sim.now)
+                dst_done = dst_nic.reserve(nbytes)
+                tracer.complete_span("net.rx", "net", ("link", dst_nic.name),
+                                     start, dst_done, parent_id=trace_parent,
+                                     args={"bytes": nbytes})
+            else:
+                dst_done = dst_nic.reserve(nbytes)
             yield sim.sleep(dst_done - sim.now)
         self.bytes_transferred += nbytes
         self.messages += 1
@@ -221,7 +246,7 @@ class QueuedNetwork:
 
     model = "queued"
 
-    def __init__(self, sim: "Simulator", config: "ClusterConfig"):
+    def __init__(self, sim: "Simulator", config: "ClusterConfig", obs=None):
         if config.network_latency < 0:
             raise ValueError("latency must be non-negative")
         if config.network_bandwidth <= 0:
@@ -249,6 +274,13 @@ class QueuedNetwork:
         self._uplinks: Dict[int, Link] = {}
         self._downlinks: Dict[int, Link] = {}
         self._switch_of: Dict[str, int] = {}
+        #: span recorder / per-link sampler when the cluster observes its
+        #: links; ``_observed`` is the single boolean every reservation
+        #: site checks, so disabled runs pay one attribute test per hop
+        self.tracer = (obs.tracer if obs is not None and obs.tracer.enabled
+                       else None)
+        self.telemetry = obs.link_telemetry if obs is not None else None
+        self._observed = self.tracer is not None or self.telemetry is not None
         self.bytes_transferred: int = 0
         self.messages: int = 0
         self.cross_switch_messages: int = 0
@@ -284,25 +316,46 @@ class QueuedNetwork:
         """Unloaded same-switch end-to-end time for a message of ``nbytes``."""
         return self.latency + 2 * (nbytes / self.bandwidth)
 
-    def transfer(self, src: "Node", dst: "Node", nbytes: int):
+    def _reserve(self, link: Link, nbytes: int,
+                 trace_parent: Optional[int]) -> float:
+        """Reserve on an *observed* link: identical schedule to a plain
+        ``link.reserve``, plus one telemetry sample and/or one link span
+        recorded on values the reservation computed anyway."""
+        now = self.sim.now
+        start = link.free_at if link.free_at > now else now
+        done = link.reserve(nbytes)
+        if self.telemetry is not None:
+            self.telemetry.record(link, now, start - now, nbytes)
+        if self.tracer is not None:
+            self.tracer.complete_span("net.link", "net", ("link", link.name),
+                                      start, done, parent_id=trace_parent,
+                                      args={"bytes": nbytes})
+        return done
+
+    def transfer(self, src: "Node", dst: "Node", nbytes: int,
+                 trace_parent: Optional[int] = None):
         """Generator moving ``nbytes`` from ``src`` to ``dst``.
 
         Same-node transfers are free (loopback).  Same-switch transfers pay
         NIC egress + propagation + NIC ingress; cross-switch transfers
         additionally queue on the source switch's uplink and the destination
         switch's downlink and pay the longer cross-switch propagation.
+        ``trace_parent`` is the span id the per-link spans attach to when
+        the cluster traces.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if src.name == dst.name:
             return
         sim = self.sim
+        observed = self._observed
         src_switch = self.switch_of(src.name)
         dst_switch = self.switch_of(dst.name)
 
         egress = self._link(self._egress, src.name, self.bandwidth,
                             f"egress:{src.name}")
-        egress_done = egress.reserve(nbytes)
+        egress_done = (self._reserve(egress, nbytes, trace_parent) if observed
+                       else egress.reserve(nbytes))
 
         if src_switch == dst_switch:
             yield sim.sleep(egress_done + self._propagation() - sim.now)
@@ -311,28 +364,35 @@ class QueuedNetwork:
             yield sim.sleep(egress_done + self._propagation() / 2 - sim.now)
             uplink = self._link(self._uplinks, src_switch, self.switch_bandwidth,
                                 f"uplink:sw{src_switch}")
-            up_done = uplink.reserve(nbytes)
+            up_done = (self._reserve(uplink, nbytes, trace_parent) if observed
+                       else uplink.reserve(nbytes))
             yield sim.sleep(up_done + self.cross_switch_latency - sim.now)
             # Hop 2: down through the destination switch's shared downlink.
             downlink = self._link(self._downlinks, dst_switch,
                                   self.switch_bandwidth, f"downlink:sw{dst_switch}")
-            down_done = downlink.reserve(nbytes)
+            down_done = (self._reserve(downlink, nbytes, trace_parent)
+                         if observed else downlink.reserve(nbytes))
             yield sim.sleep(down_done + self._propagation() / 2 - sim.now)
             self.cross_switch_messages += 1
 
         ingress = self._link(self._ingress, dst.name, self.bandwidth,
                              f"ingress:{dst.name}")
-        ingress_done = ingress.reserve(nbytes)
+        ingress_done = (self._reserve(ingress, nbytes, trace_parent)
+                        if observed else ingress.reserve(nbytes))
         yield sim.sleep(ingress_done - sim.now)
 
         self.bytes_transferred += nbytes
         self.messages += 1
 
     # ------------------------------------------------------------------
+    def links(self) -> list:
+        """Every link created so far (egress, ingress, up- and downlinks)."""
+        return (list(self._egress.values()) + list(self._ingress.values())
+                + list(self._uplinks.values()) + list(self._downlinks.values()))
+
     def codel_stats(self) -> dict:
         """Aggregate CoDel signal over all links (for benchmark reports)."""
-        links = (list(self._egress.values()) + list(self._ingress.values())
-                 + list(self._uplinks.values()) + list(self._downlinks.values()))
+        links = self.links()
         marks = sum(link.codel_marks for link in links)
         worst = max((link.max_standing_delay for link in links), default=0.0)
         return {

@@ -49,7 +49,8 @@ class RpcTransport:
         self.total_response_bytes: int = 0
 
     def call(self, caller: "Node", service: Service, method: str,
-             request_bytes: int, response_bytes, *args: Any, **kwargs: Any):
+             request_bytes: int, response_bytes, *args: Any,
+             _trace_parent: Any = None, **kwargs: Any):
         """Invoke ``service.method(*args, **kwargs)`` with transport costs.
 
         The method must be a generator function; its return value is returned
@@ -59,6 +60,10 @@ class RpcTransport:
         knows (e.g. speculative metadata prefetches riding on a batched
         fetch), mirroring the callable payload sizing of the simulated
         collectives.
+
+        ``_trace_parent`` (keyword-only, never forwarded to the handler) is
+        the span id the request/response link transfers attach to when the
+        cluster traces.
         """
         sim = self.cluster.sim
         config = self.cluster.config
@@ -72,7 +77,8 @@ class RpcTransport:
 
         # request
         yield from self.cluster.network.transfer(
-            caller, service.node, max(request_bytes, config.control_message_size))
+            caller, service.node, max(request_bytes, config.control_message_size),
+            trace_parent=_trace_parent)
         # handling overhead on the server
         if config.rpc_handling_overhead:
             yield sim.timeout(config.rpc_handling_overhead)
@@ -83,7 +89,8 @@ class RpcTransport:
             response_bytes = response_bytes(result)
         self.total_response_bytes += response_bytes
         yield from self.cluster.network.transfer(
-            service.node, caller, max(response_bytes, config.control_message_size))
+            service.node, caller, max(response_bytes, config.control_message_size),
+            trace_parent=_trace_parent)
         return result
 
 

@@ -25,6 +25,10 @@ class ADIODriver:
     #: True when the driver guarantees MPI atomicity natively (no locking
     #: needed at the MPI-I/O layer even in atomic mode)
     native_atomicity = False
+    #: per-rank :class:`~repro.obs.trace.TraceContext` the File layer roots
+    #: its operation spans in; ``None`` (the default) means no tracing —
+    #: drivers whose backend traces expose their client's context instead
+    trace_context = None
 
     def __init__(self) -> None:
         #: bytes moved through this driver (benchmark metric)

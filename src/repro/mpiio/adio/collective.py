@@ -194,8 +194,16 @@ class CollectiveStats:
 
 
 def _piece_bytes(piece: Tuple[int, int, bytes]) -> int:
-    """Wire size of one exchanged piece (payload plus a small header)."""
-    return len(piece[2]) + 16
+    """Wire size of one exchanged piece (payload plus a small header).
+
+    The header is one ``(offset, size)`` descriptor — the same
+    :data:`EXTENT_DESCRIPTION_BYTES` a standalone extent description
+    costs, which is also exactly what a *hole* descriptor costs on the
+    read side: elided zero ranges are priced at descriptor size, never at
+    their materialized size (pinned by the exact-accounting regression
+    test over ``Communicator.bytes_moved``).
+    """
+    return len(piece[2]) + EXTENT_DESCRIPTION_BYTES
 
 
 def _description_bytes(contributions: Dict[int, Tuple],
@@ -209,6 +217,25 @@ def _description_bytes(contributions: Dict[int, Tuple],
     return sum(EXTENT_DESCRIPTION_BYTES * len(entry[1]) + per_entry_extra
                if entry[0] == "ok" else 64
                for entry in contributions.values())
+
+
+def _phase(ctx, gen, name: str, **args):
+    """Run one protocol phase under a mainline span (tracing only).
+
+    The collective protocols execute in the rank's sequential mainline, so
+    phase spans use the context's stack — anything they trigger deeper down
+    (coalescer batches, commits, RPCs) parents under the phase naturally.
+    ``ctx is None`` (tracing disabled) is a pure passthrough.
+    """
+    if ctx is None:
+        result = yield from gen
+        return result
+    span = ctx.begin(name, cat="collective", **args)
+    try:
+        result = yield from gen
+    finally:
+        ctx.finish(span)
+    return result
 
 
 def _shared_memo(gathered, key, compute):
@@ -394,11 +421,14 @@ class CollectiveAggregator(_CollectiveParticipant):
         # file-domain partition (or learns that the collective already died).
         # The descriptions are real exchange traffic too — priced by their
         # actual entry count, not a flat guess, and counted into the stats
+        ctx = client.trace_ctx
         if opening[0] == "ok":
             self.stats.bytes_sent += \
                 EXTENT_DESCRIPTION_BYTES * len(opening[1])
-        gathered = yield from comm.allgather(rank, opening,
-                                             payload_bytes=_description_bytes)
+        gathered = yield from _phase(
+            ctx, comm.allgather(rank, opening,
+                                payload_bytes=_description_bytes),
+            "collective.write.describe", rank=rank)
         early_errors, extents_by_rank, data_extents, lo, hi = _shared_memo(
             gathered, "write_scan", lambda: _scan_write_gather(gathered))
         if early_errors:
@@ -456,9 +486,12 @@ class CollectiveAggregator(_CollectiveParticipant):
                                      for destination, pieces in send.items()
                                      for piece in pieces
                                      if destination != rank)
-        received = yield from comm.alltoallv_sparse(
-            rank, send,
-            sizeof=lambda pieces: sum(_piece_bytes(piece) for piece in pieces))
+        received = yield from _phase(
+            ctx, comm.alltoallv_sparse(
+                rank, send,
+                sizeof=lambda pieces: sum(_piece_bytes(piece)
+                                          for piece in pieces)),
+            "collective.write.exchange_data", rank=rank)
 
         # phase 3 (aggregators): merge in (source rank, sequence) order —
         # the serial rank-order application — and commit via the coalescer
@@ -467,8 +500,11 @@ class CollectiveAggregator(_CollectiveParticipant):
             closing = ("err", f"rank {rank}: {failure!r}")
         elif rank in owners:
             try:
-                version = yield from self._commit_stripe(
-                    blob_id, received, attributed[owners.index(rank)], rank)
+                version = yield from _phase(
+                    ctx, self._commit_stripe(
+                        blob_id, received, attributed[owners.index(rank)],
+                        rank),
+                    "collective.write.commit_stripe", rank=rank)
                 closing = ("ok", version)
             except Exception as exc:
                 failure = exc
@@ -478,7 +514,9 @@ class CollectiveAggregator(_CollectiveParticipant):
                 closing = ("err", f"aggregator rank {rank}: {exc!r}")
 
         # phase 4: share outcomes and the published watermark
-        outcomes = yield from comm.allgather(rank, closing)
+        outcomes = yield from _phase(
+            ctx, comm.allgather(rank, closing),
+            "collective.write.closing", rank=rank)
         errors = [entry[1] for entry in outcomes if entry[0] == "err"]
         if errors:
             # surviving aggregators' stripes are durably published, so any
@@ -638,13 +676,16 @@ class CollectiveReader(_CollectiveParticipant):
         # phase 1: exchange access descriptions and watermarks; everyone
         # derives the same pinned version and file-domain partition (or
         # learns that the collective already died)
+        ctx = client.trace_ctx
         if opening[0] == "ok":
             self.stats.bytes_sent += \
                 EXTENT_DESCRIPTION_BYTES * len(opening[1]) + 8
-        gathered = yield from comm.allgather(
-            rank, opening,
-            payload_bytes=lambda contributions:
-                _description_bytes(contributions, per_entry_extra=8))
+        gathered = yield from _phase(
+            ctx, comm.allgather(
+                rank, opening,
+                payload_bytes=lambda contributions:
+                    _description_bytes(contributions, per_entry_extra=8)),
+            "collective.read.describe", rank=rank)
         # the group's pinned snapshot: every contribution is a *published*
         # version (watermarks and hints only ever record published ones),
         # so the maximum is published too — and at least as new as every
@@ -693,9 +734,12 @@ class CollectiveReader(_CollectiveParticipant):
                                       for offset, length in extents if length]
                                  ).normalized()
                                  for extents in extents_by_rank])
-                    send = yield from self._resolve_stripe(
-                        blob_id, pinned, domains[owners.index(rank)],
-                        wanted_full, comm.size, rank)
+                    send = yield from _phase(
+                        ctx, self._resolve_stripe(
+                            blob_id, pinned, domains[owners.index(rank)],
+                            wanted_full, comm.size, rank),
+                        "collective.read.resolve", rank=rank,
+                        version=pinned)
             except Exception as exc:
                 failure = exc
                 send = {}
@@ -705,21 +749,25 @@ class CollectiveReader(_CollectiveParticipant):
         # 16 bytes each — instead of their literal zero payload
         def item_bytes(item):
             pieces, piece_holes, plan = item
-            return (sum(len(data) + 16 for _offset, data in pieces)
-                    + len(piece_holes) * 16
+            return (sum(len(data) + EXTENT_DESCRIPTION_BYTES
+                        for _offset, data in pieces)
+                    + len(piece_holes) * EXTENT_DESCRIPTION_BYTES
                     + len(plan) * node_size)
 
         self.stats.bytes_sent += sum(item_bytes(item)
                                      for destination, item in send.items()
                                      if destination != rank)
-        received = yield from comm.alltoallv_sparse(rank, send,
-                                                    sizeof=item_bytes)
+        received = yield from _phase(
+            ctx, comm.alltoallv_sparse(rank, send, sizeof=item_bytes),
+            "collective.read.scatter", rank=rank)
 
         # phase 4: share outcomes; only a group-approved plan touches caches
         closing = ("ok", pinned)
         if failure is not None:
             closing = ("err", f"rank {rank}: {failure!r}")
-        outcomes = yield from comm.allgather(rank, closing)
+        outcomes = yield from _phase(
+            ctx, comm.allgather(rank, closing),
+            "collective.read.closing", rank=rank)
         errors = [entry[1] for entry in outcomes if entry[0] == "err"]
         if errors:
             # the hint consumed in phase 0 is gone and no fresh one is

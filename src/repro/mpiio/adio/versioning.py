@@ -95,6 +95,12 @@ class VersioningDriver(ADIODriver):
             self.client, num_resolvers=collective_aggregators)
 
     # ------------------------------------------------------------------
+    @property
+    def trace_context(self):
+        """The rank's span context (``None`` unless the cluster traces)."""
+        return self.client.trace_ctx
+
+    # ------------------------------------------------------------------
     def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
              comm: Optional["Communicator"] = None):
         """Collective open: rank 0 creates the BLOB, everyone then opens it."""

@@ -122,8 +122,15 @@ class File:
         vector = build_write_vector(self.view, offset, bytes(data))
         if len(vector) == 0:
             return 0
-        written = yield from self.driver.write_vector(
-            self.path, vector, atomic=self._atomic, rank=self.rank, comm=None)
+        span, ctx = self._begin_op("file.write_at", offset,
+                                   vector.total_bytes())
+        try:
+            written = yield from self.driver.write_vector(
+                self.path, vector, atomic=self._atomic, rank=self.rank,
+                comm=None)
+        finally:
+            if span is not None:
+                ctx.finish(span)
         return written
 
     def write_at_all(self, offset: int, data: bytes):
@@ -138,13 +145,19 @@ class File:
         self._ensure_open()
         self._ensure_writable()
         vector = build_write_vector(self.view, offset, bytes(data))
-        written = yield from self.driver.write_vector_all(
-            self.path, vector, atomic=self._atomic, rank=self.rank,
-            comm=self.comm)
-        if self.comm is not None \
-                and not self.driver.write_all_synchronizes(self._atomic,
-                                                           self.comm):
-            yield from self.comm.barrier(self.rank)
+        span, ctx = self._begin_op("file.write_at_all", offset,
+                                   vector.total_bytes())
+        try:
+            written = yield from self.driver.write_vector_all(
+                self.path, vector, atomic=self._atomic, rank=self.rank,
+                comm=self.comm)
+            if self.comm is not None \
+                    and not self.driver.write_all_synchronizes(self._atomic,
+                                                               self.comm):
+                yield from self.comm.barrier(self.rank)
+        finally:
+            if span is not None:
+                ctx.finish(span)
         return written
 
     def read_at(self, offset: int, size: int):
@@ -153,8 +166,15 @@ class File:
         vector = build_read_vector(self.view, offset, size)
         if len(vector) == 0:
             return b""
-        pieces = yield from self.driver.read_vector(
-            self.path, vector, atomic=self._atomic, rank=self.rank, comm=None)
+        span, ctx = self._begin_op("file.read_at", offset,
+                                   vector.total_bytes())
+        try:
+            pieces = yield from self.driver.read_vector(
+                self.path, vector, atomic=self._atomic, rank=self.rank,
+                comm=None)
+        finally:
+            if span is not None:
+                ctx.finish(span)
         return b"".join(pieces)
 
     def read_at_all(self, offset: int, size: int):
@@ -169,14 +189,33 @@ class File:
         """
         self._ensure_open()
         vector = build_read_vector(self.view, offset, size)
-        pieces = yield from self.driver.read_vector_all(
-            self.path, vector, atomic=self._atomic, rank=self.rank,
-            comm=self.comm)
-        if self.comm is not None \
-                and not self.driver.read_all_synchronizes(self._atomic,
-                                                          self.comm):
-            yield from self.comm.barrier(self.rank)
+        span, ctx = self._begin_op("file.read_at_all", offset,
+                                   vector.total_bytes())
+        try:
+            pieces = yield from self.driver.read_vector_all(
+                self.path, vector, atomic=self._atomic, rank=self.rank,
+                comm=self.comm)
+            if self.comm is not None \
+                    and not self.driver.read_all_synchronizes(self._atomic,
+                                                              self.comm):
+                yield from self.comm.barrier(self.rank)
+        finally:
+            if span is not None:
+                ctx.finish(span)
         return b"".join(pieces)
+
+    def _begin_op(self, name: str, offset: int, nbytes: int):
+        """Open the mainline root span of one file operation (tracing only).
+
+        Returns ``(span, ctx)`` — ``(None, None)`` when the driver's
+        backend does not trace, which is the single attribute test the
+        disabled path pays.
+        """
+        ctx = self.driver.trace_context
+        if ctx is None:
+            return None, None
+        return ctx.begin(name, cat="mpiio", rank=self.rank, path=self.path,
+                         offset=offset, bytes=nbytes), ctx
 
     # ------------------------------------------------------------------
     def _ensure_open(self) -> None:

@@ -1,0 +1,59 @@
+"""Simulation-clock-native observability: spans, metrics, link telemetry.
+
+Three pieces, all driven by the *simulation* clock (never wall time, so
+every artifact is byte-stable across runs and usable as replay evidence):
+
+* :mod:`repro.obs.trace` — causal spans threaded through the stack
+  (``File.write_at_all`` → collective exchange phases → coalescer batch →
+  commit-engine stages → per-shard RPC → network link transfer),
+  exportable as Chrome trace-event JSON (:mod:`repro.obs.export`).
+* :mod:`repro.obs.registry` — a central :class:`MetricsRegistry`
+  (counters, gauges, sim-time-weighted series) behind stable dotted
+  names; :mod:`repro.obs.views` absorbs the stack's scattered stats
+  surfaces into it and re-asserts their partition identities.
+* :mod:`repro.obs.linktel` — per-link utilization / queueing / CoDel
+  timelines sampled on the ``"queued"`` network model's link events.
+
+Tracing is **zero-cost when disabled**: every call site guards on a plain
+attribute (``if ctx is not None`` / ``if tracer is not None``), and the
+default :class:`~repro.cluster.config.ClusterConfig` leaves it off.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span, TraceContext, Tracer
+from repro.obs.linktel import LinkTelemetry
+
+__all__ = [
+    "LinkTelemetry",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Observability",
+    "Span",
+    "TraceContext",
+    "Tracer",
+]
+
+
+class Observability:
+    """Per-cluster holder of the tracer, metrics registry and telemetry.
+
+    Created by :class:`~repro.cluster.cluster.Cluster` from
+    ``ClusterConfig.tracing``; the registry always exists (metrics views
+    are pull-based and cost nothing until collected), while the tracer and
+    link telemetry only materialize when tracing is enabled — disabled
+    runs hold the shared :data:`NULL_TRACER` and ``link_telemetry=None``,
+    which is what every instrumented call site guards on.
+    """
+
+    def __init__(self, sim, tracing: bool = False,
+                 link_telemetry: bool = None):
+        self.sim = sim
+        self.registry = MetricsRegistry(clock=lambda: sim.now)
+        self.tracer = Tracer(clock=lambda: sim.now) if tracing \
+            else NULL_TRACER
+        sample_links = tracing if link_telemetry is None else link_telemetry
+        self.link_telemetry = LinkTelemetry(sim) if sample_links else None
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled

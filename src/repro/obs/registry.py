@@ -1,0 +1,215 @@
+"""Central metrics registry: counters, gauges, sim-time-weighted series.
+
+One flat namespace of dotted metric names (``metadata.rpcs.read``,
+``cache.shared.hits``, ``net.link.bytes``) replacing the stack's scattered
+per-object stats dicts.  The registry is *pull-based*: the hot paths keep
+their plain integer counters, and :mod:`repro.obs.views` materializes them
+into a registry at collection time — so the registry costs nothing while
+the simulation runs.
+
+Partition identities (``lookups == private_hits + shared_hits +
+fetched_lookups`` and friends) register on the same object and are
+re-checked against the collected values by :meth:`MetricsRegistry.
+assert_identities` — every bench suite calls it on every row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "TimeWeightedSeries", "MetricsRegistry",
+           "IdentityViolation"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class TimeWeightedSeries:
+    """A value tracked over simulation time.
+
+    Each :meth:`record` holds the previous value over the elapsed interval,
+    so :meth:`mean` is the *sim-time-weighted* average — the right notion
+    for queue depths and utilization, where a depth held for 1 s matters
+    1000x more than the same depth held for 1 ms.
+    """
+
+    __slots__ = ("name", "_clock", "_value", "_since", "_started",
+                 "_integral", "samples", "max", "min")
+
+    def __init__(self, name: str, clock: Callable[[], float]):
+        self.name = name
+        self._clock = clock
+        self._value = 0.0
+        self._since: Optional[float] = None
+        self._started: Optional[float] = None
+        self._integral = 0.0
+        self.samples = 0
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        now = self._clock()
+        if self._since is None:
+            self._started = now
+        else:
+            self._integral += self._value * (now - self._since)
+        self._since = now
+        self._value = value
+        self.samples += 1
+        self.max = value if self.max is None else max(self.max, value)
+        self.min = value if self.min is None else min(self.min, value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def mean(self) -> float:
+        """Sim-time-weighted mean since the first sample."""
+        if self._since is None:
+            return 0.0
+        now = self._clock()
+        integral = self._integral + self._value * (now - self._since)
+        elapsed = now - self._started
+        return integral / elapsed if elapsed > 0 else self._value
+
+
+class IdentityViolation(AssertionError):
+    """A registered partition identity does not hold on collected values."""
+
+
+class MetricsRegistry:
+    """Flat registry of named instruments plus partition identities."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._metrics: Dict[str, object] = {}
+        #: ``(label, total_name, part_names)`` checked by assert_identities
+        self._identities: List[Tuple[str, str, Tuple[str, ...]]] = []
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a Counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a Gauge")
+        return metric
+
+    def series(self, name: str) -> TimeWeightedSeries:
+        metric = self._get(
+            name, lambda n: TimeWeightedSeries(n, self._clock))
+        if not isinstance(metric, TimeWeightedSeries):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a TimeWeightedSeries")
+        return metric
+
+    # convenience write forms
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def record(self, name: str, value: float) -> None:
+        self.series(name).record(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str, default=None):
+        """Current value of a metric, or ``default`` when absent."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        return metric.value
+
+    # ------------------------------------------------------------------
+    def register_identity(self, label: str, total: str,
+                          parts: Sequence[str]) -> None:
+        """Declare ``total == sum(parts)`` over collected values.
+
+        Re-registering a label replaces its previous declaration, so
+        collectors may register on every collection pass without piling
+        up duplicates.
+        """
+        entry = (label, total, tuple(parts))
+        for i, (existing, _, _) in enumerate(self._identities):
+            if existing == label:
+                self._identities[i] = entry
+                return
+        self._identities.append(entry)
+
+    def check_identities(self) -> List[str]:
+        """Return one description per violated identity (empty when all
+        hold; identities whose total metric was never collected are
+        vacuously true)."""
+        problems = []
+        for label, total, parts in self._identities:
+            if total not in self._metrics:
+                continue
+            expected = self.get(total)
+            actual = sum(self.get(part, 0) for part in parts)
+            if expected != actual:
+                detail = " + ".join(
+                    f"{part}={self.get(part, 0)}" for part in parts)
+                problems.append(
+                    f"{label}: {total}={expected} != {detail} (={actual})")
+        return problems
+
+    def assert_identities(self) -> None:
+        problems = self.check_identities()
+        if problems:
+            raise IdentityViolation("; ".join(problems))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """All collected values as one flat, deterministically ordered
+        dict — counters and gauges under their name, series expanded to
+        ``.last`` / ``.mean`` / ``.max`` / ``.samples``."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, TimeWeightedSeries):
+                out[f"{name}.last"] = metric.value
+                out[f"{name}.mean"] = round(metric.mean(), 9)
+                out[f"{name}.max"] = metric.max
+                out[f"{name}.samples"] = metric.samples
+            else:
+                out[name] = metric.value
+        return out

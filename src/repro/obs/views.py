@@ -1,0 +1,276 @@
+"""Pull-based collectors: scattered stats surfaces → one metrics registry.
+
+The hot paths keep their plain integer counters (``BlobClient``'s fields,
+``CacheStats``, ``CoalescerStats``, ``CollectiveStats``, per-link counters
+of the queued network); these collectors materialize them into a
+:class:`~repro.obs.registry.MetricsRegistry` under stable dotted names at
+*collection time* — typically once, after a run — so instrumentation costs
+nothing while the simulation executes.
+
+Naming fixes a long-standing drift: ``BlobSeerDeployment.stats()`` reports
+``metadata_read_rpcs`` counted **server-side** (``get_node`` +
+``get_nodes`` handler invocations) while ``BlobClient.metadata_read_rpcs``
+counts **client-side** issue events — same key, different quantities.
+Here the two live apart as ``metadata.server.read_rpcs`` and
+``metadata.client.read_rpcs``; :data:`DEPRECATED_STAT_ALIASES` maps the
+old ambiguous keys to their canonical server-side names for consumers
+migrating off the legacy dicts.
+
+Partition identities re-asserted against the registry (see
+:meth:`~repro.obs.registry.MetricsRegistry.assert_identities`):
+
+* ``metadata.cache.lookups == metadata.cache.hits +
+  cache.shared.client_hits + metadata.client.fetched_lookups`` — every
+  private-tier lookup is answered by exactly one of the private cache,
+  the node's shared tier, or a provider fetch (registered only when
+  every collected client runs a private cache);
+* ``cache.shared.lookups == cache.shared.hits + cache.shared.misses`` —
+  the shared services' own partition;
+* ``cache.shared.lookups == cache.shared.client_hits +
+  metadata.client.fetched_lookups`` — the *cross-surface* check: the
+  lookups the shared services served must equal the lookups the clients
+  say fell through their private tier (registered by
+  :func:`collect_all` only when the caller attests that every client
+  attached to the deployment was collected).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blobseer.client import BlobClient
+    from repro.blobseer.deployment import BlobSeerDeployment
+    from repro.cluster.cluster import Cluster
+    from repro.mpi.simcomm import Communicator
+    from repro.mpiio.adio.versioning import VersioningDriver
+    from repro.obs.linktel import LinkTelemetry
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "DEPRECATED_STAT_ALIASES",
+    "collect_all",
+    "collect_clients",
+    "collect_cluster",
+    "collect_collective",
+    "collect_comms",
+    "collect_deployment",
+    "collect_link_telemetry",
+    "collect_shared_cache",
+    "deprecated_stats_view",
+]
+
+#: legacy ``BlobSeerDeployment.stats()`` keys → canonical registry names.
+#: The legacy ``metadata_read_rpcs`` (and friends) were *server-side*
+#: handler counts despite sharing their name with the client-side fields
+#: of :class:`~repro.blobseer.client.BlobClient`.
+DEPRECATED_STAT_ALIASES: Dict[str, str] = {
+    "metadata_read_rpcs": "metadata.server.read_rpcs",
+    "metadata_batched_rpcs": "metadata.server.batched_read_rpcs",
+    "metadata_put_rpcs": "metadata.server.put_rpcs",
+    "metadata_prefetched_nodes": "metadata.server.prefetched_nodes",
+    "metadata_nodes": "metadata.server.nodes",
+    "providers": "storage.providers",
+    "chunks": "storage.chunks",
+    "stored_bytes": "storage.stored_bytes",
+    "snapshots_published": "version.snapshots_published",
+    "tickets_assigned": "version.tickets_assigned",
+    "load_imbalance": "storage.load_imbalance",
+}
+
+
+# ----------------------------------------------------------------------
+# per-surface collectors
+# ----------------------------------------------------------------------
+def collect_clients(registry: "MetricsRegistry",
+                    clients: Iterable["BlobClient"]) -> None:
+    """Client-side counters: data volume, control RPCs, cache tiers.
+
+    Registers the private-tier lookup partition identity when every
+    collected client runs a private metadata cache (without one the
+    private-tier counters cannot partition anything).
+    """
+    clients = list(clients)
+    all_private = bool(clients)
+    for client in clients:
+        registry.add("client.bytes_written", client.bytes_written)
+        registry.add("client.bytes_read", client.bytes_read)
+        registry.add("client.writes", client.writes)
+        registry.add("client.reads", client.reads)
+        registry.add("client.logical_writes", client.logical_writes)
+        registry.add("metadata.client.read_rpcs", client.metadata_read_rpcs)
+        registry.add("metadata.client.nodes_fetched",
+                     client.metadata_nodes_fetched)
+        registry.add("metadata.client.put_rpcs", client.metadata_put_rpcs)
+        registry.add("metadata.client.latest_rpcs", client.latest_rpcs)
+        registry.add("metadata.client.latest_rpcs_elided",
+                     client.latest_rpcs_elided)
+        registry.add("metadata.client.plan_nodes_absorbed",
+                     client.plan_nodes_absorbed)
+        registry.add("metadata.client.cache_primed_nodes",
+                     client.cache_primed_nodes)
+        registry.add("metadata.client.prefetched_nodes",
+                     client.metadata_prefetched_nodes)
+        registry.add("metadata.client.write_control_rpcs",
+                     client.write_control_rpcs)
+        registry.add("cache.shared.client_hits", client.shared_cache_hits)
+        registry.add("metadata.client.fetched_lookups",
+                     client.metadata_lookup_fetches)
+        cache = client.metadata_cache
+        if cache is None:
+            all_private = False
+            continue
+        registry.add("metadata.cache.lookups", cache.stats.lookups)
+        registry.add("metadata.cache.hits", cache.stats.hits)
+        registry.add("metadata.cache.misses", cache.stats.misses)
+        registry.add("metadata.cache.insertions", cache.stats.insertions)
+        registry.add("metadata.cache.evictions", cache.stats.evictions)
+        coalescer = client.coalescer
+        if coalescer is not None:
+            for key, value in coalescer.stats.snapshot().items():
+                if key == "coalescing_factor":
+                    registry.set("coalescer.coalescing_factor", value)
+                else:
+                    registry.add(f"coalescer.{key}", value)
+    if all_private:
+        registry.register_identity(
+            "metadata.lookup_partition",
+            total="metadata.cache.lookups",
+            parts=("metadata.cache.hits", "cache.shared.client_hits",
+                   "metadata.client.fetched_lookups"))
+
+
+def collect_shared_cache(registry: "MetricsRegistry",
+                         deployment: "BlobSeerDeployment") -> None:
+    """Shared-tier totals across every node cache service."""
+    totals = deployment.shared_cache_stats()
+    registry.add("cache.shared.hits", totals["hits"])
+    registry.add("cache.shared.misses", totals["misses"])
+    registry.add("cache.shared.lookups", totals["hits"] + totals["misses"])
+    registry.add("cache.shared.insertions", totals["insertions"])
+    registry.add("cache.shared.evictions", totals["evictions"])
+    registry.add("cache.shared.unpublished_rejections",
+                 totals["unpublished_rejections"])
+    registry.add("cache.shared.capacity_rejections",
+                 totals["capacity_rejections"])
+    registry.set("cache.shared.services", totals["services"])
+    registry.set("cache.shared.entries", totals["entries"])
+    registry.register_identity(
+        "cache.shared.partition",
+        total="cache.shared.lookups",
+        parts=("cache.shared.hits", "cache.shared.misses"))
+
+
+def collect_deployment(registry: "MetricsRegistry",
+                       deployment: "BlobSeerDeployment") -> None:
+    """Server-side storage counters under their canonical (drift-free)
+    names; includes the shared-cache totals."""
+    stats = deployment.stats()
+    # point-in-time quantities are gauges; everything else accumulates
+    gauges = {"metadata_nodes", "providers", "chunks", "stored_bytes",
+              "load_imbalance"}
+    for legacy, canonical in DEPRECATED_STAT_ALIASES.items():
+        value = stats[legacy]
+        if legacy in gauges:
+            registry.set(canonical, value)
+        else:
+            registry.add(canonical, value)
+    collect_shared_cache(registry, deployment)
+
+
+def collect_collective(registry: "MetricsRegistry",
+                       drivers: Iterable["VersioningDriver"]) -> None:
+    """Collective-buffering and collective-read counters across ranks."""
+    for driver in drivers:
+        for key, value in driver.aggregator.stats.snapshot().items():
+            registry.add(f"collective.write.{key}", value)
+        for key, value in driver.reader.stats.snapshot().items():
+            registry.add(f"collective.read.{key}", value)
+
+
+def collect_comms(registry: "MetricsRegistry",
+                  comms: Iterable["Communicator"]) -> None:
+    """MPI communicator traffic (simulated collectives)."""
+    for comm in comms:
+        registry.add("mpi.bytes_moved", comm.bytes_moved)
+        registry.add("mpi.collectives_completed", comm.collectives_completed)
+
+
+def collect_cluster(registry: "MetricsRegistry",
+                    cluster: "Cluster") -> None:
+    """Transport-level totals: network, RPC, disks."""
+    stats = cluster.stats()
+    registry.set("cluster.nodes", stats["nodes"])
+    registry.add("net.bytes", stats["network_bytes"])
+    registry.add("net.messages", stats["network_messages"])
+    registry.add("rpc.calls", stats["rpc_calls"])
+    registry.add("disk.bytes", stats["disk_bytes"])
+    registry.add("disk.operations", stats["disk_operations"])
+    if cluster.obs.link_telemetry is not None:
+        collect_link_telemetry(registry, cluster.obs.link_telemetry)
+
+
+def collect_link_telemetry(registry: "MetricsRegistry",
+                           telemetry: "LinkTelemetry") -> None:
+    """Per-link rollups from the queued network model's samples."""
+    totals = telemetry.totals()
+    registry.set("net.link.links", totals["links"])
+    registry.add("net.link.reservations", totals["reservations"])
+    registry.add("net.link.bytes", totals["bytes"])
+    registry.add("net.link.codel_marks", totals["codel_marks"])
+    registry.set("net.link.max_queue_delay_s", totals["max_queue_delay_s"])
+    for name in sorted(telemetry.samples):
+        registry.set(f"net.link.{name}.utilization",
+                     round(telemetry.utilization(name), 6))
+
+
+# ----------------------------------------------------------------------
+# the one-call form
+# ----------------------------------------------------------------------
+def collect_all(registry: "MetricsRegistry", *,
+                cluster: "Cluster" = None,
+                deployment: "BlobSeerDeployment" = None,
+                clients: Iterable["BlobClient"] = (),
+                drivers: Iterable["VersioningDriver"] = (),
+                comms: Iterable["Communicator"] = (),
+                complete_clients: bool = False) -> "MetricsRegistry":
+    """Collect every surface handed in; returns the registry for chaining.
+
+    ``complete_clients=True`` attests that ``clients`` holds *every*
+    client that attached to ``deployment`` — only then can the
+    cross-surface fall-through identity (shared-tier lookups == client
+    lookups that missed their private tier) be registered, since a
+    missing client would contribute shared-tier lookups with no matching
+    client-side counters.
+    """
+    clients = list(clients)
+    drivers = list(drivers)
+    if drivers and not clients:
+        clients = [driver.client for driver in drivers]
+    if clients:
+        collect_clients(registry, clients)
+    if drivers:
+        collect_collective(registry, drivers)
+    if comms:
+        collect_comms(registry, comms)
+    if deployment is not None:
+        collect_deployment(registry, deployment)
+    if cluster is not None:
+        collect_cluster(registry, cluster)
+    if complete_clients and deployment is not None and clients \
+            and all(client.shared_cache is not None for client in clients):
+        # without a shared tier a private miss skips straight to the
+        # provider fetch, so there is no fall-through to partition
+        registry.register_identity(
+            "cache.shared.fallthrough",
+            total="cache.shared.lookups",
+            parts=("cache.shared.client_hits",
+                   "metadata.client.fetched_lookups"))
+    return registry
+
+
+def deprecated_stats_view(registry: "MetricsRegistry") -> Dict[str, object]:
+    """Legacy ``deployment.stats()``-shaped dict read back from a
+    registry — the bridge for consumers still keyed on the old names."""
+    return {legacy: registry.get(canonical, 0)
+            for legacy, canonical in DEPRECATED_STAT_ALIASES.items()}

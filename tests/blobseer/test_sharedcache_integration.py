@@ -133,7 +133,7 @@ class TestDeathBeforePublication:
         the private cache is primed — the shared tier must hold nothing."""
         original = writer.writepath._complete
 
-        def dying_complete(blob_id, version, nodes=None):
+        def dying_complete(blob_id, version, nodes=None, trace_parent=None):
             raise StorageError("writer process died before complete")
             yield  # pragma: no cover - generator shape
 

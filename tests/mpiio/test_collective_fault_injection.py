@@ -117,7 +117,7 @@ class TestAggregatorDiesMidCommit:
             return
         engine = driver.client.writepath
 
-        def broken_store_nodes(blob, nodes):
+        def broken_store_nodes(blob, nodes, trace_parent=None):
             # one-shot: deleting the instance attribute restores the class
             # method, so the node "recovers" after killing the stripe commit
             del engine._store_nodes
@@ -248,7 +248,7 @@ def test_failed_collective_does_not_block_later_collectives():
         handle = yield from File.open(driver, PATH, rank=ctx.rank,
                                       comm=ctx.comm, size_hint=FILE_SIZE)
         if ctx.rank == DOOMED_RANK:
-            def broken_store_nodes(blob, nodes):
+            def broken_store_nodes(blob, nodes, trace_parent=None):
                 raise StorageError("transient shard failure")
                 yield  # pragma: no cover - generator shape
             driver.client.writepath._store_nodes = broken_store_nodes

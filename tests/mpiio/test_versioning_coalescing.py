@@ -253,7 +253,7 @@ def test_read_hints_are_dropped_when_a_commit_aborts_its_ticket():
         assert "/f" in client._read_hints  # the barrier planted one
         engine = client.writepath
 
-        def broken_store_nodes(blob, nodes):
+        def broken_store_nodes(blob, nodes, trace_parent=None):
             del engine._store_nodes  # one-shot: the class method returns
             raise StorageError("metadata shard lost mid-commit")
             yield  # pragma: no cover - generator shape

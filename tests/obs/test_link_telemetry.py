@@ -1,0 +1,64 @@
+"""Per-link telemetry of the queued network model."""
+
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.vstore.client import VectoredClient
+
+
+def run_small_io(config):
+    cluster = Cluster(config=config, seed=1)
+    deployment = BlobSeerDeployment(cluster, num_providers=2,
+                                    num_metadata_providers=1,
+                                    chunk_size=4096, node_prefix="lt")
+    client = VectoredClient(deployment, cluster.add_node("lt-app"),
+                            name="lt-app")
+
+    def scenario():
+        yield from client.create_blob("/lt", 64 * 1024, exist_ok=True)
+        receipt = yield from client.vwrite("/lt", [(0, b"x" * 8192)])
+        yield from client.wait_published("/lt", receipt.version)
+        pieces = yield from client.vread("/lt", [(0, 8192)])
+        assert pieces[0] == b"x" * 8192
+
+    process = cluster.sim.process(scenario())
+    cluster.sim.run(stop_event=process)
+    return cluster
+
+
+def test_queued_traced_run_samples_links():
+    cluster = run_small_io(ClusterConfig(network_model="queued",
+                                         tracing=True))
+    telemetry = cluster.obs.link_telemetry
+    assert telemetry is not None
+    assert telemetry.samples, "no link reservations sampled"
+
+    report = telemetry.report()
+    assert list(report) == sorted(report)
+    for name, row in report.items():
+        assert row["reservations"] >= 1
+        assert row["bytes"] > 0
+        assert 0.0 <= row["utilization"] <= 1.0
+        assert row["max_queue_delay_s"] >= row["mean_queue_delay_s"] >= 0.0
+        assert telemetry.utilization(name) >= 0.0
+
+    totals = telemetry.totals()
+    assert totals["links"] == len(report)
+    assert totals["reservations"] == sum(row["reservations"]
+                                         for row in report.values())
+    assert totals["bytes"] == sum(row["bytes"] for row in report.values())
+
+
+def test_telemetry_absent_without_tracing_or_queued_model():
+    assert run_small_io(ClusterConfig(network_model="queued")) \
+        .obs.link_telemetry is None
+    assert run_small_io(ClusterConfig(tracing=True)) \
+        .obs.link_telemetry is None
+
+
+def test_sampling_never_perturbs_the_timeline():
+    sampled = run_small_io(ClusterConfig(network_model="queued",
+                                         tracing=True))
+    plain = run_small_io(ClusterConfig(network_model="queued"))
+    assert sampled.sim.now == plain.sim.now
+    assert sampled.sim.processed_events == plain.sim.processed_events

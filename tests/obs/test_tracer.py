@@ -1,0 +1,156 @@
+"""Unit tests of the span tracer, context stack and Chrome export."""
+
+import json
+
+from repro.obs.export import (
+    span_chains,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer():
+    clock = FakeClock()
+    return Tracer(clock=clock), clock
+
+
+def test_span_ids_sequential_and_clock_driven():
+    tracer, clock = make_tracer()
+    first = tracer.begin_span("a", "op", ("rank", "r0"))
+    clock.now = 1.0
+    second = tracer.begin_span("b", "op", ("rank", "r0"),
+                               parent_id=first.span_id)
+    clock.now = 2.0
+    tracer.end_span(second)
+    tracer.end_span(first)
+    assert [span.span_id for span in tracer.spans] == [1, 2]
+    assert second.parent_id == first.span_id
+    assert (first.start, first.end) == (0.0, 2.0)
+    assert (second.start, second.end) == (1.0, 2.0)
+    assert second.duration == 1.0
+
+
+def test_complete_span_records_precomputed_interval():
+    tracer, clock = make_tracer()
+    clock.now = 5.0
+    span = tracer.complete_span("net.link", "net", ("link", "l0"),
+                                start=1.5, end=2.5)
+    assert (span.start, span.end) == (1.5, 2.5)
+    assert span in tracer.finished_spans()
+
+
+def test_context_stack_parents_mainline_spans():
+    tracer, _clock = make_tracer()
+    ctx = tracer.context(("rank", "r3"), node="node3")
+    outer = ctx.begin("file.write_at_all", cat="mpiio", rank=3)
+    inner = ctx.begin("collective.write.describe", cat="collective")
+    assert inner.parent_id == outer.span_id
+    assert ctx.current is inner
+    ctx.finish(inner)
+    assert ctx.current is outer
+    ctx.finish(outer)
+    assert ctx.current is None
+    # context attrs merge into every span's args
+    assert outer.args["node"] == "node3"
+    assert outer.args["rank"] == 3
+
+
+def test_finish_pops_spans_left_open_by_exception_paths():
+    tracer, _clock = make_tracer()
+    ctx = tracer.context(("rank", "r0"))
+    outer = ctx.begin("outer")
+    ctx.begin("leaked")
+    ctx.finish(outer)
+    assert ctx.current is None
+
+
+def test_detached_spans_never_touch_the_stack():
+    tracer, _clock = make_tracer()
+    ctx = tracer.context(("rank", "r0"))
+    mainline = ctx.begin("mainline")
+    detached = ctx.begin_detached("commit", parent=mainline,
+                                  lane=("rank", "r0"))
+    flow = ctx.begin_detached("commit.complete", parent=detached, flow=True)
+    assert ctx.current is mainline
+    assert detached.parent_id == mainline.span_id
+    assert flow.flow is True
+    ctx.end(flow)
+    ctx.end(detached)
+    ctx.finish(mainline)
+
+
+def test_wrap_is_a_pure_passthrough_closing_on_completion():
+    tracer, clock = make_tracer()
+    ctx = tracer.context(("rank", "r0"))
+
+    def work():
+        yield "tick"
+        return 42
+
+    wrapped = ctx.wrap(work(), "stage")
+    span = tracer.spans[-1]
+    assert span.end is None
+    assert next(wrapped) == "tick"
+    clock.now = 3.0
+    try:
+        next(wrapped)
+    except StopIteration as stop:
+        assert stop.value == 42
+    assert span.end == 3.0
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.begin_span("a", "op", ("rank", "r0")) is None
+    assert NULL_TRACER.context(("rank", "r0")) is None
+    assert NULL_TRACER.finished_spans() == []
+
+
+def test_chrome_export_schema_and_chains():
+    tracer, clock = make_tracer()
+    ctx = tracer.context(("rank", "r0"))
+    root = ctx.begin("file.write_at_all", cat="mpiio")
+    clock.now = 1e-3
+    child = ctx.begin_detached("rpc.put_chunks", cat="rpc",
+                               parent=root, lane=("shard", "data0"))
+    clock.now = 2e-3
+    ctx.end(child)
+    ctx.finish(root)
+    tracer.counter(("link", "l0"), "queue", {"depth": 2})
+
+    trace = to_chrome_trace(tracer)
+    assert validate_chrome_trace(trace) == []
+    assert validate_chrome_trace(json.dumps(trace)) == []
+    events = trace["traceEvents"]
+    assert any(event["ph"] == "M" for event in events)
+    assert any(event["ph"] == "C" for event in events)
+    spans = [event for event in events if event["ph"] == "X"]
+    assert len(spans) == 2
+    # µs timestamps
+    by_name = {event["name"]: event for event in spans}
+    assert by_name["rpc.put_chunks"]["ts"] == 1000.0
+    assert by_name["rpc.put_chunks"]["dur"] == 1000.0
+
+    chains = span_chains(tracer)
+    assert [span.name for span in chains[child.span_id]] == \
+        ["file.write_at_all", "rpc.put_chunks"]
+
+
+def test_validator_reports_problems():
+    tracer, _clock = make_tracer()
+    span = tracer.begin_span("open", "op", ("rank", "r0"))
+    trace = to_chrome_trace(tracer)   # open span skipped
+    assert validate_chrome_trace(trace) == []
+    tracer.end_span(span)
+    trace = to_chrome_trace(tracer)
+    trace["traceEvents"].append({"ph": "X", "name": "bad"})
+    assert validate_chrome_trace(trace) != []

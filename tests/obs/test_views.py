@@ -1,0 +1,118 @@
+"""Registry-backed views over the stack's scattered stats surfaces."""
+
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.views import (
+    DEPRECATED_STAT_ALIASES,
+    collect_all,
+    collect_clients,
+    deprecated_stats_view,
+)
+from repro.vstore.client import VectoredClient
+
+
+def run_workload(shared_cache=False):
+    cluster = Cluster(config=ClusterConfig(shared_metadata_cache=shared_cache),
+                      seed=2)
+    deployment = BlobSeerDeployment(cluster, num_providers=2,
+                                    num_metadata_providers=1,
+                                    chunk_size=4096, node_prefix="vw")
+    node = cluster.add_node("vw-app")
+    clients = [VectoredClient(deployment, node, name=f"vw{index}")
+               for index in range(2)]
+
+    def scenario(client, base):
+        yield from client.create_blob("/vw", 64 * 1024, exist_ok=True)
+        receipt = yield from client.vwrite("/vw", [(base, b"y" * 4096)])
+        yield from client.wait_published("/vw", receipt.version)
+        pieces = yield from client.vread("/vw", [(base, 4096)])
+        assert pieces[0] == b"y" * 4096
+
+    processes = [cluster.sim.process(scenario(client, index * 8192))
+                 for index, client in enumerate(clients)]
+    for process in processes:
+        cluster.sim.run(stop_event=process)
+    return cluster, deployment, clients
+
+
+def test_collect_all_holds_identities_and_totals():
+    cluster, deployment, clients = run_workload(shared_cache=True)
+    registry = collect_all(MetricsRegistry(), cluster=cluster,
+                           deployment=deployment, clients=clients,
+                           complete_clients=True)
+    assert registry.check_identities() == []
+    assert registry.get("client.bytes_written") == \
+        sum(client.bytes_written for client in clients)
+    assert registry.get("metadata.cache.lookups") == \
+        sum(client.metadata_cache.stats.lookups for client in clients)
+    # the three identities of the module docstring are all registered
+    labels = {label for label, _, _ in registry._identities}
+    assert labels == {"metadata.lookup_partition", "cache.shared.partition",
+                      "cache.shared.fallthrough"}
+
+
+def test_fallthrough_identity_skipped_without_shared_tier():
+    cluster, deployment, clients = run_workload(shared_cache=False)
+    registry = collect_all(MetricsRegistry(), cluster=cluster,
+                           deployment=deployment, clients=clients,
+                           complete_clients=True)
+    assert registry.check_identities() == []
+    labels = {label for label, _, _ in registry._identities}
+    assert "cache.shared.fallthrough" not in labels
+
+
+def test_server_and_client_metadata_counters_live_apart():
+    """The naming-drift fix: the legacy dicts used one key for two
+    different quantities; the registry keeps them distinguishable."""
+    cluster, deployment, clients = run_workload()
+    registry = collect_all(MetricsRegistry(), cluster=cluster,
+                           deployment=deployment, clients=clients)
+    stats = deployment.stats()
+    assert registry.get("metadata.server.read_rpcs") == \
+        stats["metadata_read_rpcs"]
+    assert registry.get("metadata.client.read_rpcs") == \
+        sum(client.metadata_read_rpcs for client in clients)
+    assert "metadata.server.read_rpcs" in registry
+    assert "metadata.client.read_rpcs" in registry
+
+
+def test_deprecated_stats_view_round_trips_legacy_keys():
+    cluster, deployment, clients = run_workload()
+    registry = collect_all(MetricsRegistry(), cluster=cluster,
+                           deployment=deployment, clients=clients)
+    legacy = deprecated_stats_view(registry)
+    stats = deployment.stats()
+    assert set(legacy) == set(DEPRECATED_STAT_ALIASES)
+    for key in legacy:
+        assert legacy[key] == stats[key], key
+
+
+def test_deployment_metrics_method_is_the_shim():
+    _cluster, deployment, _clients = run_workload()
+    registry = deployment.metrics()
+    stats = deployment.stats()
+    assert registry.get("metadata.server.put_rpcs") == \
+        stats["metadata_put_rpcs"]
+    shared = registry.get("cache.shared.lookups")
+    assert shared == stats["shared_cache"]["hits"] \
+        + stats["shared_cache"]["misses"]
+    # collecting into a caller-provided registry accumulates there
+    mine = MetricsRegistry()
+    assert deployment.metrics(mine) is mine
+    assert "storage.providers" in mine
+
+
+def test_collect_clients_skips_partition_without_private_cache():
+    cluster = Cluster(seed=3)
+    deployment = BlobSeerDeployment(cluster, num_providers=1,
+                                    num_metadata_providers=1,
+                                    chunk_size=4096, node_prefix="np")
+    client = VectoredClient(deployment, cluster.add_node("np-app"),
+                            name="np-app", enable_metadata_cache=False)
+    registry = MetricsRegistry()
+    collect_clients(registry, [client])
+    labels = {label for label, _, _ in registry._identities}
+    assert "metadata.lookup_partition" not in labels
+    assert "metadata.cache.lookups" not in registry

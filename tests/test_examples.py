@@ -28,6 +28,7 @@ def load_example(name):
     "producer_consumer",
     "ghost_cell_simulation",
     "tile_io_comparison",
+    "trace_collective",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)
