@@ -115,3 +115,12 @@ class ClusterConfig:
         data = self.__dict__.copy()
         data.update(overrides)
         return ClusterConfig(**data)
+
+    def as_dict(self) -> dict:
+        """All knobs as one flat JSON-serializable dict, in field order.
+
+        The scenario fuzzer dumps this next to every flagged run so a
+        failure's exact cluster shape travels with its seed.
+        """
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.fuzz``."""
+
+from repro.fuzz.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

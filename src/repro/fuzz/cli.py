@@ -1,0 +1,106 @@
+"""``python -m repro.fuzz`` — the scenario fuzzer's command line.
+
+Sweep mode (default): execute ``--max-runs`` scenarios at consecutive
+seeds starting from ``--seed-base``, append one line per run to
+``<out>/runs.ndjson``, dump a triage bundle per flagged run, and exit
+non-zero if anything was flagged.
+
+Replay mode (``--replay SEED``): regenerate that seed's scenario, execute
+it, print its runs.ndjson line to stdout, and — when the output directory
+already holds a line for the seed — verify the fresh line reproduces the
+recorded one byte-identically (exit non-zero on mismatch or anomaly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.report import append_line, dump_flagged, recorded_line, \
+    run_line
+from repro.fuzz.runner import execute_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Randomized scenario fuzzing of the versioned atomic "
+                    "MPI-I/O stack with deterministic seed replay.")
+    parser.add_argument("--max-runs", type=int, default=100,
+                        help="scenarios to execute (default: 100)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed; run i uses seed-base + i "
+                             "(default: 0)")
+    parser.add_argument("--replay", type=int, default=None, metavar="SEED",
+                        help="re-execute one seed and verify it reproduces "
+                             "its recorded runs.ndjson line byte-identically")
+    parser.add_argument("--out", default="fuzzer_output",
+                        help="output directory (default: fuzzer_output)")
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="override the per-run event budget (the "
+                             "no-hang bound)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="skip flagged-run triage bundles (line output "
+                             "only)")
+    return parser
+
+
+def replay(args: argparse.Namespace) -> int:
+    scenario = generate_scenario(args.replay)
+    result = execute_scenario(scenario, max_events=args.max_events)
+    line = run_line(result)
+    print(line)
+    recorded = recorded_line(args.out, args.replay)
+    status = 0
+    if recorded:
+        if recorded == line:
+            print(f"replay of seed {args.replay} reproduces its recorded "
+                  "line byte-identically", file=sys.stderr)
+        else:
+            print(f"REPLAY MISMATCH for seed {args.replay}:\n"
+                  f"  recorded: {recorded}\n  replayed: {line}",
+                  file=sys.stderr)
+            status = 1
+    if result.flagged:
+        for anomaly in result.all_anomalies():
+            print(f"  {anomaly}", file=sys.stderr)
+        if not args.no_artifacts:
+            run_dir = dump_flagged(result, args.out)
+            print(f"triage bundle: {run_dir}", file=sys.stderr)
+        status = 1
+    return status
+
+
+def sweep(args: argparse.Namespace) -> int:
+    flagged = 0
+    started = time.monotonic()  # stderr progress only; never in the line
+    for index in range(args.max_runs):
+        seed = args.seed_base + index
+        scenario = generate_scenario(seed)
+        result = execute_scenario(scenario, max_events=args.max_events)
+        line = run_line(result)
+        append_line(args.out, line)
+        if result.flagged:
+            flagged += 1
+            print(f"FLAGGED seed {seed}: "
+                  f"{'; '.join(result.all_anomalies()[:3])}",
+                  file=sys.stderr)
+            if not args.no_artifacts:
+                dump_flagged(result, args.out)
+        if (index + 1) % 25 == 0 or index + 1 == args.max_runs:
+            elapsed = time.monotonic() - started
+            print(f"[{index + 1}/{args.max_runs}] {flagged} flagged, "
+                  f"{elapsed:.1f}s", file=sys.stderr)
+    print(f"done: {args.max_runs} runs, {flagged} flagged, "
+          f"output in {args.out}/runs.ndjson", file=sys.stderr)
+    return 1 if flagged else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay is not None:
+        return replay(args)
+    return sweep(args)

@@ -10,9 +10,13 @@ Streams are further grouped into per-subsystem *scopes* so whole families of
 draws stay isolated: everything that shapes the workload (offsets, sizes,
 placement) lives under the ``"workload"`` scope, everything that only
 perturbs costs (queued-network jitter) under ``"network"``, and fault
-injection under ``"fault"``.  Because a scope is just a name prefix, turning
-the queued network model's jitter on or off can never change a single
-workload byte — that invariant is pinned by a regression test.
+injection under ``"fault"``, and everything the scenario fuzzer samples
+(cluster shapes, workload mixes, injected hostility) under ``"fuzz"``.
+Because a scope is just a name prefix, turning the queued network model's
+jitter on or off can never change a single workload byte — that invariant
+is pinned by a regression test — and the fuzzer drawing one more or one
+less sample can never perturb the bytes or timelines of the scenarios it
+generates (pinned by the fuzz RNG-isolation suite).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import numpy as np
 SCOPE_WORKLOAD = "workload"
 SCOPE_NETWORK = "network"
 SCOPE_FAULT = "fault"
+SCOPE_FUZZ = "fuzz"
 
 
 class RNGScope:

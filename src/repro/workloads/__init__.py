@@ -23,7 +23,10 @@
   halo overlap), the pattern aggregated metadata resolution serves;
 * :mod:`repro.workloads.shared_scan` — independent readers co-located on
   shared compute nodes (identical-extent and streaming patterns), the
-  workload the node-local shared metadata cache amortizes.
+  workload the node-local shared metadata cache amortizes;
+* :mod:`repro.workloads.random_vectored` — seed-derived random vectored
+  patterns (disjoint within a rank, overlapping across ranks, optional
+  hot-spot window), the scenario fuzzer's workhorse family.
 """
 
 from repro.workloads.domain import DomainDecomposition, process_grid
@@ -34,6 +37,7 @@ from repro.workloads.collective_read import CollectiveReadWorkload
 from repro.workloads.shared_scan import SharedScanWorkload
 from repro.workloads.tile_io import TileIOWorkload
 from repro.workloads.ghost_cells import GhostCellSimulation
+from repro.workloads.random_vectored import RandomVectoredWorkload
 
 __all__ = [
     "DomainDecomposition",
@@ -45,4 +49,5 @@ __all__ = [
     "SharedScanWorkload",
     "TileIOWorkload",
     "GhostCellSimulation",
+    "RandomVectoredWorkload",
 ]

@@ -1,0 +1,42 @@
+"""Shared serial-oracle testlib: one implementation, every suite.
+
+The rank-order serial oracle used to judge collective writes was once
+duplicated across the conformance, read-conformance and property suites.
+The single implementation now lives in :mod:`repro.fuzz.oracle` — the
+scenario fuzzer's byte-identity checker builds on the same code — and this
+module is the test-side door to it, plus the datatype helper the MPI
+suites share for driving patterns through real file views.
+
+Import from here in tests; never re-implement ``random_pattern`` /
+``serial_oracle`` locally, or the fuzzer and the suites can drift apart.
+"""
+
+from repro.fuzz.oracle import (  # noqa: F401  (re-exports)
+    FILE_SIZE_DEFAULT,
+    MaskedOracle,
+    apply_pattern,
+    pattern_extent,
+    random_pattern,
+    serial_oracle,
+    serial_oracle_vectors,
+)
+from repro.mpi.datatypes import BYTE, Indexed
+
+__all__ = [
+    "FILE_SIZE_DEFAULT",
+    "MaskedOracle",
+    "apply_pattern",
+    "pattern_extent",
+    "random_pattern",
+    "rank_view",
+    "serial_oracle",
+    "serial_oracle_vectors",
+]
+
+
+def rank_view(pairs):
+    """Indexed filetype + flat payload for one rank's disjoint regions."""
+    blocklengths = [len(payload) for _offset, payload in pairs]
+    displacements = [offset for offset, _payload in pairs]
+    payload = b"".join(payload for _offset, payload in pairs)
+    return Indexed(blocklengths, displacements, base=BYTE), payload

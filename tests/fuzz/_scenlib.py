@@ -1,0 +1,44 @@
+"""Hand-built scenario helpers for the fuzz suites.
+
+The liveness tests need scenarios whose shape is *guaranteed* (the
+generator only produces an aggregator death when the dice land right), so
+they assemble :class:`~repro.fuzz.scenario.Scenario` values directly.
+"""
+
+from repro.fuzz.scenario import PhaseSpec, Scenario, workload_file_size
+
+#: a disjoint full-coverage pattern: every rank, every aggregator stripe
+#: nonempty, bytes flush-order-independent
+CHECKPOINT = {"family": "checkpoint", "blocks_per_rank": 2, "block_size": 512}
+
+
+def random_workload(seed, file_size=8 * 1024, **extra):
+    workload = {"family": "random", "seed": seed, "file_size": file_size,
+                "max_regions": 3, "max_region_size": 800,
+                "empty_rank_chance": 0.0, "window": None}
+    workload.update(extra)
+    return workload
+
+
+def make_scenario(seed=0, num_ranks=4, num_aggregators=2, chunk_size=1024,
+                  phases=(), injectors=(), cluster=None, ranks_per_node=1):
+    file_size = max(workload_file_size(phase.workload, num_ranks)
+                    for phase in phases)
+    file_size = -(-file_size // chunk_size) * chunk_size
+    return Scenario(
+        seed=seed,
+        num_ranks=num_ranks,
+        ranks_per_node=ranks_per_node,
+        num_aggregators=num_aggregators,
+        file_size=file_size,
+        chunk_size=chunk_size,
+        num_providers=3,
+        num_metadata_providers=2,
+        cluster=dict(cluster or {}),
+        phases=tuple(phases),
+        injectors=tuple(injectors),
+    )
+
+
+def checkpoint_phase(kind="independent_write"):
+    return PhaseSpec(kind=kind, workload=dict(CHECKPOINT))

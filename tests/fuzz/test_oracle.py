@@ -1,0 +1,136 @@
+"""The shared serial oracle, proven able to catch a planted corruption.
+
+Red-first contract of the oracle extraction (one implementation in
+:mod:`repro.fuzz.oracle`, re-exported through ``tests/_oracle.py``): if the
+oracle could not flag a deliberately corrupted byte, every suite importing
+it — and the fuzzer's byte-identity checker — would be vacuous.
+"""
+
+import pytest
+
+import repro.fuzz.oracle as fuzz_oracle
+import tests._oracle as shared
+from repro.core.listio import IOVector
+from repro.fuzz.oracle import (
+    MaskedOracle,
+    pattern_extent,
+    random_pattern,
+    serial_oracle,
+    serial_oracle_vectors,
+)
+
+FILE_SIZE = 4 * 1024
+
+
+def test_testlib_reexports_the_single_implementation():
+    # tests/_oracle.py must never fork the oracle: same function objects
+    assert shared.random_pattern is fuzz_oracle.random_pattern
+    assert shared.serial_oracle is fuzz_oracle.serial_oracle
+    assert shared.MaskedOracle is fuzz_oracle.MaskedOracle
+    assert shared.serial_oracle_vectors is fuzz_oracle.serial_oracle_vectors
+
+
+def test_random_pattern_is_deterministic_and_rank_disjoint():
+    first = random_pattern(7, 4, file_size=FILE_SIZE)
+    second = random_pattern(7, 4, file_size=FILE_SIZE)
+    assert first == second
+    for regions in first:
+        spans = sorted((offset, offset + len(payload))
+                       for offset, payload in regions)
+        for (_, prev_hi), (lo, _) in zip(spans, spans[1:]):
+            assert prev_hi <= lo  # disjoint within a rank
+        for lo, hi in spans:
+            assert 0 <= lo < hi <= FILE_SIZE
+
+
+def test_serial_oracle_applies_in_rank_order():
+    pattern = [[(0, b"\x01" * 10)], [(5, b"\x02" * 10)]]
+    content = serial_oracle(pattern, file_size=20)
+    assert content[:5] == b"\x01" * 5      # rank 0's prefix survives
+    assert content[5:15] == b"\x02" * 10   # rank 1 overwrites the overlap
+    assert content[15:] == b"\x00" * 5
+
+
+def test_pattern_extent():
+    assert pattern_extent([[], []]) is None
+    assert pattern_extent([[(10, b"ab")], [(3, b"c")]]) == (3, 12)
+
+
+def test_serial_oracle_vectors_matches_manual_application():
+    vectors = [IOVector.for_write([(0, b"\x01" * 8), (4, b"\x02" * 8)]),
+               IOVector.for_write([(6, b"\x03" * 4)])]
+    manual = bytearray(32)
+    for vector in vectors:
+        vector.apply_to(manual)
+    assert serial_oracle_vectors(vectors, 32) == bytes(manual)
+
+
+# ----------------------------------------------------------------------
+# the red-first proof: a planted corruption must be flagged
+# ----------------------------------------------------------------------
+def test_oracle_detects_planted_corruption():
+    pattern = random_pattern(3, 3, file_size=FILE_SIZE,
+                             empty_rank_chance=0.0)
+    oracle = MaskedOracle(FILE_SIZE)
+    oracle.apply_pattern(pattern)
+
+    clean = bytes(oracle.content)
+    assert oracle.mismatches(clean) == []
+
+    target = pattern[0][0][0]  # first written byte of rank 0
+    corrupted = bytearray(clean)
+    corrupted[target] ^= 0xFF
+    runs = oracle.mismatches(bytes(corrupted))
+    assert runs == [(target, 1)]
+
+
+def test_oracle_reports_corruption_run_lengths():
+    oracle = MaskedOracle(64)
+    oracle.apply_pairs([(0, b"\x05" * 64)])
+    corrupted = bytearray(oracle.content)
+    corrupted[10:14] = b"\xaa" * 4
+    corrupted[30] ^= 1
+    assert oracle.mismatches(bytes(corrupted)) == [(10, 4), (30, 1)]
+
+
+def test_masked_bytes_are_forgiven_until_overwritten():
+    oracle = MaskedOracle(64)
+    oracle.apply_pairs([(0, b"\x07" * 64)])
+    oracle.mask(16, 32)
+    assert oracle.masked_bytes == 16
+
+    divergent = bytearray(oracle.content)
+    divergent[20] = 0x99           # inside the fault window: unverifiable
+    assert oracle.mismatches(bytes(divergent)) == []
+
+    oracle.apply_pairs([(16, b"\x08" * 16)])  # overwrite clears the mask
+    assert oracle.masked_bytes == 0
+    assert oracle.mismatches(bytes(divergent)) != []
+
+
+def test_region_mismatches_map_back_to_file_offsets():
+    oracle = MaskedOracle(128)
+    oracle.apply_pairs([(0, bytes(range(1, 129)))])
+    regions = [(10, 4), (50, 8)]
+    data = bytes(oracle.content[10:14]) + bytes(oracle.content[50:58])
+    assert oracle.region_mismatches(regions, data) == []
+
+    bad = bytearray(data)
+    bad[5] ^= 0xFF                 # second region, offset 50 + 1
+    assert oracle.region_mismatches(regions, bytes(bad)) == [(51, 1)]
+
+
+def test_mismatch_limit_caps_reporting():
+    oracle = MaskedOracle(100)
+    oracle.apply_pairs([(0, b"\x01" * 100)])
+    corrupted = bytes(b"\x02\x01" * 50)    # 50 single-byte runs
+    assert len(oracle.mismatches(corrupted, limit=4)) == 4
+
+
+@pytest.mark.parametrize("num_ranks", [1, 3, 5])
+def test_serial_oracle_equals_masked_oracle_content(num_ranks):
+    pattern = random_pattern(11, num_ranks, file_size=FILE_SIZE)
+    oracle = MaskedOracle(FILE_SIZE)
+    oracle.apply_pattern(pattern)
+    assert bytes(oracle.content) == serial_oracle(pattern,
+                                                  file_size=FILE_SIZE)

@@ -1,0 +1,93 @@
+"""The replay contract: a seed reproduces its runs.ndjson line exactly.
+
+Byte-identical replay is what makes a flagged seed a shareable bug report:
+``python -m repro.fuzz --replay SEED`` must rebuild the scenario, re-run
+it, and emit the same line the sweep recorded — and fail loudly when the
+record was tampered with or the run flags.
+"""
+
+import json
+import os
+
+
+from repro.fuzz.cli import build_parser, main
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.report import append_line, recorded_line, run_line
+from repro.fuzz.runner import execute_scenario
+
+SEED = 1
+
+
+def test_execution_is_deterministic_line_for_line():
+    scenario = generate_scenario(SEED)
+    first = run_line(execute_scenario(scenario))
+    second = run_line(execute_scenario(scenario))
+    assert first == second
+
+
+def test_run_line_has_no_wall_clock_fields():
+    line = json.loads(run_line(execute_scenario(generate_scenario(SEED))))
+    assert set(line) == {"seed", "status", "num_ranks", "num_aggregators",
+                         "phases", "injectors", "fired", "dormant",
+                         "anomalies", "anomaly_count", "read_digest",
+                         "latest_version", "processed_events",
+                         "sim_elapsed"}
+    # sim_elapsed is simulated seconds (deterministic), never wall time
+    assert line["sim_elapsed"] < 60.0
+
+
+def test_cli_sweep_writes_one_line_per_run(tmp_path, capsys):
+    out = str(tmp_path / "fuzzer_output")
+    assert main(["--max-runs", "3", "--out", out]) == 0
+    lines = open(os.path.join(out, "runs.ndjson")).read().splitlines()
+    assert len(lines) == 3
+    assert [json.loads(line)["seed"] for line in lines] == [0, 1, 2]
+    assert all(json.loads(line)["status"] == "ok" for line in lines)
+    assert not os.path.exists(os.path.join(out, "flagged"))
+
+
+def test_cli_replay_matches_recorded_line(tmp_path, capsys):
+    out = str(tmp_path / "fuzzer_output")
+    assert main(["--max-runs", "2", "--seed-base", str(SEED),
+                 "--out", out]) == 0
+    capsys.readouterr()
+    assert main(["--replay", str(SEED), "--out", out]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == recorded_line(out, SEED)
+    assert "byte-identically" in captured.err
+
+
+def test_cli_replay_flags_tampered_record(tmp_path, capsys):
+    out = str(tmp_path / "fuzzer_output")
+    line = json.loads(run_line(execute_scenario(generate_scenario(SEED))))
+    line["read_digest"] = "0" * 64          # forge the recorded digest
+    append_line(out, json.dumps(line, sort_keys=True,
+                                separators=(",", ":")))
+    assert main(["--replay", str(SEED), "--out", out,
+                 "--no-artifacts"]) == 1
+    assert "REPLAY MISMATCH" in capsys.readouterr().err
+
+
+def test_cli_replay_without_record_still_reports(tmp_path, capsys):
+    out = str(tmp_path / "fuzzer_output")
+    assert main(["--replay", str(SEED), "--out", out]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)["seed"] == SEED
+
+
+def test_seed_base_offsets_the_sweep(tmp_path):
+    out = str(tmp_path / "fuzzer_output")
+    assert main(["--max-runs", "2", "--seed-base", "40",
+                 "--out", out, "--no-artifacts"]) == 0
+    seeds = [json.loads(line)["seed"]
+             for line in open(os.path.join(out, "runs.ndjson"))]
+    assert seeds == [40, 41]
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.max_runs == 100
+    assert args.seed_base == 0
+    assert args.out == "fuzzer_output"
+    assert args.replay is None
+    assert not args.no_artifacts

@@ -19,12 +19,10 @@ the pure in-memory serial application of the pattern in rank order — the
 semantics :mod:`repro.mpiio.adio.collective` promises.
 """
 
-import random
-
 import pytest
 
 from repro.errors import MPIIOError
-from repro.mpi.datatypes import BYTE, Indexed
+from repro.mpi.datatypes import BYTE
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.collective import (
     aggregator_ranks,
@@ -34,47 +32,12 @@ from repro.mpiio.adio.collective import (
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
 from repro.vstore.client import VectoredClient
+from tests._oracle import random_pattern, rank_view, serial_oracle
 from tests.mpiio._collective_testlib import make_quick_deployment, read_back_latest
 
 FILE_SIZE = 16 * 1024
 CHUNK = 1024
 PATH = "/conformance"
-
-
-# ----------------------------------------------------------------------
-# pattern generation and the in-memory oracle
-# ----------------------------------------------------------------------
-def random_pattern(seed, num_ranks, file_size=FILE_SIZE, max_regions=4,
-                   max_region_size=1500, empty_rank_chance=0.2):
-    """Per-rank ``(offset, payload)`` lists: disjoint within a rank, freely
-    overlapping across ranks, with occasional empty-handed ranks."""
-    rng = random.Random(seed)
-    pattern = []
-    for rank in range(num_ranks):
-        if num_ranks > 1 and rng.random() < empty_rank_chance:
-            pattern.append([])
-            continue
-        count = rng.randint(1, max_regions)
-        starts = sorted(rng.sample(range(file_size - max_region_size),
-                                   count))
-        regions = []
-        for index, offset in enumerate(starts):
-            limit = (starts[index + 1] - offset if index + 1 < count
-                     else max_region_size)
-            size = rng.randint(1, max(1, min(max_region_size, limit)))
-            fill = bytes([1 + (rank * 41 + index * 13) % 255])
-            regions.append((offset, fill * size))
-        pattern.append(regions)
-    return pattern
-
-
-def serial_oracle(pattern, file_size=FILE_SIZE):
-    """The pattern applied in rank order (within a rank: region order)."""
-    content = bytearray(file_size)
-    for regions in pattern:
-        for offset, payload in regions:
-            content[offset:offset + len(payload)] = payload
-    return bytes(content)
 
 
 def make_deployment(seed=3, network_model="bottleneck"):
@@ -84,14 +47,6 @@ def make_deployment(seed=3, network_model="bottleneck"):
 
 def read_back(cluster, deployment, file_size=FILE_SIZE):
     return read_back_latest(cluster, deployment, PATH, file_size)
-
-
-def rank_view(pairs):
-    """Indexed filetype + flat payload for one rank's disjoint regions."""
-    blocklengths = [len(payload) for _offset, payload in pairs]
-    displacements = [offset for offset, _payload in pairs]
-    payload = b"".join(payload for _offset, payload in pairs)
-    return Indexed(blocklengths, displacements, base=BYTE), payload
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
 from repro.mpiio.flatten import FileView, build_write_vector
+from tests._oracle import serial_oracle_vectors
 from tests.mpiio._collective_testlib import make_quick_deployment, read_back_latest
 
 FILE_SIZE = 8 * 1024
@@ -94,10 +95,8 @@ def test_random_datatype_collectives_match_rank_order_serial(seed):
         views.append((view, payload, vector))
 
     # the oracle: each rank's flattened vector applied in rank order
-    expected = bytearray(FILE_SIZE)
-    for _view, _payload, vector in views:
-        vector.apply_to(expected)
-    expected = bytes(expected)
+    expected = serial_oracle_vectors(
+        [vector for _view, _payload, vector in views], FILE_SIZE)
 
     cluster, deployment = make_deployment(seed)
 
@@ -144,10 +143,8 @@ def test_overlapping_vectors_resolve_in_rank_then_request_order(seed):
     num_aggregators = rng.randint(1, num_ranks)
     vectors = random_overlapping_vectors(rng, num_ranks)
 
-    expected = bytearray(FILE_SIZE)
-    for vector in vectors:
-        vector.apply_to(expected)  # IOVector semantics: later requests win
-    expected = bytes(expected)
+    # IOVector semantics: later requests win, vectors in rank order
+    expected = serial_oracle_vectors(vectors, FILE_SIZE)
 
     cluster, deployment = make_deployment(seed)
 
@@ -181,11 +178,8 @@ def test_repeated_collectives_accumulate_like_serial_rounds(rounds):
     per_round = [random_overlapping_vectors(rng, num_ranks)
                  for _round in range(rounds)]
 
-    expected = bytearray(FILE_SIZE)
-    for vectors in per_round:
-        for vector in vectors:
-            vector.apply_to(expected)
-    expected = bytes(expected)
+    expected = serial_oracle_vectors(
+        [vector for vectors in per_round for vector in vectors], FILE_SIZE)
 
     cluster, deployment = make_deployment(5)
 

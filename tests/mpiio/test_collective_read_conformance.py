@@ -30,12 +30,8 @@ from repro.mpiio.adio.collective import aggregator_ranks
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
 from repro.vstore.client import VectoredClient
+from tests._oracle import random_pattern, rank_view, serial_oracle
 from tests.mpiio._collective_testlib import make_quick_deployment
-from tests.mpiio.test_collective_conformance import (
-    random_pattern,
-    rank_view,
-    serial_oracle,
-)
 
 FILE_SIZE = 16 * 1024
 CHUNK = 1024
