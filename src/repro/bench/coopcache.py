@@ -1,0 +1,291 @@
+"""Cooperative cross-node cache microbenchmark: shard RPCs vs node count.
+
+A :class:`~repro.workloads.shared_scan.SharedScanWorkload` on the
+``identical`` pattern (every client scans the same section each round —
+the shared analysis dump the paper's atomic snapshots feed) runs at a
+fixed ``ranks_per_node`` while the number of compute nodes grows:
+
+* ``shared`` — the node-local shared tier alone: each node's first
+  toucher fetches every tree node from the authoritative metadata shards,
+  so **server-side** shard read RPCs per logical read sit at the
+  ``1 / ranks_per_node`` ideal and stay flat as nodes are added (every
+  new node re-fetches the same upper tree);
+* ``coop`` — the cooperative tier on top: a shared-tier miss first probes
+  the extent's custodian peer, so roughly one node fetches each tree node
+  *cluster-wide* and per-read shard RPCs keep falling as the node count
+  grows — the scaling the node-local tier cannot provide.
+
+The headline counts **server-side** handler invocations
+(``deployment.stats()["metadata_read_rpcs"]``), not client issue events:
+provider read-throughs fetch from the shards on a prober's behalf, and a
+client-side count would miss them.  The seeder publishes with
+``shared_metadata_cache=False`` so it never enrolls in the cooperative
+directory and the read clients are the tier's only participants.
+
+One extra ``contended`` point reruns the largest coop configuration with
+``stagger_s = 0`` — every co-located client misses the same keys in the
+same instant, which is what in-flight fetch coalescing exists for; the
+perf suite asserts ``coalesced_fetches > 0`` there.
+
+Every point must return byte-identical scan data (the perf suite asserts
+it across modes, node counts and network models), and two conservation
+checks run on every point: the four-way lookup partition
+``private + shared + peer + fetched == lookups`` against the private
+tier's own counters, and ``served_hits == peer_hits + peer_rejections``
+between the peer services and the clients they answered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import drive_processes
+from repro.bench.metrics import CoopCacheSample
+from repro.blobseer.deployment import BlobSeerDeployment
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import BenchmarkError
+from repro.vstore.client import VectoredClient
+from repro.workloads.shared_scan import SharedScanWorkload
+
+PATH = "/dump"
+
+
+@dataclass
+class CoopCacheSettings:
+    """Workload and deployment knobs of the cooperative-cache benchmark."""
+
+    #: compute-node counts swept (clients = nodes * ranks_per_node)
+    node_counts: Tuple[int, ...] = (1, 2, 4, 8)
+    ranks_per_node: int = 4
+    rounds: int = 3
+    blocks_per_round: int = 8
+    block_size: int = 8 * 1024
+    num_providers: int = 4
+    num_metadata_providers: int = 2
+    chunk_size: int = 8 * 1024
+    #: fraction of (node, blob) pairings taking the provider role
+    provider_fraction: float = 0.5
+    #: simulated seconds between consecutive clients' scan starts
+    stagger_s: float = 0.05
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    seed: int = 0
+
+    def scaled_down(self) -> "CoopCacheSettings":
+        """Smoke-mode variant for CI: same shape, a fraction of the work."""
+        return replace(
+            self,
+            node_counts=(1, 2),
+            ranks_per_node=2,
+            rounds=2,
+            blocks_per_round=4,
+            block_size=4096,
+            num_providers=2,
+            chunk_size=4096,
+        )
+
+    def workload(self, num_clients: int) -> SharedScanWorkload:
+        """The identical-extent scan for one cluster size."""
+        return SharedScanWorkload(
+            num_clients=num_clients,
+            rounds=self.rounds,
+            blocks_per_round=self.blocks_per_round,
+            block_size=self.block_size,
+            pattern="identical",
+        )
+
+
+@dataclass
+class CoopCacheResult:
+    """Sample plus the scans' bytes (for cross-mode equality checks)."""
+
+    sample: CoopCacheSample
+    read_digest: bytes
+    #: client-side tree-walk RPCs per client (placement fairness checks)
+    per_client_rpcs: Dict[int, int]
+    #: the cooperative directory's own counters (conservation checks)
+    coop_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def run_coop_cache_point(num_nodes: int,
+                         cooperative: bool,
+                         stagger_s: Optional[float] = None,
+                         settings: Optional[CoopCacheSettings] = None,
+                         ) -> CoopCacheResult:
+    """Run the identical-extent scan once at one cluster size and mode.
+
+    ``cooperative=False`` is the node-local shared-tier baseline (the
+    ``1/ranks_per_node`` ideal the cooperative tier must beat);
+    ``stagger_s=0`` makes every client start in the same instant (the
+    contended configuration that exercises fetch coalescing).
+    """
+    settings = settings or CoopCacheSettings()
+    if stagger_s is None:
+        stagger_s = settings.stagger_s
+    num_clients = num_nodes * settings.ranks_per_node
+    wall_started = time.perf_counter()
+
+    config = settings.config.copy(
+        ranks_per_node=settings.ranks_per_node,
+        shared_metadata_cache=True,
+        cooperative_cache=cooperative,
+        coop_provider_fraction=settings.provider_fraction,
+    )
+    cluster = Cluster(config=config, seed=settings.seed)
+    deployment = BlobSeerDeployment(
+        cluster,
+        num_providers=settings.num_providers,
+        num_metadata_providers=settings.num_metadata_providers,
+        chunk_size=settings.chunk_size,
+        node_prefix="cc",
+    )
+    workload = settings.workload(num_clients)
+
+    # the dump the scans read: published once, ahead of the clients, by a
+    # client outside both cache tiers (so it never joins the directory)
+    seeder = VectoredClient(deployment, cluster.add_node("cc-seed"),
+                            name="cc-seed", shared_metadata_cache=False)
+
+    def seed():
+        yield from seeder.create_blob(PATH, workload.file_size,
+                                      chunk_size=settings.chunk_size)
+        receipt = yield from seeder.vwrite_and_wait(
+            PATH, [(0, workload.expected_contents())])
+        return receipt.version
+
+    process = cluster.sim.process(seed(), name="cc-seed")
+    cluster.sim.run(stop_event=process)
+    pinned = process.value
+    # shard reads spent publishing don't belong to the scan being measured
+    server_rpcs_seeded = deployment.stats()["metadata_read_rpcs"]
+
+    nodes = cluster.place_ranks("cc-rank", num_clients)
+    clients = [
+        VectoredClient(deployment, nodes[index], name=f"cc{index}")
+        for index in range(num_clients)
+    ]
+
+    scans: Dict[Tuple[int, int], List[bytes]] = {}
+    read_spans: Dict[int, Tuple[float, float]] = {}
+
+    def read_client(index):
+        client = clients[index]
+        yield cluster.sim.timeout(index * stagger_s)
+        started = cluster.sim.now
+        for round_index in range(workload.rounds):
+            pairs = workload.read_pairs(index, round_index)
+            pieces = yield from client.vread(PATH, pairs, pinned)
+            scans[(index, round_index)] = pieces
+        read_spans[index] = (started, cluster.sim.now)
+
+    read_started = cluster.sim.now
+    drive_processes(
+        cluster,
+        [cluster.sim.process(read_client(index), name=f"cc-read{index}")
+         for index in range(num_clients)],
+        name="cc-driver")
+
+    shared_stats = deployment.shared_cache_stats()
+    coop_stats = deployment.coop_stats()
+    sample = CoopCacheSample(
+        mode="coop" if cooperative else "shared",
+        num_nodes=num_nodes,
+        ranks_per_node=settings.ranks_per_node,
+        num_clients=num_clients,
+        rounds=workload.rounds,
+        logical_reads=num_clients * workload.rounds,
+        server_read_rpcs=(deployment.stats()["metadata_read_rpcs"]
+                          - server_rpcs_seeded),
+        client_metadata_rpcs=sum(client.metadata_read_rpcs
+                                 for client in clients),
+        probe_rpcs=sum(client.peer_probe_rpcs for client in clients),
+        peer_hits=sum(client.peer_cache_hits for client in clients),
+        peer_rejections=sum(client.peer_rejections for client in clients),
+        probe_misses=sum(client.peer_probe_misses for client in clients),
+        read_throughs=coop_stats["read_throughs"],
+        unavailable_probes=coop_stats["unavailable_probes"],
+        coalesced_fetches=shared_stats["coalesced_fetches"],
+        private_hits=sum(client.metadata_cache.stats.hits
+                         for client in clients
+                         if client.metadata_cache is not None),
+        shared_hits=sum(client.shared_cache_hits for client in clients),
+        fetched_lookups=sum(client.metadata_lookup_fetches
+                            for client in clients),
+        sim_read_s=(max(span[1] for span in read_spans.values())
+                    - read_started) if read_spans else 0.0,
+        wall_clock_s=time.perf_counter() - wall_started,
+        network_model=settings.config.network_model,
+    )
+    _check_conservation(sample, clients, coop_stats, cooperative)
+    digest = b"".join(b"".join(scans[key]) for key in sorted(scans))
+    return CoopCacheResult(
+        sample=sample, read_digest=digest,
+        per_client_rpcs={index: client.metadata_read_rpcs
+                         for index, client in enumerate(clients)},
+        coop_stats=coop_stats)
+
+
+def _check_conservation(sample: CoopCacheSample, clients,
+                        coop_stats: Dict[str, int],
+                        cooperative: bool) -> None:
+    """Cross-check the point's counters against independent sources.
+
+    The four-way lookup partition must equal the private tier's own
+    lookup counters, and — the read clients being the directory's only
+    probers — every lookup a peer service served must land on exactly one
+    client as either an admitted hit or a watermark rejection.
+    """
+    private_tier_lookups = sum(client.metadata_cache.stats.lookups
+                               for client in clients
+                               if client.metadata_cache is not None)
+    if private_tier_lookups != sample.lookups:
+        raise BenchmarkError(
+            f"lookup partition broken: {private_tier_lookups} private-tier "
+            f"lookups vs {sample.lookups} partitioned")
+    if cooperative:
+        accounted = sample.peer_hits + sample.peer_rejections
+        if coop_stats["served_hits"] != accounted:
+            raise BenchmarkError(
+                f"peer tier leaked answers: services served "
+                f"{coop_stats['served_hits']} hits but clients account "
+                f"for {accounted}")
+    elif sample.peer_hits or sample.probe_rpcs or sample.read_throughs:
+        raise BenchmarkError(
+            "cooperative counters moved with the tier disabled")
+
+
+def run_coop_cache_suite(settings: Optional[CoopCacheSettings] = None,
+                         ) -> Dict[str, CoopCacheResult]:
+    """Every benchmark point on identical settings.
+
+    Keys:
+
+    * ``n<nodes>:shared`` / ``n<nodes>:coop`` — the node-count sweep at a
+      fixed ``ranks_per_node``, node-local tier alone vs cooperative tier
+      on top (the headline comparison);
+    * ``contended:coop`` — the largest cooperative point rerun with a
+      zero stagger, so fetch coalescing has simultaneous missers to fold.
+    """
+    settings = settings or CoopCacheSettings()
+    results: Dict[str, CoopCacheResult] = {}
+    for num_nodes in settings.node_counts:
+        results[f"n{num_nodes}:shared"] = run_coop_cache_point(
+            num_nodes, cooperative=False, settings=settings)
+        results[f"n{num_nodes}:coop"] = run_coop_cache_point(
+            num_nodes, cooperative=True, settings=settings)
+    results["contended:coop"] = run_coop_cache_point(
+        settings.node_counts[-1], cooperative=True, stagger_s=0.0,
+        settings=settings)
+    return results
+
+
+def suite_rows(results: Dict[str, CoopCacheResult]
+               ) -> List[Dict[str, object]]:
+    """The suite's samples as artifact/table rows (insertion order)."""
+    rows = []
+    for key, result in results.items():
+        row = result.sample.as_row()
+        row["point"] = key
+        rows.append(row)
+    return rows

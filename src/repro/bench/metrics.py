@@ -401,6 +401,101 @@ def shared_rpc_reduction(baseline: SharedCacheSample,
     return baseline.rpcs_per_read / optimized.rpcs_per_read
 
 
+@dataclass
+class CoopCacheSample:
+    """One measured run of the cooperative cross-node cache microbenchmark.
+
+    The headline is ``server_rpcs_per_read``: **authoritative** metadata
+    shard round-trips (server-side ``get_node``/``get_nodes`` handler
+    invocations, wherever they were issued from — clients or peer
+    read-throughs) per logical read.  The node-local shared tier alone
+    flattens this at the ``1/ranks_per_node`` ideal (one fetch per node);
+    the cooperative tier pushes it below, and falling with node count,
+    because one node's fetch serves the whole cluster over peer probes.
+    The probe/peer columns report what the tier spends and saves;
+    ``coalesced_fetches`` counts upstream fetches avoided by parking
+    simultaneous missers on one in-flight fetch.
+    """
+
+    mode: str
+    num_nodes: int
+    ranks_per_node: int
+    num_clients: int
+    rounds: int
+    logical_reads: int
+    server_read_rpcs: int
+    client_metadata_rpcs: int
+    probe_rpcs: int
+    peer_hits: int
+    peer_rejections: int
+    probe_misses: int
+    read_throughs: int
+    unavailable_probes: int
+    coalesced_fetches: int
+    private_hits: int
+    shared_hits: int
+    fetched_lookups: int
+    sim_read_s: float
+    wall_clock_s: float
+    #: cluster network model the run simulated (timing only, never bytes)
+    network_model: str = "bottleneck"
+
+    @property
+    def lookups(self) -> int:
+        """Deduplicated metadata lookups (four-way partition total)."""
+        return (self.private_hits + self.shared_hits + self.peer_hits
+                + self.fetched_lookups)
+
+    @property
+    def server_rpcs_per_read(self) -> float:
+        """Authoritative shard round-trips per logical read (headline)."""
+        return self.server_read_rpcs / max(1, self.logical_reads)
+
+    @property
+    def peer_hit_rate(self) -> float:
+        """Fraction of lookups a cooperative peer answered."""
+        if not self.lookups:
+            return 0.0
+        return self.peer_hits / self.lookups
+
+    def as_row(self) -> Dict[str, object]:
+        """Plain-dict form for tables and the JSON benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "nodes": self.num_nodes,
+            "ranks_per_node": self.ranks_per_node,
+            "clients": self.num_clients,
+            "rounds": self.rounds,
+            "logical_reads": self.logical_reads,
+            "server_read_rpcs": self.server_read_rpcs,
+            "server_rpcs_per_read": self.server_rpcs_per_read,
+            "client_metadata_rpcs": self.client_metadata_rpcs,
+            "probe_rpcs": self.probe_rpcs,
+            "peer_hits": self.peer_hits,
+            "peer_hit_rate": self.peer_hit_rate,
+            "peer_rejections": self.peer_rejections,
+            "probe_misses": self.probe_misses,
+            "read_throughs": self.read_throughs,
+            "unavailable_probes": self.unavailable_probes,
+            "coalesced_fetches": self.coalesced_fetches,
+            "lookups": self.lookups,
+            "private_hits": self.private_hits,
+            "shared_hits": self.shared_hits,
+            "fetched_lookups": self.fetched_lookups,
+            "sim_read_s": self.sim_read_s,
+            "wall_clock_s": self.wall_clock_s,
+            "network_model": self.network_model,
+        }
+
+
+def coop_rpc_reduction(baseline: CoopCacheSample,
+                       optimized: CoopCacheSample) -> float:
+    """How many times fewer authoritative shard round-trips per read."""
+    if optimized.server_rpcs_per_read <= 0:
+        return float("inf")
+    return baseline.server_rpcs_per_read / optimized.server_rpcs_per_read
+
+
 def speedup(ours: ThroughputSample, baseline: ThroughputSample) -> float:
     """Throughput ratio of our approach over the baseline (paper's headline)."""
     base = baseline.throughput

@@ -44,13 +44,15 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.blobseer.blob import BlobDescriptor
 from repro.blobseer.chunk import ChunkKeyFactory
 from repro.blobseer.metadata.cache import MetadataNodeCache
+from repro.blobseer.metadata.coopcache import PEER_MISS
 from repro.blobseer.metadata.segment_tree import NodeRequest, ReadPlanner
+from repro.blobseer.metadata.sharedcache import FETCH_FAILED
 from repro.blobseer.metadata.store import PartitionedMetadataStore
 from repro.blobseer.writepath.batch import WriteReceipt
 from repro.blobseer.writepath.engine import PipelinedCommitEngine
 from repro.core.listio import IOVector
 from repro.core.regions import Region, RegionList
-from repro.errors import VersionNotFound
+from repro.errors import StorageError, VersionNotFound
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.blobseer.deployment import BlobSeerDeployment
@@ -102,6 +104,8 @@ class BlobClient:
                  metadata_cache_capacity: object = _UNSET_CAPACITY,
                  shared_metadata_cache: object = _UNSET,
                  metadata_prefetch: object = _UNSET,
+                 cooperative_cache: object = _UNSET,
+                 fetch_coalescing: object = _UNSET,
                  write_pipelining: bool = True,
                  write_through_cache: bool = True):
         self.deployment = deployment
@@ -139,6 +143,32 @@ class BlobClient:
         #: ``metadata_batching=False`` (the one-RPC-per-node baseline) —
         #: the resolved flag stays introspectable instead of silently inert
         self.metadata_prefetch = bool(metadata_prefetch) and metadata_batching
+        if cooperative_cache is _UNSET:
+            cooperative_cache = self.cluster.config.cooperative_cache
+        #: cross-node cooperative tier: on a shared-tier miss, probe the
+        #: responsible peer node's pool over a real RPC before falling back
+        #: to the authoritative shards (:mod:`repro.blobseer.metadata.
+        #: coopcache`).  Effective only with a shared tier to route through
+        #: and batched fetches to fan the probes out on; enabling it
+        #: enrolls this compute node in the deployment's coop directory
+        self.cooperative_cache = (bool(cooperative_cache)
+                                  and self.shared_cache is not None
+                                  and metadata_batching)
+        self.coop_peer = (deployment.coop_peer(node)
+                          if self.cooperative_cache else None)
+        if fetch_coalescing is _UNSET:
+            fetch_coalescing = self.cluster.config.fetch_coalescing
+        if fetch_coalescing is None:
+            # follow the cooperative knob: the coalescing timeline change
+            # (waiters park instead of fetching) only engages alongside the
+            # tier it was built for, so cooperative-off configurations stay
+            # byte- and counter-identical to the pre-subsystem behaviour
+            fetch_coalescing = self.cooperative_cache
+        #: park simultaneous missers for one key on the leader's sim event
+        #: (needs the shared tier's node-local in-flight table)
+        self.fetch_coalescing = (bool(fetch_coalescing)
+                                 and self.shared_cache is not None
+                                 and metadata_batching)
         self.write_pipelining = write_pipelining
         self.write_through_cache = write_through_cache
         #: the commit engine every write of this client routes through
@@ -189,6 +219,19 @@ class BlobClient:
         self.metadata_lookup_fetches: int = 0
         #: extra nodes received through speculative child prefetch
         self.metadata_prefetched_nodes: int = 0
+        #: lookups a cooperative peer node answered (admitted through this
+        #: node's own watermark gate); part of the lookup partition
+        self.peer_cache_hits: int = 0
+        #: peer answers refused by the receiving-side watermark gate (the
+        #: lookup then fell back to the authoritative shards)
+        self.peer_rejections: int = 0
+        #: probed lookups the peer could not answer
+        self.peer_probe_misses: int = 0
+        #: cooperative probe RPCs issued (one per responsible peer per level)
+        self.peer_probe_rpcs: int = 0
+        #: upstream fetches avoided by parking on an in-flight co-tenant
+        #: fetch for the same key
+        self.coalesced_fetches: int = 0
         #: per-rank span context (``None`` unless the cluster traces) — the
         #: single attribute test every instrumented site guards on
         tracer = self.cluster.obs.tracer
@@ -228,6 +271,27 @@ class BlobClient:
         finally:
             ctx.end(span)
         return result
+
+    def _rpc_batch(self, calls, name="rpc.batch"):
+        """Concurrent RPC fan-out through :meth:`RpcTransport.call_batch`.
+
+        When tracing, the whole batch gets one detached span whose id is
+        threaded into every member call, so all the batch's request and
+        response link transfers attach to the span the caller sees — the
+        attribution the ``call_batch`` trace regression test pins.
+        """
+        ctx = self.trace_ctx
+        if ctx is None:
+            results = yield from self.cluster.rpc.call_batch(self.node, calls)
+            return results
+        span = ctx.begin_detached(name, cat="rpc", parent=ctx.current,
+                                  calls=len(calls))
+        try:
+            results = yield from self.cluster.rpc.call_batch(
+                self.node, calls, _trace_parent=span.span_id)
+        finally:
+            ctx.end(span)
+        return results
 
     def _control(self, service, method, *args, trace_parent=None):
         size = self.cluster.config.control_message_size
@@ -525,67 +589,190 @@ class BlobClient:
         ``metadata_batching=False`` each node costs its own ``get_node`` RPC
         (the pre-optimization baseline the perf suite measures against).
         Cache hits skip the wire entirely.
+
+        With ``fetch_coalescing`` each level's misses first fold into the
+        node-local in-flight table (simultaneous missers share one fetch),
+        and with ``cooperative_cache`` the fetches this client leads probe
+        the responsible peer node's cache before falling back to the
+        authoritative shards.
         """
         planner = ReadPlanner(blob, version, regions,
                               cache=self.metadata_cache,
                               shared=self.shared_cache, trace=trace)
-        config = self.cluster.config
-        node_size = config.metadata_node_size
-        request_size = config.metadata_request_size
         while not planner.done:
             requests = planner.pending()
             results: Dict[NodeRequest, object] = {}
-            if requests and self.metadata_batching:
-                by_shard = self.deployment.metadata_store.group_by_shard(
-                    blob.blob_id, requests)
-
-                def fetch_shard(index, shard_requests):
-                    service = self.deployment.metadata_providers[index]
-                    if self.metadata_prefetch:
-                        # the shard also resolves the children it owns of
-                        # every inner node it returns (and the base version
-                        # of partially-covered leaves) — extra response
-                        # bytes, priced from the actual result, for whole
-                        # levels of saved round-trips
-                        nodes, extras = yield from self._rpc(
-                            service, "get_nodes",
-                            len(shard_requests) * request_size,
-                            lambda result: (len(result[0]) + len(result[1]))
-                            * node_size,
-                            blob.blob_id, shard_requests, True)
-                        self._absorb_prefetched(blob.blob_id, extras)
-                    else:
-                        nodes = yield from self._rpc(
-                            service, "get_nodes",
-                            len(shard_requests) * request_size,
-                            len(shard_requests) * node_size,
-                            blob.blob_id, shard_requests)
-                    for request, node in zip(shard_requests, nodes):
-                        results[request] = node
-
-                yield self.cluster.sim.fanout(
-                    [fetch_shard(index, shard_requests)
-                     for index, shard_requests in sorted(by_shard.items())])
-                planner.metadata_rpcs += len(by_shard)
-            elif requests:
-                shard_count = len(self.deployment.metadata_providers)
+            peer_answered: set = set()
+            led: List[NodeRequest] = []
+            parked: List[Tuple[NodeRequest, object]] = []
+            if requests and self.fetch_coalescing:
+                # split this level's misses into fetches this client will
+                # lead and fetches already in flight on this node for the
+                # same key — parked lookups share the leader's result and
+                # never touch the wire
                 for request in requests:
-                    offset, size, hint = request
-                    index = PartitionedMetadataStore.partition_index(
-                        blob.blob_id, offset, size, shard_count)
-                    service = self.deployment.metadata_providers[index]
-                    node = yield from self._rpc(
-                        service, "get_node", request_size, node_size,
-                        blob.blob_id, offset, size, hint)
-                    results[request] = node
-                    planner.metadata_rpcs += 1
-            planner.advance(results)
+                    leader, _owner, event = self.shared_cache.coalesce(
+                        self.cluster.sim, blob.blob_id, *request)
+                    if leader:
+                        led.append(request)
+                    else:
+                        self.coalesced_fetches += 1
+                        self.shared_cache.stats.coalesced_fetches += 1
+                        parked.append((request, event))
+                fetchable = led
+            else:
+                fetchable = list(requests)
+            try:
+                if fetchable and self.cooperative_cache:
+                    yield from self._probe_peers(blob, fetchable, results,
+                                                 peer_answered)
+                remaining = [request for request in fetchable
+                             if request not in results]
+                yield from self._fetch_authoritative(blob, planner, remaining,
+                                                     results)
+            except BaseException:
+                # never leave this node's parked waiters hanging on a fetch
+                # that died with this client
+                for request in led:
+                    self.shared_cache.coalesce_abort(blob.blob_id, *request)
+                raise
+            # resolve this client's leads before waiting on parked events:
+            # the reverse order could park forever behind our own unresolved
+            # leads
+            for request in led:
+                self.shared_cache.coalesce_resolve(blob.blob_id, *request,
+                                                   results[request])
+            for request, event in parked:
+                value = yield event
+                if value is FETCH_FAILED:
+                    raise StorageError(
+                        f"coalesced metadata fetch {request} for blob "
+                        f"{blob.blob_id!r} failed at its leader")
+                results[request] = value
+            planner.advance(results, peer_answered)
         plan = planner.plan()
         self.metadata_read_rpcs += plan.metadata_rpcs
         self.metadata_nodes_fetched += plan.nodes_fetched
         self.shared_cache_hits += plan.shared_hits
+        self.peer_cache_hits += plan.peer_hits
         self.metadata_lookup_fetches += plan.requests_fetched
         return plan
+
+    def _fetch_authoritative(self, blob: BlobDescriptor, planner, requests,
+                             results) -> None:
+        """Fetch one level's unresolved lookups from the metadata shards."""
+        config = self.cluster.config
+        node_size = config.metadata_node_size
+        request_size = config.metadata_request_size
+        if requests and self.metadata_batching:
+            by_shard = self.deployment.metadata_store.group_by_shard(
+                blob.blob_id, requests)
+
+            def fetch_shard(index, shard_requests):
+                service = self.deployment.metadata_providers[index]
+                if self.metadata_prefetch:
+                    # the shard also resolves the children it owns of
+                    # every inner node it returns (and the base version
+                    # of partially-covered leaves) — extra response
+                    # bytes, priced from the actual result, for whole
+                    # levels of saved round-trips
+                    nodes, extras = yield from self._rpc(
+                        service, "get_nodes",
+                        len(shard_requests) * request_size,
+                        lambda result: (len(result[0]) + len(result[1]))
+                        * node_size,
+                        blob.blob_id, shard_requests, True)
+                    self._absorb_prefetched(blob.blob_id, extras)
+                else:
+                    nodes = yield from self._rpc(
+                        service, "get_nodes",
+                        len(shard_requests) * request_size,
+                        len(shard_requests) * node_size,
+                        blob.blob_id, shard_requests)
+                for request, node in zip(shard_requests, nodes):
+                    results[request] = node
+
+            yield self.cluster.sim.fanout(
+                [fetch_shard(index, shard_requests)
+                 for index, shard_requests in sorted(by_shard.items())])
+            planner.metadata_rpcs += len(by_shard)
+        elif requests:
+            shard_count = len(self.deployment.metadata_providers)
+            for request in requests:
+                offset, size, hint = request
+                index = PartitionedMetadataStore.partition_index(
+                    blob.blob_id, offset, size, shard_count)
+                service = self.deployment.metadata_providers[index]
+                node = yield from self._rpc(
+                    service, "get_node", request_size, node_size,
+                    blob.blob_id, offset, size, hint)
+                results[request] = node
+                planner.metadata_rpcs += 1
+
+    def _probe_peers(self, blob: BlobDescriptor, requests, results,
+                     peer_answered) -> None:
+        """Ask responsible peers about this level's misses before the shards.
+
+        Routes every pending lookup through the cooperative directory
+        (custody hash, provider fallback when this node is custodian) and
+        fans one ``probe`` RPC out per target peer.  Answers pass through
+        *this* node's watermark gate before being trusted: a peer whose
+        claimed version this client has never observed published is
+        rejected (``peer_rejections``) and the lookup falls back to the
+        authoritative shard.
+        """
+        directory = self.deployment.coop_directory
+        groups: Dict[str, tuple] = {}
+        for request in requests:
+            offset, size, _hint = request
+            target = directory.route(self.node.name, blob.blob_id, offset,
+                                     size)
+            if target is None:
+                continue
+            groups.setdefault(target.node.name, (target, []))[1].append(
+                request)
+        if not groups:
+            return
+        config = self.cluster.config
+        node_size = config.metadata_node_size
+        request_size = config.metadata_request_size
+        control_size = config.control_message_size
+
+        def response_size(answer):
+            # a dead peer (None) or an all-miss answer still costs a
+            # control message; hits ship one node each
+            if not answer:
+                return control_size
+            hits = sum(1 for entry in answer if entry is not PEER_MISS)
+            return max(hits * node_size, control_size)
+
+        specs = []
+        ordered = []
+        watermark = self.shared_cache.watermark(blob.blob_id)
+        for _name, (target, probe_requests) in sorted(groups.items()):
+            specs.append((target, "probe",
+                          len(probe_requests) * request_size, response_size,
+                          (blob.blob_id, list(probe_requests), watermark)))
+            ordered.append(probe_requests)
+        self.peer_probe_rpcs += len(specs)
+        answers = yield from self._rpc_batch(specs, name="rpc.coop_probe")
+        for probe_requests, answer in zip(ordered, answers):
+            if answer is None:
+                # dead peer: treat the whole probe as a miss
+                self.peer_probe_misses += len(probe_requests)
+                continue
+            for request, entry in zip(probe_requests, answer):
+                if entry is PEER_MISS:
+                    self.peer_probe_misses += 1
+                    continue
+                _offset, _size, hint = request
+                if hint > self.shared_cache.watermark(blob.blob_id):
+                    # admission gate on the *receiving* side: never trust
+                    # a version this node has not itself observed published
+                    self.peer_rejections += 1
+                    continue
+                results[request] = entry
+                peer_answered.add(request)
 
     def _absorb_prefetched(self, blob_id: str, extras) -> None:
         """Insert speculatively prefetched lookups into both cache tiers.

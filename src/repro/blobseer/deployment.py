@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.blobseer.client import BlobClient
+from repro.blobseer.metadata.coopcache import CoopDirectory, PeerCacheService
 from repro.blobseer.metadata.provider import SimMetadataProvider
 from repro.blobseer.metadata.sharedcache import NodeCacheService
 from repro.blobseer.metadata.store import MetadataStore, PartitionedMetadataStore
@@ -26,7 +27,7 @@ from repro.blobseer.provider_manager import (
     make_strategy,
 )
 from repro.blobseer.version_manager import SimVersionManager, VersionManager
-from repro.errors import ProviderUnavailable
+from repro.errors import ProviderUnavailable, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Cluster
@@ -79,6 +80,10 @@ class BlobSeerDeployment:
         #: created on first attachment (see :meth:`node_cache`)
         self.node_caches: Dict[str, "NodeCacheService"] = {}
 
+        #: the cooperative cross-node tier's membership directory, created
+        #: when the first cooperative client attaches (see :meth:`coop_peer`)
+        self.coop_directory: Optional[CoopDirectory] = None
+
         # data providers
         self.data_providers: Dict[str, SimDataProvider] = {}
         for index in range(num_providers):
@@ -108,17 +113,46 @@ class BlobSeerDeployment:
                 policy=config.shared_cache_policy)
         return self.node_caches[node.name]
 
+    def coop_peer(self, node: "Node") -> "PeerCacheService":
+        """Enroll ``node`` in the cooperative cross-node tier (idempotent).
+
+        Creates the :class:`~repro.blobseer.metadata.coopcache.CoopDirectory`
+        on first use with the cluster config's ``coop_provider_fraction``
+        and exposes the node's shared pool to its peers.
+        """
+        if self.coop_directory is None:
+            self.coop_directory = CoopDirectory(
+                self,
+                provider_fraction=self.cluster.config.coop_provider_fraction)
+        return self.coop_directory.register(node, self.node_cache(node))
+
+    def coop_stats(self) -> dict:
+        """Aggregate cooperative-tier counters (zeros when never enabled)."""
+        if self.coop_directory is None:
+            return {"served_hits": 0, "served_misses": 0, "read_throughs": 0,
+                    "unavailable_probes": 0, "services": 0, "probe_rpcs": 0}
+        return self.coop_directory.stats()
+
     def shared_cache_stats(self) -> dict:
         """Aggregate shared-tier counters over every node's service."""
         totals = {"hits": 0, "misses": 0, "insertions": 0, "evictions": 0,
-                  "unpublished_rejections": 0, "capacity_rejections": 0}
+                  "unpublished_rejections": 0, "capacity_rejections": 0,
+                  "coalesced_fetches": 0}
         for service in self.node_caches.values():
+            attached = service.attached
+            if len(set(attached)) != len(attached):
+                raise StorageError(
+                    f"shared cache on {service.node_name} holds duplicate "
+                    f"attachments {attached} — attach() is idempotent, so a "
+                    "duplicate means bookkeeping corrupted")
             snapshot = service.stats.snapshot()
             for key in totals:
                 totals[key] += snapshot[key]
         totals["services"] = len(self.node_caches)
         totals["entries"] = sum(len(service)
                                 for service in self.node_caches.values())
+        totals["attached_clients"] = sum(len(service.attached)
+                                         for service in self.node_caches.values())
         return totals
 
     def data_provider(self, provider_id: str) -> SimDataProvider:
@@ -200,4 +234,5 @@ class BlobSeerDeployment:
             "tickets_assigned": self.version_manager.manager.tickets_assigned,
             "load_imbalance": self.provider_manager.manager.load_imbalance(),
             "shared_cache": self.shared_cache_stats(),
+            "coop_cache": self.coop_stats(),
         }

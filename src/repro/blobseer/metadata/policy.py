@@ -67,6 +67,16 @@ class EvictionPolicy:
     def record_hit(self, key: HintKey) -> None:
         raise NotImplementedError
 
+    def record_peek(self, key: HintKey) -> None:
+        """A remote peer probe observed ``key`` (stat-free lookup path).
+
+        A cooperative-tier hit is as strong a reuse signal as a local one,
+        so the default refreshes recency exactly like :meth:`record_hit`;
+        policies that want to weigh remote interest differently override
+        this.
+        """
+        self.record_hit(key)
+
     def record_remove(self, key: HintKey) -> None:
         raise NotImplementedError
 

@@ -257,9 +257,12 @@ class ReadPlan:
     metadata_rpcs: int = 0
     #: lookups the node-local *shared* tier answered after a private miss
     shared_hits: int = 0
-    #: lookups neither tier answered (shipped to the metadata providers);
-    #: ``cache_hits + shared_hits + requests_fetched`` partitions the
-    #: traversal's deduplicated lookups exactly
+    #: lookups a cooperative peer node's pool answered after both local
+    #: tiers missed (:mod:`repro.blobseer.metadata.coopcache`)
+    peer_hits: int = 0
+    #: lookups no tier answered (shipped to the metadata providers);
+    #: ``cache_hits + shared_hits + peer_hits + requests_fetched``
+    #: partitions the traversal's deduplicated lookups exactly
     requests_fetched: int = 0
 
     def chunk_bytes(self) -> int:
@@ -329,6 +332,7 @@ class ReadPlanner:
         self.cache_misses = 0
         self.metadata_rpcs = 0
         self.shared_hits = 0
+        self.peer_hits = 0
         self.requests_fetched = 0
         # frontier entries: (offset, size, version_hint, wanted RegionList)
         self._frontier: List[Tuple[int, int, int, RegionList]] = []
@@ -348,8 +352,16 @@ class ReadPlanner:
         """This level's lookups that the cache could not answer (deduped)."""
         return list(self._pending)
 
-    def advance(self, fetched: Dict[NodeRequest, Optional[MetadataNode]]) -> None:
-        """Consume one frontier level using cached plus freshly fetched nodes."""
+    def advance(self, fetched: Dict[NodeRequest, Optional[MetadataNode]],
+                peer_answered=frozenset()) -> None:
+        """Consume one frontier level using cached plus freshly fetched nodes.
+
+        ``peer_answered`` names the subset of this level's pending requests
+        whose results came from a cooperative peer node rather than the
+        authoritative shards — they count as ``peer_hits`` instead of
+        ``requests_fetched`` (the partition identity stays exact), but are
+        stored and re-offered exactly like fetched results.
+        """
         if self.done:
             raise InvalidRegion("advance() called on a finished read plan")
         missing = [request for request in self._pending if request not in fetched]
@@ -357,7 +369,10 @@ class ReadPlanner:
             raise InvalidRegion(
                 f"advance() is missing results for {missing[:3]}"
                 f"{'...' if len(missing) > 3 else ''}")
-        self.requests_fetched += len(self._pending)
+        answered = sum(1 for request in self._pending
+                       if request in peer_answered)
+        self.peer_hits += answered
+        self.requests_fetched += len(self._pending) - answered
         for request in self._pending:
             if self.cache is not None:
                 self.cache.put(self.blob.blob_id, *request, fetched[request])
@@ -414,6 +429,7 @@ class ReadPlanner:
                         cache_misses=self.cache_misses,
                         metadata_rpcs=self.metadata_rpcs,
                         shared_hits=self.shared_hits,
+                        peer_hits=self.peer_hits,
                         requests_fetched=self.requests_fetched)
 
     # ------------------------------------------------------------------

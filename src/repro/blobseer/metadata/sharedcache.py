@@ -51,6 +51,13 @@ HintKey = Tuple[str, int, int, int]
 #: sentinel distinguishing "not cached" from a cached negative (None) result
 _ABSENT = object()
 
+#: value a coalesced in-flight event resolves to when the leading fetch
+#: failed.  The event is *succeeded* with this sentinel rather than failed:
+#: a failed event nobody happens to be waiting on anymore would surface as
+#: an unhandled simulator-level error, while waiters that do see the
+#: sentinel re-raise (or fall back) themselves.
+FETCH_FAILED = object()
+
 
 class SharedCacheStats:
     """Counters of one node's shared tier (surfaced in benchmark artifacts)."""
@@ -66,6 +73,10 @@ class SharedCacheStats:
         #: admissions declined because capacity was exhausted (a policy may
         #: decline rather than evict — e.g. fully pinned level-aware caches)
         self.capacity_rejections: int = 0
+        #: upstream fetches avoided because a simultaneous misser for the
+        #: same key was already in flight on this node (the waiter parked
+        #: on the leader's sim event instead of fetching)
+        self.coalesced_fetches: int = 0
 
     @property
     def lookups(self) -> int:
@@ -88,6 +99,7 @@ class SharedCacheStats:
             "evictions": self.evictions,
             "unpublished_rejections": self.unpublished_rejections,
             "capacity_rejections": self.capacity_rejections,
+            "coalesced_fetches": self.coalesced_fetches,
             "hit_rate": self.hit_rate,
         }
 
@@ -119,14 +131,24 @@ class NodeCacheService:
         self._watermarks: Dict[str, int] = {}
         #: names of currently attached clients (observability/debugging)
         self.attached: List[str] = []
+        #: in-flight fetch table: lookup key -> the sim event simultaneous
+        #: missers park on instead of issuing their own upstream fetch
+        self._inflight: Dict[HintKey, object] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
     def attach(self, client_name: str) -> None:
-        """Register a co-located client (bookkeeping only)."""
-        self.attached.append(client_name)
+        """Register a co-located client (bookkeeping only).
+
+        Idempotent: re-attaching an already-attached client is a no-op, so
+        one client can never hold two slots — a duplicate would leave a
+        phantom attachment behind after a single detach and break every
+        consumer that treats ``attached`` as the set of live tenants.
+        """
+        if client_name not in self.attached:
+            self.attached.append(client_name)
 
     def detach(self, client_name: str) -> None:
         """Unregister a client; cached published entries stay resident."""
@@ -157,6 +179,74 @@ class NodeCacheService:
         self.stats.hits += 1
         self.policy.record_hit(key)
         return True, value
+
+    def peek(self, blob_id: str, offset: int, size: int,
+             hint: int) -> Tuple[bool, Optional["MetadataNode"]]:
+        """Stat-free lookup for remote cooperative probes.
+
+        Identical to :meth:`get` except hit/miss counters stay untouched:
+        the cross-surface fall-through identity equates this service's
+        lookups with its local tenants' private-cache misses, and a remote
+        peer probe is neither.  Recency is still refreshed
+        (:meth:`~repro.blobseer.metadata.policy.EvictionPolicy.record_peek`)
+        — an entry hot enough to be probed from another node is worth
+        keeping resident.
+        """
+        key = (blob_id, offset, size, hint)
+        value = self._entries.get(key, _ABSENT)
+        if value is _ABSENT:
+            return False, None
+        self.policy.record_peek(key)
+        return True, value
+
+    # ------------------------------------------------------------------
+    # in-flight fetch coalescing
+    # ------------------------------------------------------------------
+    def coalesce(self, sim, blob_id: str, offset: int, size: int, hint: int,
+                 owner: str = "client"):
+        """Join (or lead) the in-flight upstream fetch for one key.
+
+        Returns ``(leader, leading_owner, event)``.  The first misser for a
+        key becomes the leader: it receives a fresh pending event it MUST
+        later settle through :meth:`coalesce_resolve` (success) or
+        :meth:`coalesce_abort` (failure) after performing the fetch itself.
+        Every simultaneous misser for the same key — a co-tenant rank or a
+        remote prober routed through this node — gets ``leader=False`` and
+        may park on the leader's event, whose value is the fetched node
+        (possibly ``None`` for a negative result) or :data:`FETCH_FAILED`.
+
+        ``owner`` tags who leads (``"client"`` for a rank's own level
+        fetch, ``"service"`` for a cooperative read-through) — RPC probe
+        handlers only park on *service*-led fetches, which always resolve
+        through a direct shard RPC; parking a handler on a client-led
+        fetch could close a cross-node wait cycle (two clients each
+        leading a key while their probes park on each other's).  A caller
+        that decides not to park simply ignores the event; only callers
+        that do park record the avoided fetch
+        (``stats.coalesced_fetches``).
+        """
+        key = (blob_id, offset, size, hint)
+        entry = self._inflight.get(key)
+        if entry is not None:
+            leading_owner, event = entry
+            return False, leading_owner, event
+        event = sim.event()
+        self._inflight[key] = (owner, event)
+        return True, owner, event
+
+    def coalesce_resolve(self, blob_id: str, offset: int, size: int,
+                         hint: int, node: Optional["MetadataNode"]) -> None:
+        """Leader hand-off: wake every parked waiter with the fetched node."""
+        entry = self._inflight.pop((blob_id, offset, size, hint), None)
+        if entry is not None and not entry[1].triggered:
+            entry[1].succeed(node)
+
+    def coalesce_abort(self, blob_id: str, offset: int, size: int,
+                       hint: int) -> None:
+        """The leading fetch failed: wake waiters with FETCH_FAILED."""
+        entry = self._inflight.pop((blob_id, offset, size, hint), None)
+        if entry is not None and not entry[1].triggered:
+            entry[1].succeed(FETCH_FAILED)
 
     def publish(self, blob_id: str, offset: int, size: int, hint: int,
                 node: Optional["MetadataNode"]) -> bool:

@@ -66,6 +66,12 @@ def _sample_cluster(stream) -> dict:
         overrides["metadata_cache_capacity"] = int(stream.integers(4, 65))
     if _chance(stream, 0.25):
         overrides["metadata_prefetch"] = True
+    # cooperative cross-node tier (rides on the shared tier).  Appended at
+    # the END of this stream: pre-cooperative seeds replay unchanged
+    if overrides.get("shared_metadata_cache") and _chance(stream, 0.5):
+        overrides["cooperative_cache"] = True
+        overrides["coop_provider_fraction"] = _choice(
+            stream, [0.25, 0.5, 0.75])
     return overrides
 
 
@@ -214,6 +220,24 @@ def generate_scenario(seed: int) -> Scenario:
                 kind="cache_thrash", phase=0,
                 params={"reads": int(fault_stream.integers(4, 13)),
                         "max_size": int(fault_stream.integers(64, 2049))}))
+
+    # cooperative-tier hostility, appended at the END of the hostility
+    # stream so pre-cooperative seeds replay unchanged: a peer-miss storm
+    # (every rank reads the identical extent at once), optionally with one
+    # peer daemon killed under it
+    if cluster.get("cooperative_cache") and _chance(fault_stream, 0.6):
+        storm_index = len(phases)
+        phases.append(PhaseSpec(
+            kind="peer_miss_storm",
+            workload={"family": "storm",
+                      "pieces": int(fault_stream.integers(2, 7)),
+                      "piece_size": int(_choice(fault_stream,
+                                                [512, 1024, 2048]))}))
+        compute_nodes = -(-num_ranks // ranks_per_node)
+        if compute_nodes >= 2 and _chance(fault_stream, 0.5):
+            injectors.append(InjectorSpec(
+                kind="provider_death", phase=storm_index,
+                params={"victim": int(fault_stream.integers(0, 16))}))
 
     # file extent: the union of everything any phase touches
     file_size = max(workload_file_size(phase.workload, num_ranks)

@@ -1,6 +1,6 @@
 """The fuzzer's invariant checkers: what every run is judged against.
 
-Six checkers, each a pure function of a completed run's observations
+Seven checkers, each a pure function of a completed run's observations
 (:class:`RunContext`), each returning a list of anomaly strings (empty
 means the invariant held).  They encode the contracts the suites in
 ``tests/`` pin one scenario at a time:
@@ -19,6 +19,10 @@ means the invariant held).  They encode the contracts the suites in
   rank (nobody hung, nobody silently succeeded), the doomed rank saw the
   original ``StorageError``, the post-fault probe phase succeeded — and
   no phase failed *without* an injected fault;
+* ``coop_tier``            — cooperative peer-cache conservation: peer
+  counters are zero without the tier; with it, served hits equal admitted
+  plus rejected on the client side and every client's lookup partition
+  (private + shared + peer + fetched) stays exact;
 * ``snapshot_stability``   — two independent fresh-client read-backs of
   the latest snapshot return identical bytes.
 """
@@ -40,7 +44,7 @@ from repro.obs.views import collect_all
 
 #: checker names, in evaluation order
 CHECKER_NAMES = ("no_hang", "clean_fault", "byte_identity",
-                 "version_monotonicity", "stats_partition",
+                 "version_monotonicity", "stats_partition", "coop_tier",
                  "snapshot_stability")
 
 
@@ -269,6 +273,54 @@ def check_stats_partition(ctx: RunContext) -> List[str]:
             for problem in registry.check_identities()]
 
 
+def check_coop_tier(ctx: RunContext) -> List[str]:
+    """Cooperative-tier conservation, stronger (per-client) than the
+    registry identities.
+
+    With the tier never enrolled every peer counter must be zero.  With it
+    on, the peer services' served hits must equal the clients' admitted
+    peer hits plus their watermark rejections (every answer accounted once
+    on both sides of the wire), and each client's private-tier lookups
+    must partition exactly into private hits + shared hits + peer hits +
+    fetches — a killed peer daemon or a storm of coalesced probers may
+    cost extra RPCs, never a lost or double-counted lookup.
+    """
+    if not ctx.finished or ctx.deployment is None:
+        return []
+    anomalies: List[str] = []
+    clients = list(ctx.all_clients)
+    client_hits = sum(client.peer_cache_hits for client in clients)
+    rejections = sum(client.peer_rejections for client in clients)
+    probe_rpcs = sum(client.peer_probe_rpcs for client in clients)
+    directory = ctx.deployment.coop_directory
+    if directory is None:
+        if client_hits or rejections or probe_rpcs:
+            anomalies.append(
+                "coop_tier: peer counters nonzero without a cooperative "
+                f"directory (hits={client_hits} rejections={rejections} "
+                f"probes={probe_rpcs})")
+        return anomalies
+    stats = ctx.deployment.coop_stats()
+    if stats["served_hits"] != client_hits + rejections:
+        anomalies.append(
+            f"coop_tier: peers served {stats['served_hits']} hits but "
+            f"clients admitted {client_hits} + rejected {rejections}")
+    for client in clients:
+        cache = client.metadata_cache
+        if cache is None:
+            continue
+        parts = (cache.stats.hits + client.shared_cache_hits
+                 + client.peer_cache_hits + client.metadata_lookup_fetches)
+        if cache.stats.lookups != parts:
+            anomalies.append(
+                f"coop_tier: client {client.name} lookup partition broken: "
+                f"{cache.stats.lookups} lookups != {cache.stats.hits} "
+                f"private + {client.shared_cache_hits} shared + "
+                f"{client.peer_cache_hits} peer + "
+                f"{client.metadata_lookup_fetches} fetched")
+    return anomalies
+
+
 def check_snapshot_stability(ctx: RunContext) -> List[str]:
     if not ctx.finished or len(ctx.final_reads) < 2:
         return []
@@ -288,6 +340,7 @@ CHECKERS = {
     "byte_identity": check_byte_identity,
     "version_monotonicity": check_version_monotonicity,
     "stats_partition": check_stats_partition,
+    "coop_tier": check_coop_tier,
     "snapshot_stability": check_snapshot_stability,
 }
 

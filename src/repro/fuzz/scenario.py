@@ -18,7 +18,12 @@ Workload families (``PhaseSpec.workload["family"]``):
   injection, where flush order is perturbed);
 * ``"overlap"``    — :class:`~repro.workloads.overlap_stress.
   OverlapStressWorkload`: deliberately overlapping neighbour regions, the
-  paper's Experiment-1 hostility.
+  paper's Experiment-1 hostility;
+* ``"storm"``      — :class:`~repro.workloads.shared_scan.
+  SharedScanWorkload` (identical pattern, one round): every rank reads
+  the *same* extent in the same disjoint slices — maximal cross-rank
+  metadata overlap, the cooperative peer tier's worst concurrency case
+  (used by ``peer_miss_storm`` phases).
 """
 
 from __future__ import annotations
@@ -31,16 +36,19 @@ from repro.errors import BenchmarkError
 from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
 from repro.workloads.overlap_stress import OverlapStressWorkload
 from repro.workloads.random_vectored import RandomVectoredWorkload
+from repro.workloads.shared_scan import SharedScanWorkload
 
-#: phase kinds the runner executes
+#: phase kinds the runner executes (``peer_miss_storm`` is an independent
+#: read with a storm-family workload: every rank misses on the same keys
+#: at once, hammering the cooperative tier's probe and coalescing paths)
 PHASE_KINDS = ("independent_write", "collective_write", "atomic_write",
-               "collective_read", "independent_read")
+               "collective_read", "independent_read", "peer_miss_storm")
 WRITE_KINDS = ("independent_write", "collective_write", "atomic_write")
-READ_KINDS = ("collective_read", "independent_read")
+READ_KINDS = ("collective_read", "independent_read", "peer_miss_storm")
 
 #: injector kinds (see :mod:`repro.fuzz.injectors`)
 INJECTOR_KINDS = ("aggregator_death", "resolver_death", "straggler",
-                  "cache_thrash", "hot_spot")
+                  "cache_thrash", "hot_spot", "provider_death")
 
 
 @dataclass(frozen=True)
@@ -168,6 +176,12 @@ def build_workload(workload: Mapping, num_ranks: int):
             regions_per_client=workload["regions_per_client"],
             region_size=workload["region_size"],
             overlap_fraction=workload["overlap_fraction"])
+    if family == "storm":
+        return SharedScanWorkload(
+            num_clients=max(num_ranks, 1), rounds=1,
+            blocks_per_round=workload["pieces"],
+            block_size=workload["piece_size"],
+            pattern="identical")
     raise BenchmarkError(f"unknown workload family {family!r}")
 
 
@@ -202,6 +216,10 @@ def phase_read_regions(phase: PhaseSpec, rank: int,
     if isinstance(obj, CollectiveCheckpointWorkload):
         return [(offset, len(payload))
                 for offset, payload in obj.write_pairs(rank, 0)]
+    if isinstance(obj, SharedScanWorkload):
+        # storm: the identical full extent, sliced — for every rank
+        return [(index * obj.block_size, obj.block_size)
+                for index in range(obj.blocks_per_round)]
     return [(region.offset, region.size)
             for region in obj.client_regions(rank)]
 

@@ -20,18 +20,28 @@ Partition identities re-asserted against the registry (see
 :meth:`~repro.obs.registry.MetricsRegistry.assert_identities`):
 
 * ``metadata.cache.lookups == metadata.cache.hits +
-  cache.shared.client_hits + metadata.client.fetched_lookups`` — every
-  private-tier lookup is answered by exactly one of the private cache,
-  the node's shared tier, or a provider fetch (registered only when
-  every collected client runs a private cache);
+  cache.shared.client_hits + cache.peer.client_hits +
+  metadata.client.fetched_lookups`` — every private-tier lookup is
+  answered by exactly one of the private cache, the node's shared tier,
+  a cooperative peer node, or a provider fetch (registered only when
+  every collected client runs a private cache; the peer part is 0 with
+  the cooperative tier disabled);
 * ``cache.shared.lookups == cache.shared.hits + cache.shared.misses`` —
-  the shared services' own partition;
+  the shared services' own partition (remote peer probes use the
+  stat-free ``peek`` path, so they never perturb it);
+* ``cache.peer.served_lookups == cache.peer.served_hits +
+  cache.peer.served_misses`` — the cooperative peer services' own
+  partition;
 * ``cache.shared.lookups == cache.shared.client_hits +
-  metadata.client.fetched_lookups`` — the *cross-surface* check: the
-  lookups the shared services served must equal the lookups the clients
-  say fell through their private tier (registered by
-  :func:`collect_all` only when the caller attests that every client
-  attached to the deployment was collected).
+  cache.peer.client_hits + metadata.client.fetched_lookups`` — the
+  *cross-surface* check: the lookups the shared services served must
+  equal the lookups the clients say fell through their private tier
+  (registered by :func:`collect_all` only when the caller attests that
+  every client attached to the deployment was collected);
+* ``cache.peer.served_hits == cache.peer.client_hits +
+  cache.peer.rejections`` — every answer a peer service served was
+  either admitted by the receiving client's watermark gate or rejected
+  by it (same attestation, cooperative tier present).
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ __all__ = [
     "collect_cluster",
     "collect_collective",
     "collect_comms",
+    "collect_coop_cache",
     "collect_deployment",
     "collect_link_telemetry",
     "collect_shared_cache",
@@ -116,6 +127,12 @@ def collect_clients(registry: "MetricsRegistry",
         registry.add("cache.shared.client_hits", client.shared_cache_hits)
         registry.add("metadata.client.fetched_lookups",
                      client.metadata_lookup_fetches)
+        registry.add("cache.peer.client_hits", client.peer_cache_hits)
+        registry.add("cache.peer.rejections", client.peer_rejections)
+        registry.add("cache.peer.probe_misses", client.peer_probe_misses)
+        registry.add("cache.peer.probe_rpcs", client.peer_probe_rpcs)
+        registry.add("metadata.client.coalesced_fetches",
+                     client.coalesced_fetches)
         cache = client.metadata_cache
         if cache is None:
             all_private = False
@@ -133,10 +150,13 @@ def collect_clients(registry: "MetricsRegistry",
                 else:
                     registry.add(f"coalescer.{key}", value)
     if all_private:
+        # the peer part is 0 without the cooperative tier, so the identity
+        # reduces to the original three-way partition when it is disabled
         registry.register_identity(
             "metadata.lookup_partition",
             total="metadata.cache.lookups",
             parts=("metadata.cache.hits", "cache.shared.client_hits",
+                   "cache.peer.client_hits",
                    "metadata.client.fetched_lookups"))
 
 
@@ -153,12 +173,38 @@ def collect_shared_cache(registry: "MetricsRegistry",
                  totals["unpublished_rejections"])
     registry.add("cache.shared.capacity_rejections",
                  totals["capacity_rejections"])
+    registry.add("cache.shared.coalesced_fetches",
+                 totals["coalesced_fetches"])
     registry.set("cache.shared.services", totals["services"])
     registry.set("cache.shared.entries", totals["entries"])
     registry.register_identity(
         "cache.shared.partition",
         total="cache.shared.lookups",
         parts=("cache.shared.hits", "cache.shared.misses"))
+
+
+def collect_coop_cache(registry: "MetricsRegistry",
+                       deployment: "BlobSeerDeployment") -> None:
+    """Cooperative cross-node tier totals across every peer service.
+
+    Remote probes answer through the stat-free ``peek`` path, so the
+    shared tier's own hit/miss partition is untouched — the peer services
+    carry their own served-lookup partition, registered here.
+    """
+    totals = deployment.coop_stats()
+    registry.add("cache.peer.served_hits", totals["served_hits"])
+    registry.add("cache.peer.served_misses", totals["served_misses"])
+    registry.add("cache.peer.served_lookups",
+                 totals["served_hits"] + totals["served_misses"])
+    registry.add("cache.peer.read_throughs", totals["read_throughs"])
+    registry.add("cache.peer.unavailable_probes",
+                 totals["unavailable_probes"])
+    registry.add("cache.peer.served_probe_rpcs", totals["probe_rpcs"])
+    registry.set("cache.peer.services", totals["services"])
+    registry.register_identity(
+        "cache.peer.partition",
+        total="cache.peer.served_lookups",
+        parts=("cache.peer.served_hits", "cache.peer.served_misses"))
 
 
 def collect_deployment(registry: "MetricsRegistry",
@@ -176,6 +222,7 @@ def collect_deployment(registry: "MetricsRegistry",
         else:
             registry.add(canonical, value)
     collect_shared_cache(registry, deployment)
+    collect_coop_cache(registry, deployment)
 
 
 def collect_collective(registry: "MetricsRegistry",
@@ -260,12 +307,23 @@ def collect_all(registry: "MetricsRegistry", *,
     if complete_clients and deployment is not None and clients \
             and all(client.shared_cache is not None for client in clients):
         # without a shared tier a private miss skips straight to the
-        # provider fetch, so there is no fall-through to partition
+        # provider fetch, so there is no fall-through to partition.  The
+        # peer part is 0 when the cooperative tier is off, reducing to
+        # the original two-way fall-through
         registry.register_identity(
             "cache.shared.fallthrough",
             total="cache.shared.lookups",
             parts=("cache.shared.client_hits",
+                   "cache.peer.client_hits",
                    "metadata.client.fetched_lookups"))
+        if deployment.coop_directory is not None:
+            # cross-surface check on the cooperative tier itself: every
+            # lookup a peer service answered was either admitted by the
+            # receiving client's watermark gate or rejected by it
+            registry.register_identity(
+                "cache.peer.crosscheck",
+                total="cache.peer.served_hits",
+                parts=("cache.peer.client_hits", "cache.peer.rejections"))
     return registry
 
 

@@ -167,3 +167,31 @@ class TestAttachment:
         service.detach("rank0")
         found, _ = service.get("b", 0, 64, 1)
         assert found
+
+    def test_reattach_is_idempotent(self):
+        """RED-FIRST for the phantom-attachment bug: a client re-attaching
+        (e.g. a retried constructor path) must not hold two slots, or a
+        single detach leaves a phantom tenant behind forever."""
+        service = NodeCacheService("n0")
+        service.attach("rank0")
+        service.attach("rank0")
+        assert service.attached == ["rank0"]
+        service.detach("rank0")
+        assert service.attached == []
+
+    def test_deployment_stats_assert_no_duplicate_attachments(self):
+        """The aggregate stats walk doubles as the invariant's tripwire:
+        a duplicate smuggled past attach() must raise, not be summed."""
+        from repro.blobseer.deployment import BlobSeerDeployment
+        from repro.cluster import Cluster, ClusterConfig
+
+        cluster = Cluster(config=ClusterConfig(shared_metadata_cache=True))
+        deployment = BlobSeerDeployment(cluster, num_providers=1,
+                                        num_metadata_providers=1,
+                                        chunk_size=4096)
+        service = deployment.node_cache(cluster.add_node("cn0"))
+        assert deployment.shared_cache_stats()["attached_clients"] == 0
+        service.attached.append("ghost")  # forced corruption
+        service.attached.append("ghost")
+        with pytest.raises(StorageError):
+            deployment.shared_cache_stats()

@@ -47,10 +47,12 @@ def test_collect_all_holds_identities_and_totals():
         sum(client.bytes_written for client in clients)
     assert registry.get("metadata.cache.lookups") == \
         sum(client.metadata_cache.stats.lookups for client in clients)
-    # the three identities of the module docstring are all registered
+    # the identities of the module docstring are all registered (the
+    # cooperative crosscheck joins them only when the tier is deployed)
     labels = {label for label, _, _ in registry._identities}
     assert labels == {"metadata.lookup_partition", "cache.shared.partition",
-                      "cache.shared.fallthrough"}
+                      "cache.shared.fallthrough", "cache.peer.partition"}
+    assert deployment.coop_directory is None
 
 
 def test_fallthrough_identity_skipped_without_shared_tier():
