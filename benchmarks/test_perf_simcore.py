@@ -249,6 +249,48 @@ def test_metrics_snapshot_embedded_in_rows(suite):
         assert metrics["net.bytes"] > 0
 
 
+def test_traced_row_carries_exact_critical_path_breakdown(suite):
+    """The traced headline embeds the per-operation critical-path report,
+    and the six layers sum exactly to each operation's end-to-end time."""
+    import math
+
+    traced = next(row for row in suite["rows"]
+                  if row["label"] == "headline-traced")
+    report = traced["critpath"]
+    assert report["layers"] == ["client_compute", "deferred_complete_overlap",
+                                "rpc_queueing", "link_transfer",
+                                "shard_service", "coalesce_park"]
+    ops = report["operations"]
+    settings = bench_settings()
+    assert ops["file.write_at_all"]["count"] == settings.num_ranks
+    for name, entry in ops.items():
+        assert math.isclose(entry["attributed_s"], entry["end_to_end_s"],
+                            rel_tol=1e-9, abs_tol=1e-12), name
+        assert math.isclose(sum(entry["layers"].values()),
+                            entry["attributed_s"],
+                            rel_tol=1e-9, abs_tol=1e-12), name
+    # untraced rows carry no critpath key at all
+    headline = next(row for row in suite["rows"]
+                    if row["label"] == "headline")
+    assert "critpath" not in headline
+
+
+def test_latency_digest_columns_in_rows_and_metrics(suite):
+    """Collective I/O rows promote the RPC latency digest to flat columns
+    and embed the full digest catalog in the metrics snapshot."""
+    for row in suite["rows"]:
+        if row["kind"] != "collective_io":
+            continue
+        assert row["rpc_latency_count"] > 0, row["label"]
+        assert 0 < row["rpc_latency_p50"] <= row["rpc_latency_p95"] \
+            <= row["rpc_latency_p99"], row["label"]
+        assert row["rpc_latency_max"] > 0
+        metrics = row["metrics"]
+        assert metrics["rpc.latency.all.count"] == row["rpc_latency_count"]
+        assert any(key.startswith("op.latency.file.write_at_all")
+                   for key in metrics), row["label"]
+
+
 def test_tracing_disabled_wall_clock_within_budget(suite):
     """Overhead guard: the tracing-disabled headline must stay within 2%
     of the pre-observability baseline.  The strict budget needs a

@@ -37,6 +37,7 @@ from repro.mpi.datatypes import BYTE, Indexed
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.obs.digest import digest_columns
 from repro.vstore.client import VectoredClient
 from repro.workloads.collective_checkpoint import CollectiveCheckpointWorkload
 
@@ -110,7 +111,10 @@ def run_collective_point(num_ranks: int,
             f"aggregators must be in 1..{num_ranks}, got {num_aggregators}")
     wall_started = time.perf_counter()
 
-    cluster = Cluster(config=settings.config, seed=settings.seed)
+    # latency digests ride in every point so the artifact carries RPC
+    # percentile columns alongside the counter columns
+    cluster = Cluster(config=settings.config.copy(latency_digests=True),
+                      seed=settings.seed)
     deployment = BlobSeerDeployment(
         cluster,
         num_providers=settings.num_providers,
@@ -184,6 +188,7 @@ def run_collective_point(num_ranks: int,
         sim_write_s=max(ends) - min(starts) if starts else 0.0,
         wall_clock_s=time.perf_counter() - wall_started,
         network_model=settings.config.network_model,
+        rpc_latency=digest_columns(cluster.obs.registry),
     )
     return CollectiveResult(sample=sample, read_digest=digest)
 

@@ -41,6 +41,7 @@ from repro.mpi.datatypes import BYTE, Indexed
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.obs.digest import digest_columns
 from repro.vstore.client import VectoredClient
 from repro.workloads.collective_read import CollectiveReadWorkload
 
@@ -126,7 +127,10 @@ def run_collective_read_point(num_ranks: int,
             f"resolvers must be in 1..{num_ranks}, got {num_resolvers}")
     wall_started = time.perf_counter()
 
-    cluster = Cluster(config=settings.config, seed=settings.seed)
+    # latency digests ride in every point so the artifact carries RPC
+    # percentile columns alongside the counter columns
+    cluster = Cluster(config=settings.config.copy(latency_digests=True),
+                      seed=settings.seed)
     deployment = BlobSeerDeployment(
         cluster,
         num_providers=settings.num_providers,
@@ -221,6 +225,7 @@ def run_collective_read_point(num_ranks: int,
         sim_read_s=max(ends) - min(starts) if starts else 0.0,
         wall_clock_s=time.perf_counter() - wall_started,
         network_model=settings.config.network_model,
+        rpc_latency=digest_columns(cluster.obs.registry),
     )
     digest = b"".join(b"".join(scans) for scans in result.results)
     return CollectiveReadResult(sample=sample, read_digest=digest,

@@ -216,10 +216,13 @@ class CollectiveSample(PerWriteRpcMetrics):
     wall_clock_s: float
     #: cluster network model the run simulated (timing only, never bytes)
     network_model: str = "bottleneck"
+    #: flat RPC round-trip percentile columns (``rpc_latency_p50``...)
+    #: from the run's latency digests; empty when digests were off
+    rpc_latency: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> Dict[str, object]:
         """Plain-dict form for tables and the JSON benchmark artifact."""
-        return {
+        row = {
             "mode": self.mode,
             "ranks": self.num_ranks,
             "aggregators": self.num_aggregators,
@@ -237,6 +240,8 @@ class CollectiveSample(PerWriteRpcMetrics):
             "wall_clock_s": self.wall_clock_s,
             "network_model": self.network_model,
         }
+        row.update(self.rpc_latency)
+        return row
 
 
 @dataclass
@@ -273,7 +278,10 @@ class CollectiveReadSample:
     #: literal zeros (zero-extent elision: the ``exchange_bytes`` drop)
     hole_bytes_elided: int = 0
     #: cluster network model the run simulated (timing only, never bytes)
-    network_model: str = "bottleneck" 
+    network_model: str = "bottleneck"
+    #: flat RPC round-trip percentile columns (``rpc_latency_p50``...)
+    #: from the run's latency digests; empty when digests were off
+    rpc_latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def metadata_rpcs_per_read(self) -> float:
@@ -283,7 +291,7 @@ class CollectiveReadSample:
 
     def as_row(self) -> Dict[str, object]:
         """Plain-dict form for tables and the JSON benchmark artifact."""
-        return {
+        row = {
             "mode": self.mode,
             "ranks": self.num_ranks,
             "resolvers": self.num_resolvers,
@@ -303,6 +311,8 @@ class CollectiveReadSample:
             "wall_clock_s": self.wall_clock_s,
             "network_model": self.network_model,
         }
+        row.update(self.rpc_latency)
+        return row
 
 
 def read_rpc_reduction(baseline: CollectiveReadSample,

@@ -43,6 +43,8 @@ from repro.mpi.datatypes import BYTE, Indexed
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.obs.critpath import operation_report
+from repro.obs.digest import digest_columns
 from repro.obs.export import dump_chrome_trace
 from repro.obs.views import collect_all
 from repro.simengine.simulator import Simulator
@@ -120,7 +122,10 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
                             num_metadata_providers: int = 2,
                             chunk_size: int = 16 * 1024,
                             seed: int = 0,
-                            trace_path: Optional[str] = None) -> Dict[str, object]:
+                            trace_path: Optional[str] = None,
+                            flight_path: Optional[str] = None,
+                            critpath_path: Optional[str] = None,
+                            ) -> Dict[str, object]:
     """Run one interleaved collective write/read point; return its row.
 
     Every rank owns ``blocks_per_rank`` blocks of ``block_size`` bytes at
@@ -134,7 +139,10 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
     The row's ``metrics`` embeds the unified registry snapshot (collected
     *after* the run — pull-based, so it never perturbs the measurement)
     with every partition identity re-asserted.  ``trace_path`` dumps the
-    run's Chrome trace there when ``config.tracing`` is on.
+    run's Chrome trace and ``critpath_path`` its per-operation
+    critical-path layer breakdown when ``config.tracing`` is on;
+    ``flight_path`` dumps the flight-recorder ring (available whenever
+    the recorder is enabled, tracing or not).
     """
     stride = num_ranks * block_size
     file_size = blocks_per_rank * stride
@@ -196,9 +204,11 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
     if trace_path and cluster.obs.tracing:
         dump_chrome_trace(cluster.obs.tracer, trace_path,
                           telemetry=cluster.obs.link_telemetry)
+    if flight_path and cluster.obs.flight is not None:
+        cluster.obs.flight.dump(flight_path)
 
     events = cluster.sim.processed_events
-    return {
+    row: Dict[str, object] = {
         "kind": "collective_io",
         "num_ranks": num_ranks,
         "blocks_per_rank": blocks_per_rank,
@@ -217,6 +227,18 @@ def run_collective_io_point(num_ranks: int, blocks_per_rank: int,
         "tracing": config.tracing,
         "metrics": registry.snapshot(),
     }
+    if config.latency_digests:
+        # promoted percentile columns (the full digest catalog is in
+        # ``metrics``): RPC round-trip latency of the whole run
+        row.update(digest_columns(registry))
+    if cluster.obs.tracing:
+        report = operation_report(cluster.obs.tracer)
+        row["critpath"] = report
+        if critpath_path:
+            with open(critpath_path, "w") as handle:
+                json.dump(report, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -344,19 +366,24 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
         seed=settings.seed,
     )
 
+    # latency digests ride in *both* the headline and its traced twin so
+    # the tracing invariant keeps comparing identical metric sets
     headline = run_collective_io_point(
-        settings.num_ranks, config=ClusterConfig(), **point_kwargs)
+        settings.num_ranks, config=ClusterConfig(latency_digests=True),
+        **point_kwargs)
     headline["label"] = "headline"
     rows.append(headline)
 
     traced = run_collective_io_point(
-        settings.num_ranks, config=ClusterConfig(tracing=True),
+        settings.num_ranks,
+        config=ClusterConfig(tracing=True, latency_digests=True),
         **point_kwargs)
     traced["label"] = "headline-traced"
     rows.append(traced)
 
     queued = run_collective_io_point(
-        settings.num_ranks, config=ClusterConfig(network_model="queued"),
+        settings.num_ranks,
+        config=ClusterConfig(network_model="queued", latency_digests=True),
         **point_kwargs)
     queued["label"] = "headline-queued"
     rows.append(queued)
@@ -364,7 +391,8 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
     if settings.compare_legacy:
         legacy = run_collective_io_point(
             settings.num_ranks,
-            config=ClusterConfig(engine="legacy", scheduler="heapq"),
+            config=ClusterConfig(engine="legacy", scheduler="heapq",
+                                 latency_digests=True),
             **point_kwargs)
         legacy["label"] = "headline-legacy-heapq"
         rows.append(legacy)
@@ -382,7 +410,8 @@ def run_simcore_suite(settings: SimcoreSettings) -> Dict[str, object]:
         point = run_collective_io_point(
             ranks, blocks, bsize, rounds,
             num_aggregators=max(1, ranks // 4),
-            config=ClusterConfig(network_model="queued"),
+            config=ClusterConfig(network_model="queued",
+                                 latency_digests=True),
             num_providers=settings.num_providers,
             num_metadata_providers=settings.num_metadata_providers,
             chunk_size=settings.chunk_size, seed=settings.seed)

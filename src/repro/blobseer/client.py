@@ -643,7 +643,15 @@ class BlobClient:
                 self.shared_cache.coalesce_resolve(blob.blob_id, *request,
                                                    results[request])
             for request, event in parked:
-                value = yield event
+                ctx = self.trace_ctx
+                park_span = None if ctx is None else ctx.begin(
+                    "meta.park", cat="wait", blob=blob.blob_id,
+                    key=list(request))
+                try:
+                    value = yield event
+                finally:
+                    if park_span is not None:
+                        ctx.finish(park_span)
                 if value is FETCH_FAILED:
                     raise StorageError(
                         f"coalesced metadata fetch {request} for blob "

@@ -60,12 +60,16 @@ class Cluster:
                 "heapq" if self.config.engine == "legacy" else "calendar")
             sim = Simulator(seed=seed, scheduler=scheduler)
         self.sim = sim
-        #: tracer + metrics registry + link telemetry (repro.obs); the
-        #: tracer is the shared no-op singleton unless ``config.tracing``
+        #: tracer + metrics registry + link telemetry + latency digests +
+        #: flight recorder (repro.obs); the tracer is the shared no-op
+        #: singleton unless ``config.tracing``
         self.obs = Observability(
             self.sim, tracing=self.config.tracing,
             link_telemetry=self.config.tracing
-            and self.config.network_model == "queued")
+            and self.config.network_model == "queued",
+            latency_digests=self.config.latency_digests,
+            flight_recorder=self.config.flight_recorder,
+            flight_capacity=self.config.flight_capacity)
         if self.config.network_model == "queued":
             self.network = QueuedNetwork(self.sim, self.config, obs=self.obs)
         elif self.config.network_model == "bottleneck":

@@ -126,6 +126,21 @@ class ClusterConfig:
     #: byte-stable across runs; disabled (the default) costs one attribute
     #: test per instrumented site
     tracing: bool = False
+    #: collect deterministic fixed-log-bucket latency histograms
+    #: (p50/p95/p99/max) for RPC round-trips, link queue delays and
+    #: File-layer operations into the metrics registry
+    #: (:mod:`repro.obs.digest`).  Independent of ``tracing`` so digest
+    #: columns can ride in headline (untraced) bench rows; disabled (the
+    #: default) costs one attribute test per instrumented site
+    latency_digests: bool = False
+    #: keep an always-on bounded ring buffer of recent RPC/operation
+    #: events (:mod:`repro.obs.flight`) for post-hoc triage without full
+    #: tracing.  On by default: the recorder only appends to a deque and
+    #: never touches the simulation clock, events or registry, so it is
+    #: behaviour-neutral (pinned by test)
+    flight_recorder: bool = True
+    #: flight recorder ring capacity, in entries
+    flight_capacity: int = 4096
 
     def copy(self, **overrides) -> "ClusterConfig":
         """A copy of the config with selected fields replaced."""

@@ -109,6 +109,9 @@ class Network:
         #: zero-cost guard every transfer checks once)
         self.tracer = (obs.tracer if obs is not None and obs.tracer.enabled
                        else None)
+        #: latency-digest taps (None when disabled)
+        self.digests = obs.digests if obs is not None else None
+        self._observed = self.tracer is not None or self.digests is not None
         #: total bytes moved across the network
         self.bytes_transferred: int = 0
         #: total messages moved across the network
@@ -147,27 +150,38 @@ class Network:
         else:
             sim = self.sim
             tracer = self.tracer
+            digests = self.digests
             # Sender NIC: reserved in initiation order (the legacy resource
             # enqueued at the same instant), then one sleep to the moment the
             # message has fully arrived at the receiver NIC's queue.
             src_nic = self.nic(src.name)
-            if tracer is not None:
-                start = max(src_nic.free_at, sim.now)
+            if self._observed:
+                now = sim.now
+                start = max(src_nic.free_at, now)
                 src_done = src_nic.reserve(nbytes)
-                tracer.complete_span("net.tx", "net", ("link", src_nic.name),
-                                     start, src_done, parent_id=trace_parent,
-                                     args={"bytes": nbytes})
+                if tracer is not None:
+                    tracer.complete_span(
+                        "net.tx", "net", ("link", src_nic.name),
+                        start, src_done, parent_id=trace_parent,
+                        args={"bytes": nbytes})
+                if digests is not None:
+                    digests.link(src_nic.name, start - now)
             else:
                 src_done = src_nic.reserve(nbytes)
             yield sim.sleep(src_done + self.latency - sim.now)
             # Receiver NIC: reserved in arrival order.
             dst_nic = self.nic(dst.name)
-            if tracer is not None:
-                start = max(dst_nic.free_at, sim.now)
+            if self._observed:
+                now = sim.now
+                start = max(dst_nic.free_at, now)
                 dst_done = dst_nic.reserve(nbytes)
-                tracer.complete_span("net.rx", "net", ("link", dst_nic.name),
-                                     start, dst_done, parent_id=trace_parent,
-                                     args={"bytes": nbytes})
+                if tracer is not None:
+                    tracer.complete_span(
+                        "net.rx", "net", ("link", dst_nic.name),
+                        start, dst_done, parent_id=trace_parent,
+                        args={"bytes": nbytes})
+                if digests is not None:
+                    digests.link(dst_nic.name, start - now)
             else:
                 dst_done = dst_nic.reserve(nbytes)
             yield sim.sleep(dst_done - sim.now)
@@ -280,7 +294,10 @@ class QueuedNetwork:
         self.tracer = (obs.tracer if obs is not None and obs.tracer.enabled
                        else None)
         self.telemetry = obs.link_telemetry if obs is not None else None
-        self._observed = self.tracer is not None or self.telemetry is not None
+        self.digests = obs.digests if obs is not None else None
+        self._observed = (self.tracer is not None
+                          or self.telemetry is not None
+                          or self.digests is not None)
         self.bytes_transferred: int = 0
         self.messages: int = 0
         self.cross_switch_messages: int = 0
@@ -330,6 +347,8 @@ class QueuedNetwork:
             self.tracer.complete_span("net.link", "net", ("link", link.name),
                                       start, done, parent_id=trace_parent,
                                       args={"bytes": nbytes})
+        if self.digests is not None:
+            self.digests.link(link.name, start - now)
         return done
 
     def transfer(self, src: "Node", dst: "Node", nbytes: int,

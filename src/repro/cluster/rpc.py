@@ -47,6 +47,12 @@ class RpcTransport:
         self.total_calls: int = 0
         self.total_request_bytes: int = 0
         self.total_response_bytes: int = 0
+        # observability hooks, resolved once: each is None when disabled,
+        # so the per-call cost of a disabled channel is one attribute test
+        obs = cluster.obs
+        self._tracer = obs.tracer if obs.tracer.enabled else None
+        self._digests = obs.digests
+        self._flight = obs.flight
 
     def call(self, caller: "Node", service: Service, method: str,
              request_bytes: int, response_bytes, *args: Any,
@@ -74,16 +80,21 @@ class RpcTransport:
         self.total_calls += 1
         self.total_request_bytes += request_bytes
         service._account(method)
+        started = sim.now
 
         # request
         yield from self.cluster.network.transfer(
             caller, service.node, max(request_bytes, config.control_message_size),
             trace_parent=_trace_parent)
-        # handling overhead on the server
+        # server window: handling overhead plus the handler body
+        serve_started = sim.now
         if config.rpc_handling_overhead:
             yield sim.timeout(config.rpc_handling_overhead)
-        # server-side work
         result = yield from handler(*args, **kwargs)
+        if self._tracer is not None:
+            self._tracer.complete_span(
+                "rpc.serve", "rpc", ("shard", service.node.name),
+                serve_started, sim.now, parent_id=_trace_parent)
         # response (sized from the result when the caller passed a callable)
         if callable(response_bytes):
             response_bytes = response_bytes(result)
@@ -91,6 +102,10 @@ class RpcTransport:
         yield from self.cluster.network.transfer(
             service.node, caller, max(response_bytes, config.control_message_size),
             trace_parent=_trace_parent)
+        if self._digests is not None:
+            self._digests.rpc(method, sim.now - started)
+        if self._flight is not None:
+            self._flight.record(started, sim.now, "rpc", service.name, method)
         return result
 
 

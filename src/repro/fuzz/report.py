@@ -7,10 +7,12 @@ and the simulation, so replaying a seed reproduces its line byte-for-byte
 stderr only.
 
 A flagged run additionally gets ``<out>/flagged/seed_<seed>/`` holding the
-full scenario blueprint, the resolved cluster config, the anomaly list and
-a Chrome trace from a traced re-execution (tracing is behaviour-neutral,
-so the trace shows exactly the flagged timeline) — everything triage needs
-to replay and inspect the failure.
+full scenario blueprint, the resolved cluster config, the anomaly list, a
+Chrome trace from a traced re-execution (tracing is behaviour-neutral, so
+the trace shows exactly the flagged timeline), the re-execution's
+flight-recorder ring (``flight.json``) and its critical-path layer
+breakdown (``critpath.json``) — everything triage needs to replay and
+inspect the failure.
 """
 
 from __future__ import annotations
@@ -72,9 +74,20 @@ def dump_flagged(result: RunResult, out_dir: str) -> str:
                    "dormant": result.dormant},
                   handle, indent=2, sort_keys=True)
     # traced re-execution: tracing never changes simulated behaviour, so
-    # the trace shows the flagged run's exact timeline
-    execute_scenario(result.scenario, tracing=True,
-                     trace_path=os.path.join(run_dir, "trace.json"))
+    # the trace, flight ring and critical-path breakdown show the flagged
+    # run's exact timeline
+    try:
+        execute_scenario(result.scenario, tracing=True,
+                         trace_path=os.path.join(run_dir, "trace.json"),
+                         flight_path=os.path.join(run_dir, "flight.json"),
+                         critpath_path=os.path.join(run_dir,
+                                                    "critpath.json"))
+    except Exception as exc:
+        # a pathological flagged run (deadlock, partial spans) must not
+        # lose its bundle over a failed analysis pass
+        with open(os.path.join(run_dir, "analysis_error.txt"),
+                  "w") as handle:
+            handle.write(f"{type(exc).__name__}: {exc}\n")
     return run_dir
 
 

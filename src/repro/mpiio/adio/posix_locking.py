@@ -45,6 +45,12 @@ class PosixLockingDriver(ADIODriver):
         self.lock_wait_time: float = 0.0
 
     # ------------------------------------------------------------------
+    @property
+    def observability(self):
+        """The cluster's observability handle (digests, flight recorder)."""
+        return self.client.cluster.obs
+
+    # ------------------------------------------------------------------
     def _lock_regions(self, path: str, vector: IOVector, mode: LockMode):
         """What to lock for an atomic access: the covering extent."""
         extent = vector.covering_extent()

@@ -100,6 +100,11 @@ class VersioningDriver(ADIODriver):
         """The rank's span context (``None`` unless the cluster traces)."""
         return self.client.trace_ctx
 
+    @property
+    def observability(self):
+        """The cluster's observability handle (digests, flight recorder)."""
+        return self.client.cluster.obs
+
     # ------------------------------------------------------------------
     def open(self, path: str, size_hint: int, create: bool, rank: int = 0,
              comm: Optional["Communicator"] = None):

@@ -122,15 +122,14 @@ class File:
         vector = build_write_vector(self.view, offset, bytes(data))
         if len(vector) == 0:
             return 0
-        span, ctx = self._begin_op("file.write_at", offset,
-                                   vector.total_bytes())
+        token = self._begin_op("file.write_at", offset,
+                               vector.total_bytes())
         try:
             written = yield from self.driver.write_vector(
                 self.path, vector, atomic=self._atomic, rank=self.rank,
                 comm=None)
         finally:
-            if span is not None:
-                ctx.finish(span)
+            self._end_op(token)
         return written
 
     def write_at_all(self, offset: int, data: bytes):
@@ -145,8 +144,8 @@ class File:
         self._ensure_open()
         self._ensure_writable()
         vector = build_write_vector(self.view, offset, bytes(data))
-        span, ctx = self._begin_op("file.write_at_all", offset,
-                                   vector.total_bytes())
+        token = self._begin_op("file.write_at_all", offset,
+                               vector.total_bytes())
         try:
             written = yield from self.driver.write_vector_all(
                 self.path, vector, atomic=self._atomic, rank=self.rank,
@@ -156,8 +155,7 @@ class File:
                                                                self.comm):
                 yield from self.comm.barrier(self.rank)
         finally:
-            if span is not None:
-                ctx.finish(span)
+            self._end_op(token)
         return written
 
     def read_at(self, offset: int, size: int):
@@ -166,15 +164,14 @@ class File:
         vector = build_read_vector(self.view, offset, size)
         if len(vector) == 0:
             return b""
-        span, ctx = self._begin_op("file.read_at", offset,
-                                   vector.total_bytes())
+        token = self._begin_op("file.read_at", offset,
+                               vector.total_bytes())
         try:
             pieces = yield from self.driver.read_vector(
                 self.path, vector, atomic=self._atomic, rank=self.rank,
                 comm=None)
         finally:
-            if span is not None:
-                ctx.finish(span)
+            self._end_op(token)
         return b"".join(pieces)
 
     def read_at_all(self, offset: int, size: int):
@@ -189,8 +186,8 @@ class File:
         """
         self._ensure_open()
         vector = build_read_vector(self.view, offset, size)
-        span, ctx = self._begin_op("file.read_at_all", offset,
-                                   vector.total_bytes())
+        token = self._begin_op("file.read_at_all", offset,
+                               vector.total_bytes())
         try:
             pieces = yield from self.driver.read_vector_all(
                 self.path, vector, atomic=self._atomic, rank=self.rank,
@@ -200,22 +197,43 @@ class File:
                                                               self.comm):
                 yield from self.comm.barrier(self.rank)
         finally:
-            if span is not None:
-                ctx.finish(span)
+            self._end_op(token)
         return b"".join(pieces)
 
     def _begin_op(self, name: str, offset: int, nbytes: int):
-        """Open the mainline root span of one file operation (tracing only).
+        """Open the observation bracket of one file operation.
 
-        Returns ``(span, ctx)`` — ``(None, None)`` when the driver's
-        backend does not trace, which is the single attribute test the
-        disabled path pays.
+        Roots the mainline span (when the backend traces) and notes the
+        operation start for the latency digest and flight recorder taps.
+        Returns an opaque token for :meth:`_end_op` — ``None`` when every
+        channel is disabled, which is what the disabled path pays.
         """
         ctx = self.driver.trace_context
-        if ctx is None:
-            return None, None
-        return ctx.begin(name, cat="mpiio", rank=self.rank, path=self.path,
-                         offset=offset, bytes=nbytes), ctx
+        obs = self.driver.observability
+        if ctx is None and (obs is None or (obs.digests is None
+                                            and obs.flight is None)):
+            return None
+        span = None
+        if ctx is not None:
+            span = ctx.begin(name, cat="mpiio", rank=self.rank,
+                             path=self.path, offset=offset, bytes=nbytes)
+        started = obs.sim.now if obs is not None else 0.0
+        return (name, span, ctx, obs, started)
+
+    def _end_op(self, token) -> None:
+        """Close the bracket: finish the span, feed the digest/flight taps."""
+        if token is None:
+            return
+        name, span, ctx, obs, started = token
+        if span is not None:
+            ctx.finish(span)
+        if obs is not None:
+            now = obs.sim.now
+            if obs.digests is not None:
+                obs.digests.op(name, now - started)
+            if obs.flight is not None:
+                obs.flight.record(started, now, "op", f"rank{self.rank}",
+                                  name)
 
     # ------------------------------------------------------------------
     def _ensure_open(self) -> None:

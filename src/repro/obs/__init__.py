@@ -1,6 +1,6 @@
 """Simulation-clock-native observability: spans, metrics, link telemetry.
 
-Three pieces, all driven by the *simulation* clock (never wall time, so
+All pieces are driven by the *simulation* clock (never wall time, so
 every artifact is byte-stable across runs and usable as replay evidence):
 
 * :mod:`repro.obs.trace` — causal spans threaded through the stack
@@ -8,51 +8,88 @@ every artifact is byte-stable across runs and usable as replay evidence):
   commit-engine stages → per-shard RPC → network link transfer),
   exportable as Chrome trace-event JSON (:mod:`repro.obs.export`).
 * :mod:`repro.obs.registry` — a central :class:`MetricsRegistry`
-  (counters, gauges, sim-time-weighted series) behind stable dotted
-  names; :mod:`repro.obs.views` absorbs the stack's scattered stats
-  surfaces into it and re-asserts their partition identities.
+  (counters, gauges, sim-time-weighted series, latency digests) behind
+  stable dotted names; :mod:`repro.obs.views` absorbs the stack's
+  scattered stats surfaces into it and re-asserts their partition
+  identities.
 * :mod:`repro.obs.linktel` — per-link utilization / queueing / CoDel
   timelines sampled on the ``"queued"`` network model's link events.
+* :mod:`repro.obs.digest` — deterministic fixed-log-bucket latency
+  histograms (p50/p95/p99/max) tapped from RPC round-trips, link queue
+  delays and File-layer operations.
+* :mod:`repro.obs.flight` — an always-on bounded ring buffer of recent
+  RPC/operation events, cheap enough to default on, dumped into fuzzer
+  triage bundles.
+* :mod:`repro.obs.critpath` — span-DAG critical-path extraction with
+  exact per-layer time attribution.
+* :mod:`repro.obs.diff` — cross-run artifact comparison with per-metric
+  tolerance bands (``python -m repro.obs diff``).
 
-Tracing is **zero-cost when disabled**: every call site guards on a plain
-attribute (``if ctx is not None`` / ``if tracer is not None``), and the
-default :class:`~repro.cluster.config.ClusterConfig` leaves it off.
+Tracing and digests are **zero-cost when disabled**: every call site
+guards on a plain attribute (``if ctx is not None`` / ``if digests is
+not None``), and the default :class:`~repro.cluster.config.ClusterConfig`
+leaves them off.  The flight recorder defaults *on* — its per-event cost
+is one deque append, and the behaviour-neutrality test pins that runs
+with the recorder off are bit-identical.
 """
 
+from repro.obs.critpath import (LAYERS, SpanDag, critical_path,
+                                layer_breakdown, operation_report)
+from repro.obs.digest import DigestTaps, LatencyDigest, digest_columns
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+from repro.obs.linktel import LinkTelemetry
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Span, TraceContext, Tracer
-from repro.obs.linktel import LinkTelemetry
 
 __all__ = [
+    "DEFAULT_FLIGHT_CAPACITY",
+    "DigestTaps",
+    "FlightRecorder",
+    "LAYERS",
+    "LatencyDigest",
     "LinkTelemetry",
     "MetricsRegistry",
     "NULL_TRACER",
     "Observability",
     "Span",
+    "SpanDag",
     "TraceContext",
     "Tracer",
+    "critical_path",
+    "digest_columns",
+    "layer_breakdown",
+    "operation_report",
 ]
 
 
 class Observability:
-    """Per-cluster holder of the tracer, metrics registry and telemetry.
+    """Per-cluster holder of tracer, registry, telemetry, digests, flight.
 
-    Created by :class:`~repro.cluster.cluster.Cluster` from
-    ``ClusterConfig.tracing``; the registry always exists (metrics views
-    are pull-based and cost nothing until collected), while the tracer and
-    link telemetry only materialize when tracing is enabled — disabled
-    runs hold the shared :data:`NULL_TRACER` and ``link_telemetry=None``,
-    which is what every instrumented call site guards on.
+    Created by :class:`~repro.cluster.cluster.Cluster` from the
+    observability knobs on :class:`~repro.cluster.config.ClusterConfig`;
+    the registry always exists (metrics views are pull-based and cost
+    nothing until collected), while the tracer, link telemetry and digest
+    taps only materialize when enabled — disabled runs hold the shared
+    :data:`NULL_TRACER` / ``None``, which is what every instrumented call
+    site guards on.  The flight recorder is independent of tracing and on
+    by default; it never touches the registry, so enabling it cannot
+    perturb metrics snapshots.
     """
 
     def __init__(self, sim, tracing: bool = False,
-                 link_telemetry: bool = None):
+                 link_telemetry: bool = None,
+                 latency_digests: bool = False,
+                 flight_recorder: bool = True,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
         self.sim = sim
         self.registry = MetricsRegistry(clock=lambda: sim.now)
         self.tracer = Tracer(clock=lambda: sim.now) if tracing \
             else NULL_TRACER
         sample_links = tracing if link_telemetry is None else link_telemetry
         self.link_telemetry = LinkTelemetry(sim) if sample_links else None
+        self.digests = DigestTaps(self.registry) if latency_digests else None
+        self.flight = FlightRecorder(flight_capacity) if flight_recorder \
+            else None
 
     @property
     def tracing(self) -> bool:

@@ -18,7 +18,7 @@ CI trace-smoke job run over exported files.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["to_chrome_trace", "dump_chrome_trace", "validate_chrome_trace",
            "span_chains"]
@@ -190,21 +190,29 @@ def validate_chrome_trace(trace) -> List[str]:
 # ----------------------------------------------------------------------
 def span_chains(tracer) -> Dict[int, List]:
     """``span_id -> [root, ..., span]`` ancestry chains (test helper:
-    the acceptance criterion counts layers as the longest chain)."""
+    the acceptance criterion counts layers as the longest chain).
+
+    Chains are inserted in ``(start, span_id)`` order — timestamp-major
+    with the span id as a stable tiebreak — so consumers iterating the
+    dict (critpath reports, chain dumps) see the same order however the
+    spans were appended to the tracer.
+    """
     by_id = {span.span_id: span for span in tracer.spans}
     chains: Dict[int, List] = {}
+    resolved: Dict[int, List] = {}
 
     def chain(span):
-        cached = chains.get(span.span_id)
+        cached = resolved.get(span.span_id)
         if cached is not None:
             return cached
         if span.parent_id is None or span.parent_id not in by_id:
             result = [span]
         else:
             result = chain(by_id[span.parent_id]) + [span]
-        chains[span.span_id] = result
+        resolved[span.span_id] = result
         return result
 
-    for span in tracer.spans:
-        chain(span)
+    for span in sorted(tracer.spans,
+                       key=lambda span: (span.start, span.span_id)):
+        chains[span.span_id] = chain(span)
     return chains

@@ -1,0 +1,92 @@
+"""Always-on bounded flight recorder: the last N timed events, cheaply.
+
+Full span tracing answers *everything* but is opt-in; the flight
+recorder answers "what just happened" and is cheap enough to default on:
+a bounded ring buffer (``collections.deque`` with ``maxlen``) of small
+tuples ``(start, end, kind, who, what)`` appended on events the
+simulation already executes — RPC completions and File-layer operations.
+No simulation events are added, no wall-clock value is recorded and the
+registry is never touched, so enabling the recorder is proven
+behaviour-neutral the same way tracing is (the invariant test runs the
+identical workload with the recorder on and off and asserts bit-identical
+outcomes).
+
+Fuzzer triage bundles dump the ring (:meth:`FlightRecorder.as_dict`) so
+flagged runs carry their recent history even when the original execution
+did not trace; :meth:`timeline_digest` hashes the canonical dump, giving
+replays a one-line equality witness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Dict, List, Tuple
+
+__all__ = ["FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: default ring capacity (entries, not bytes) — large enough to hold the
+#: full tail of a collective round at hundreds of ranks
+DEFAULT_FLIGHT_CAPACITY = 4096
+
+Entry = Tuple[float, float, str, str, str]
+
+
+class FlightRecorder:
+    """Bounded ring of recent ``(start, end, kind, who, what)`` events."""
+
+    __slots__ = ("capacity", "recorded", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY):
+        self.capacity = int(capacity)
+        #: total events ever recorded (evictions included)
+        self.recorded = 0
+        self._ring: "deque[Entry]" = deque(maxlen=self.capacity)
+
+    # ------------------------------------------------------------------
+    def record(self, start: float, end: float, kind: str, who: str,
+               what: str) -> None:
+        """Append one event; the oldest entry falls off a full ring."""
+        self._ring.append((start, end, kind, who, what))
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self.recorded - len(self._ring)
+
+    def entries(self) -> List[Entry]:
+        """Ring contents, oldest first."""
+        return list(self._ring)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-ready dump (no wall-clock content)."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "entries": [
+                {"start": start, "end": end, "kind": kind,
+                 "who": who, "what": what}
+                for start, end, kind, who, what in self._ring
+            ],
+        }
+
+    def dump(self, path: str) -> Dict[str, object]:
+        data = self.as_dict()
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return data
+
+    def timeline_digest(self) -> str:
+        """SHA-256 over the canonical entry list — two runs recorded the
+        same recent history iff their digests match."""
+        payload = json.dumps(self.as_dict()["entries"], sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()

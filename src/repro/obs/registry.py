@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "TimeWeightedSeries", "MetricsRegistry",
-           "IdentityViolation"]
+from repro.obs.digest import LatencyDigest
+
+__all__ = ["Counter", "Gauge", "TimeWeightedSeries", "LatencyDigest",
+           "MetricsRegistry", "IdentityViolation"]
 
 
 class Counter:
@@ -139,6 +141,13 @@ class MetricsRegistry:
                             "not a TimeWeightedSeries")
         return metric
 
+    def digest(self, name: str) -> LatencyDigest:
+        metric = self._get(name, LatencyDigest)
+        if not isinstance(metric, LatencyDigest):
+            raise TypeError(f"{name!r} is a {type(metric).__name__}, "
+                            "not a LatencyDigest")
+        return metric
+
     # convenience write forms
     def add(self, name: str, amount: int = 1) -> None:
         self.counter(name).inc(amount)
@@ -201,7 +210,8 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """All collected values as one flat, deterministically ordered
         dict — counters and gauges under their name, series expanded to
-        ``.last`` / ``.mean`` / ``.max`` / ``.samples``."""
+        ``.last`` / ``.mean`` / ``.max`` / ``.samples``, latency digests
+        to ``.count`` / ``.p50`` / ``.p95`` / ``.p99`` / ``.max``."""
         out: Dict[str, object] = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]
@@ -210,6 +220,9 @@ class MetricsRegistry:
                 out[f"{name}.mean"] = round(metric.mean(), 9)
                 out[f"{name}.max"] = metric.max
                 out[f"{name}.samples"] = metric.samples
+            elif isinstance(metric, LatencyDigest):
+                for key, value in metric.quantiles().items():
+                    out[f"{name}.{key}"] = value
             else:
                 out[name] = metric.value
         return out

@@ -1,0 +1,215 @@
+"""Unit tests of critical-path extraction on hand-built span DAGs.
+
+Every test constructs an exact-float span forest through a real
+:class:`~repro.obs.trace.Tracer` (driven by a fake clock), then checks
+the backward-greedy walk attributes each instant of the root window to
+the expected layer — and that the partition identity holds with exact
+float equality.  The 64-rank end-to-end acceptance test lives in
+``test_trace_collective.py`` next to the tracing harness.
+"""
+
+import pytest
+
+from repro.obs.critpath import (
+    LAYERS,
+    PartitionError,
+    Segment,
+    SpanDag,
+    assert_partition,
+    critical_path,
+    layer_breakdown,
+    layer_of,
+    operation_report,
+)
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer():
+    clock = FakeClock()
+    return Tracer(clock=clock), clock
+
+
+def add(tracer, clock, name, cat, start, end, parent=None, flow=False):
+    """Record one finished span with an exact interval."""
+    clock.now = start
+    span = tracer.begin_span(
+        name, cat, ("rank", "r0"),
+        parent_id=None if parent is None else parent.span_id, flow=flow)
+    clock.now = end
+    tracer.end_span(span)
+    return span
+
+
+def breakdown_of(tracer, root):
+    segments = critical_path(tracer, root)
+    return layer_breakdown(segments), segments
+
+
+def test_layer_of_classification():
+    tracer, clock = make_tracer()
+    probes = [
+        (add(tracer, clock, "net.link", "net", 0, 1), "link_transfer"),
+        (add(tracer, clock, "rpc.serve", "rpc", 0, 1), "shard_service"),
+        (add(tracer, clock, "rpc.put_chunks", "rpc", 0, 1), "rpc_queueing"),
+        (add(tracer, clock, "meta.park", "wait", 0, 1), "coalesce_park"),
+        (add(tracer, clock, "file.write_at_all", "mpiio", 0, 1),
+         "client_compute"),
+    ]
+    for span, expected in probes:
+        assert layer_of(span) == expected
+
+
+def test_nested_rpc_link_and_serve_attribution():
+    # file op [0,10] -> rpc [2,8] -> {net.link [3,5], rpc.serve [5,7]}
+    tracer, clock = make_tracer()
+    root = add(tracer, clock, "file.write_at_all", "mpiio", 0.0, 10.0)
+    rpc = add(tracer, clock, "rpc.put_chunks", "rpc", 2.0, 8.0, parent=root)
+    add(tracer, clock, "net.link", "net", 3.0, 5.0, parent=rpc)
+    add(tracer, clock, "rpc.serve", "rpc", 5.0, 7.0, parent=rpc)
+
+    layers, segments = breakdown_of(tracer, root)
+    assert layers["client_compute"] == 4.0   # [0,2) + [8,10)
+    assert layers["rpc_queueing"] == 2.0     # [2,3) + [7,8)
+    assert layers["link_transfer"] == 2.0    # [3,5)
+    assert layers["shard_service"] == 2.0    # [5,7)
+    assert layers["deferred_complete_overlap"] == 0.0
+    assert layers["coalesce_park"] == 0.0
+    assert layers["total"] == 10.0
+    # exact tiling of the window, boundary floats shared
+    assert_partition(segments, 0.0, 10.0)
+
+
+def test_deferred_complete_overlap_splits_client_compute():
+    # root is pure client compute; a flow=True commit.complete overlaps
+    # [4,6] of it -> that slice re-labels as deferred_complete_overlap
+    tracer, clock = make_tracer()
+    root = add(tracer, clock, "file.write_at_all", "mpiio", 0.0, 10.0)
+    add(tracer, clock, "commit.complete", "commit", 4.0, 6.0,
+        parent=root, flow=True)
+
+    layers, segments = breakdown_of(tracer, root)
+    assert layers["client_compute"] == 8.0
+    assert layers["deferred_complete_overlap"] == 2.0
+    assert layers["total"] == 10.0
+    overlap = [s for s in segments
+               if s.layer == "deferred_complete_overlap"]
+    assert [(s.start, s.end) for s in overlap] == [(4.0, 6.0)]
+
+
+def test_coalesce_park_wait_is_its_own_layer():
+    tracer, clock = make_tracer()
+    root = add(tracer, clock, "file.read_at_all", "mpiio", 0.0, 10.0)
+    add(tracer, clock, "meta.park", "wait", 2.0, 5.0, parent=root)
+    add(tracer, clock, "rpc.fetch_nodes", "rpc", 5.0, 9.0, parent=root)
+
+    layers, _segments = breakdown_of(tracer, root)
+    assert layers["coalesce_park"] == 3.0
+    assert layers["rpc_queueing"] == 4.0
+    assert layers["client_compute"] == 3.0   # [0,2) + [9,10)
+    assert layers["total"] == 10.0
+
+
+def test_concurrent_siblings_walk_backward_greedy():
+    # children [2,6] and [4,8] overlap; the walk enters the later-ending
+    # child fully and clips the earlier one to the uncovered prefix [2,4)
+    tracer, clock = make_tracer()
+    root = add(tracer, clock, "file.write_at_all", "mpiio", 0.0, 10.0)
+    add(tracer, clock, "rpc.a", "rpc", 2.0, 6.0, parent=root)
+    add(tracer, clock, "rpc.b", "rpc", 4.0, 8.0, parent=root)
+
+    layers, segments = breakdown_of(tracer, root)
+    assert layers["rpc_queueing"] == 6.0     # [2,4) clipped + [4,8)
+    assert layers["client_compute"] == 4.0   # [0,2) + [8,10)
+    assert layers["total"] == 10.0
+    assert [(s.start, s.end, s.layer) for s in segments] == [
+        (0.0, 2.0, "client_compute"),
+        (2.0, 4.0, "rpc_queueing"),
+        (4.0, 8.0, "rpc_queueing"),
+        (8.0, 10.0, "client_compute"),
+    ]
+
+
+def test_child_fully_shadowed_by_sibling_is_skipped():
+    tracer, clock = make_tracer()
+    root = add(tracer, clock, "file.write_at_all", "mpiio", 0.0, 10.0)
+    add(tracer, clock, "rpc.big", "rpc", 1.0, 9.0, parent=root)
+    # entirely inside the chosen sibling's window at root level; it is
+    # not rpc.big's child, so it never appears on the path
+    add(tracer, clock, "meta.park", "wait", 3.0, 4.0, parent=root)
+
+    layers, _segments = breakdown_of(tracer, root)
+    assert layers["rpc_queueing"] == 8.0
+    assert layers["client_compute"] == 2.0
+    assert layers["coalesce_park"] == 0.0
+
+
+def test_open_root_raises_partition_error():
+    tracer, clock = make_tracer()
+    clock.now = 1.0
+    root = tracer.begin_span("file.write_at_all", "mpiio", ("rank", "r0"))
+    with pytest.raises(PartitionError):
+        critical_path(tracer, root)
+
+
+def test_assert_partition_rejects_gaps_and_overlaps():
+    gap = [Segment(0.0, 1.0, "client_compute", 1, "a"),
+           Segment(2.0, 3.0, "client_compute", 1, "a")]
+    with pytest.raises(PartitionError):
+        assert_partition(gap, 0.0, 3.0)
+    short = [Segment(0.0, 2.0, "client_compute", 1, "a")]
+    with pytest.raises(PartitionError):
+        assert_partition(short, 0.0, 3.0)
+    with pytest.raises(PartitionError):
+        assert_partition([], 0.0, 3.0)
+    # empty window with no segments is fine
+    assert_partition([], 5.0, 5.0)
+
+
+def test_layer_breakdown_total_is_sum_of_layers_exactly():
+    segments = [Segment(0.0, 0.1, "client_compute", 1, "a"),
+                Segment(0.1, 0.30000000000000004, "rpc_queueing", 2, "b"),
+                Segment(0.30000000000000004, 0.7, "link_transfer", 3, "c")]
+    layers = layer_breakdown(segments)
+    assert set(layers) == set(LAYERS) | {"total"}
+    assert layers["total"] == sum(layers[layer] for layer in LAYERS)
+
+
+def test_operation_report_aggregates_and_checks_identity():
+    tracer, clock = make_tracer()
+    first = add(tracer, clock, "file.write_at_all", "mpiio", 0.0, 10.0)
+    add(tracer, clock, "rpc.put_chunks", "rpc", 2.0, 8.0, parent=first)
+    second = add(tracer, clock, "file.write_at_all", "mpiio", 12.0, 15.0)
+    add(tracer, clock, "commit", "commit", 20.0, 21.0)
+    # an unrelated span name is not a root
+    add(tracer, clock, "coalescer.batch", "coalesce", 30.0, 31.0)
+
+    report = operation_report(tracer)
+    assert report["layers"] == list(LAYERS)
+    ops = report["operations"]
+    assert set(ops) == {"file.write_at_all", "commit"}
+    entry = ops["file.write_at_all"]
+    assert entry["count"] == 2
+    assert entry["end_to_end_s"] == 13.0
+    assert entry["attributed_s"] == entry["end_to_end_s"]
+    assert entry["layers"]["rpc_queueing"] == 6.0
+    assert entry["layers"]["client_compute"] == 7.0
+    assert second.end - second.start == 3.0
+
+
+def test_dag_roots_sorted_and_unfinished_spans_excluded():
+    tracer, clock = make_tracer()
+    add(tracer, clock, "commit", "commit", 5.0, 6.0)
+    add(tracer, clock, "commit", "commit", 1.0, 2.0)
+    clock.now = 8.0
+    tracer.begin_span("commit", "commit", ("rank", "r0"))   # still open
+    dag = SpanDag.from_tracer(tracer)
+    roots = dag.roots(["commit"])
+    assert [span.start for span in roots] == [1.0, 5.0]

@@ -10,6 +10,7 @@ with tracing disabled must change nothing observable.
 
 import hashlib
 import json
+import math
 
 from repro.blobseer.deployment import BlobSeerDeployment
 from repro.cluster.cluster import Cluster
@@ -18,6 +19,7 @@ from repro.mpi.datatypes import BYTE, Indexed
 from repro.mpi.launcher import run_mpi_job
 from repro.mpiio.adio.versioning import VersioningDriver
 from repro.mpiio.file import File
+from repro.obs.critpath import LAYERS, operation_report
 from repro.obs.export import (
     span_chains,
     to_chrome_trace,
@@ -155,6 +157,34 @@ def test_rank_and_node_attribution_matches_placement():
             assert span.name.startswith("rpc.")
 
 
+def test_critpath_layers_tile_end_to_end_and_are_byte_stable():
+    """Acceptance: on the 64-rank queued collective, the six layers sum
+    *exactly* to each operation's end-to-end window, and the report is
+    byte-stable across reruns of the same seed."""
+    first = run_collective_job(tracing=True)
+    report = operation_report(first["cluster"].obs.tracer)
+    assert report["layers"] == list(LAYERS)
+    ops = report["operations"]
+    assert ops["file.write_at_all"]["count"] == NUM_RANKS
+    assert ops["file.read_at_all"]["count"] == NUM_RANKS
+    for name, entry in ops.items():
+        assert math.isclose(entry["attributed_s"], entry["end_to_end_s"],
+                            rel_tol=1e-9, abs_tol=1e-12), name
+        assert math.isclose(sum(entry["layers"].values()),
+                            entry["attributed_s"],
+                            rel_tol=1e-9, abs_tol=1e-12), name
+    # the headline op's path reaches the deeper tiers
+    write_layers = ops["file.write_at_all"]["layers"]
+    assert write_layers["link_transfer"] > 0.0
+    assert write_layers["shard_service"] > 0.0
+    assert write_layers["rpc_queueing"] > 0.0
+
+    second = run_collective_job(tracing=True)
+    rerun = operation_report(second["cluster"].obs.tracer)
+    assert json.dumps(report, sort_keys=True) == \
+        json.dumps(rerun, sort_keys=True)
+
+
 def test_disabled_tracing_is_invisible_and_identical():
     traced = run_collective_job(tracing=True)
     untraced = run_collective_job(tracing=False)
@@ -163,6 +193,19 @@ def test_disabled_tracing_is_invisible_and_identical():
     assert untraced["cluster"].obs.tracer.finished_spans() == []
     assert all(driver.client.trace_ctx is None
                for driver in untraced["drivers"])
+    # ...and no digest taps anywhere on the hot paths (digests are an
+    # independent knob, off by default)
+    cluster = untraced["cluster"]
+    assert cluster.obs.digests is None
+    assert cluster.rpc._digests is None
+    assert cluster.network.digests is None
+    assert cluster.rpc._tracer is None
+    # the flight recorder *is* on by default — cached on the transport,
+    # fed by real traffic, and (per the identity assertions below)
+    # observationally silent
+    assert cluster.obs.flight is not None
+    assert cluster.rpc._flight is cluster.obs.flight
+    assert cluster.obs.flight.recorded > 0
     # identical simulation outcome, byte for byte
     assert untraced["digest"] == traced["digest"]
     assert untraced["sim_elapsed"] == traced["sim_elapsed"]

@@ -145,6 +145,26 @@ def test_chrome_export_schema_and_chains():
         ["file.write_at_all", "rpc.put_chunks"]
 
 
+def test_span_chains_order_is_timestamp_major_span_id_tiebreak():
+    # Spans recorded out of timestamp order (a late span first) plus two
+    # spans sharing the exact same start: the chain listing must come back
+    # sorted by (start, span_id), never by recording order.
+    tracer, _clock = make_tracer()
+    late = tracer.complete_span("late", "op", ("rank", "r1"),
+                                start=5.0, end=6.0)
+    tie_a = tracer.complete_span("tie_a", "op", ("rank", "r0"),
+                                 start=2.0, end=3.0)
+    tie_b = tracer.complete_span("tie_b", "op", ("rank", "r1"),
+                                 start=2.0, end=4.0)
+    early = tracer.complete_span("early", "op", ("rank", "r0"),
+                                 start=0.0, end=1.0)
+    chains = span_chains(tracer)
+    assert list(chains) == [early.span_id, tie_a.span_id,
+                            tie_b.span_id, late.span_id]
+    # same-timestamp spans keep span-id order deterministically
+    assert tie_a.span_id < tie_b.span_id
+
+
 def test_validator_reports_problems():
     tracer, _clock = make_tracer()
     span = tracer.begin_span("open", "op", ("rank", "r0"))

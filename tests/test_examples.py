@@ -29,6 +29,7 @@ def load_example(name):
     "ghost_cell_simulation",
     "tile_io_comparison",
     "trace_collective",
+    "critpath_report",
     "fuzz_replay",
 ])
 def test_example_runs(name, capsys):
